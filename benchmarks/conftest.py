@@ -1,0 +1,53 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every module regenerates one table or figure of the paper (see the
+experiment index in DESIGN.md). Each experiment:
+
+* runs the real code paths (never canned numbers),
+* prints a paper-style table (visible with ``pytest -s``) and writes it
+  to ``benchmarks/out/<experiment>.txt``,
+* asserts the *shape* the paper reports (who wins, how things scale),
+* wraps a representative kernel in pytest-benchmark for host-time data.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.firmware import TIMER_BASE
+from repro.peripherals import catalog
+from repro.targets import FpgaTarget, SimulatorTarget
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+#: Base address used when hosting a single corpus peripheral.
+PERIPH_BASE = 0x4000_0000
+
+
+def emit(experiment: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/out/."""
+    print()
+    print(text)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{experiment}.txt").write_text(text + "\n")
+
+
+def fpga_with(spec, scan_mode="functional", **kw) -> FpgaTarget:
+    target = FpgaTarget(scan_mode=scan_mode, **kw)
+    target.add_peripheral(spec, PERIPH_BASE)
+    target.reset()
+    return target
+
+
+def simulator_with(spec, **kw) -> SimulatorTarget:
+    target = SimulatorTarget(**kw)
+    target.add_peripheral(spec, PERIPH_BASE)
+    target.reset()
+    return target
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return list(catalog.CORPUS)

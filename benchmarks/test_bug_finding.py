@@ -1,0 +1,108 @@
+"""E3 — finding and diagnosing planted security issues.
+
+The paper's third evaluation question: can the framework find and help
+diagnose security issues in HW/SW co-designed systems? The synthetic
+vulnerability suite plants three classes of bug (see
+``repro.firmware.programs``):
+
+* a driver buffer overflow (attacker-controlled length),
+* peripheral misuse (consuming an accelerator result before DONE),
+* an interrupt race (lost update in an unprotected critical section).
+
+For each we record: found?, time to first finding, the concrete witness
+(test case), and whether the report carries the complete hardware state
+at the detection point — the diagnosis payload HardSnap exists for.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis import format_si_time, format_table
+from repro.core import HardSnapSession
+from repro.firmware import (AES_BASE, TIMER_BASE, UART_BASE, WDT_BASE,
+                            vuln_buffer_overflow, vuln_irq_race,
+                            vuln_peripheral_misuse, vuln_wdt_starvation)
+from repro.peripherals import catalog
+
+SUITE = [
+    ("buffer-overflow", vuln_buffer_overflow(),
+     [(catalog.UART, UART_BASE)]),
+    ("peripheral-misuse", vuln_peripheral_misuse(),
+     [(catalog.AES128, AES_BASE)]),
+    ("irq-race", vuln_irq_race(), [(catalog.TIMER, TIMER_BASE)]),
+    ("wdt-starvation", vuln_wdt_starvation(),
+     [(catalog.WDT, WDT_BASE)]),
+]
+
+
+def _hunt(firmware, peripherals):
+    session = HardSnapSession(firmware, peripherals,
+                              scan_mode="functional")
+    report = session.run(max_instructions=500_000)
+    return session, report
+
+
+def test_bug_finding(benchmark):
+    results = benchmark.pedantic(
+        lambda: [(name, *_hunt(fw, p)) for name, fw, p in SUITE],
+        rounds=1, iterations=1)
+
+    rows = []
+    for name, session, report in results:
+        bugs = report.bugs
+        first = bugs[0] if bugs else None
+        witness = (", ".join(f"{k}=0x{v:x}"
+                             for k, v in first.test_case.items())
+                   if first else "-")
+        rows.append([
+            name,
+            "yes" if bugs else "NO",
+            len(bugs),
+            format_si_time(report.modelled_time_s),
+            f"{report.host_time_s:.2f}s",
+            witness,
+            "yes" if (first and first.hw_snapshot) else "-",
+        ])
+    emit("bug_finding", format_table(
+        ["vulnerability", "found", "findings", "modelled time",
+         "host time", "first witness", "HW state in report"],
+        rows, title="E3: planted vulnerability suite under HardSnap"))
+
+    for name, session, report in results:
+        assert report.bugs, f"{name}: not found"
+        bug = report.bugs[0]
+        # Diagnosis payload: concrete test case + hardware snapshot +
+        # control-flow tail.
+        assert bug.test_case, name
+        assert bug.hw_snapshot is not None, name
+        assert bug.backtrace, name
+
+    # Witness validity per class:
+    overflow = results[0][2].bugs
+    for bug in overflow:
+        assert (list(bug.test_case.values())[0] & 0x3F) > 16
+    race = results[2][2]
+    assert race.halted_paths  # non-racy interleavings pass
+    wdt_report = results[3][2]
+    bad = {list(b.test_case.values())[0] & 0x1F for b in wdt_report.bugs}
+    good = {list(p.test_case.values())[0] & 0x1F
+            for p in wdt_report.halted_paths}
+    assert min(bad) > max(good)  # a clean starvation threshold
+
+
+def test_diagnosis_hardware_view(benchmark):
+    """Root-cause analysis: the misuse bug's hardware snapshot must show
+    the accelerator still busy — the condition the driver ignored."""
+    def run():
+        session = HardSnapSession(vuln_peripheral_misuse(),
+                                  [(catalog.AES128, AES_BASE)],
+                                  scan_mode="functional")
+        return session.run(max_instructions=500_000, stop_after_bugs=1)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    bug = report.bugs[0]
+    hw = bug.hw_snapshot.states["aes128"]["nets"]
+    emit("bug_diagnosis",
+         f"misuse bug at pc=0x{bug.pc:x}: witness={bug.test_case} "
+         f"hardware: busy={hw['busy']} done={hw['done']} round={hw['round']}")
+    assert hw["busy"] == 1  # caught red-handed: engine mid-encryption
+    assert hw["done"] == 0
+    assert 0 < hw["round"] <= 10

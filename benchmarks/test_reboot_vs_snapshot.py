@@ -1,0 +1,73 @@
+"""E2b — reboot-per-path vs snapshot restore on an init-heavy driver.
+
+Motivated by Talebi et al.'s 8800-I/O camera-driver initialisation (§I):
+the init_heavy firmware performs a long MMIO configuration sequence
+before any branching. The naive-consistent baseline re-executes that
+prefix (after a reboot) on *every* context switch; HardSnap snapshots
+past it once.
+
+Expected shapes:
+* the reboot baseline's cost grows with the INIT length; HardSnap's is
+  essentially independent of it,
+* the replayed-access count for the baseline ~ switches x INIT length.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis import format_si_time, format_table
+from repro.core import HardSnapSession
+from repro.firmware import TIMER_BASE, UART_BASE, init_heavy
+from repro.peripherals import catalog
+
+PERIPHS = [(catalog.UART, UART_BASE), (catalog.TIMER, TIMER_BASE)]
+INIT_LENGTHS = (10, 50, 150)
+
+
+def _run(init_writes, strategy):
+    session = HardSnapSession(
+        init_heavy(init_writes=init_writes, n_paths=4), PERIPHS,
+        strategy=strategy, searcher="round-robin", scan_mode="functional")
+    return session.run(max_instructions=150_000)
+
+
+def test_reboot_vs_snapshot(benchmark):
+    results = benchmark.pedantic(
+        lambda: {n: {s: _run(n, s)
+                     for s in ("hardsnap", "naive-consistent")}
+                 for n in INIT_LENGTHS},
+        rounds=1, iterations=1)
+
+    rows = []
+    for n in INIT_LENGTHS:
+        hs = results[n]["hardsnap"]
+        nc = results[n]["naive-consistent"]
+        rows.append([
+            n,
+            format_si_time(hs.modelled_time_s),
+            format_si_time(nc.modelled_time_s),
+            nc.reboots,
+            nc.replayed_accesses,
+            f"{nc.modelled_time_s / hs.modelled_time_s:.0f}x",
+        ])
+    emit("reboot_vs_snapshot", format_table(
+        ["INIT writes", "HardSnap", "naive-consistent", "reboots",
+         "replayed accesses", "speedup"],
+        rows,
+        title="E2b: init-heavy driver — snapshot restore vs reboot+replay"))
+
+    for n in INIT_LENGTHS:
+        hs = results[n]["hardsnap"]
+        nc = results[n]["naive-consistent"]
+        # Same ground truth.
+        assert sorted(hs.halt_codes()) == [0x200 + i for i in range(4)]
+        assert hs.halt_codes() == nc.halt_codes()
+        assert nc.modelled_time_s / hs.modelled_time_s > 100
+
+    # Baseline replay traffic grows with INIT length...
+    replayed = [results[n]["naive-consistent"].replayed_accesses
+                for n in INIT_LENGTHS]
+    assert replayed[-1] > replayed[0] * 2
+    # ...while HardSnap's cost stays roughly flat (snapshot size does not
+    # depend on how much firmware ran before).
+    hs_times = [results[n]["hardsnap"].modelled_time_s
+                for n in INIT_LENGTHS]
+    assert hs_times[-1] < hs_times[0] * 5

@@ -1,0 +1,114 @@
+"""E1b — snapshot save/restore latency per peripheral per method.
+
+The paper's first evaluation question: "How long does it take to
+save/restore a hardware state?" — measured for each corpus peripheral on
+
+* the simulator target (CRIU process checkpoint),
+* the FPGA target scan chain with the snapshot kept in on-board SRAM,
+* the FPGA target scan chain with a host round-trip (SRAM disabled),
+* FPGA configuration readback (capture-only, high-end devices).
+
+Expected shapes (paper §V):
+* scan time grows linearly with the chain length (design size),
+* SRAM-resident scan snapshots are much faster than host transfers,
+* CRIU cost is dominated by the process image — roughly flat across
+  small designs and far above scan for every corpus peripheral,
+* readback pays a fixed setup plus frame streaming.
+"""
+
+from benchmarks.conftest import emit, fpga_with, simulator_with
+from repro.analysis import format_si_time, format_table
+from repro.instrument.readback import ReadbackModel
+from repro.peripherals import catalog
+
+
+def _measure(spec):
+    """Modelled save+restore time per method for one peripheral."""
+    out = {}
+    sim_target = simulator_with(spec)
+    snap = sim_target.save_snapshot()
+    before = sim_target.timer.total_s
+    sim_target.restore_snapshot(snap)
+    out["criu"] = snap.modelled_cost_s + (sim_target.timer.total_s - before)
+
+    fpga = fpga_with(spec)
+    snap = fpga.save_snapshot()
+    before = fpga.timer.total_s
+    fpga.restore_snapshot(snap)
+    out["scan_sram"] = snap.modelled_cost_s + (fpga.timer.total_s - before)
+    chain_bits = snap.bits
+
+    fpga_nosram = fpga_with(spec, sram_bits=1)
+    snap = fpga_nosram.save_snapshot()
+    before = fpga_nosram.timer.total_s
+    fpga_nosram.restore_snapshot(snap)
+    out["scan_host"] = snap.modelled_cost_s + \
+        (fpga_nosram.timer.total_s - before)
+
+    out["readback"] = fpga.readback_snapshot().modelled_cost_s
+    return chain_bits, out
+
+
+def test_snapshot_latency(benchmark, corpus):
+    results = benchmark.pedantic(
+        lambda: {spec.name: _measure(spec) for spec in corpus},
+        rounds=1, iterations=1)
+
+    rows = []
+    for spec in corpus:
+        bits, times = results[spec.name]
+        rows.append([spec.name, bits,
+                     format_si_time(times["criu"]),
+                     format_si_time(times["scan_sram"]),
+                     format_si_time(times["scan_host"]),
+                     format_si_time(times["readback"])])
+    emit("snapshot_latency", format_table(
+        ["peripheral", "chain bits", "CRIU (sim)", "scan+SRAM (fpga)",
+         "scan+host (fpga)", "readback"],
+        rows,
+        title="E1b: hardware snapshot save+restore latency (modelled)"))
+
+    # Shape 1: scan time tracks chain length roughly linearly.
+    points = sorted((results[s.name][0], results[s.name][1]["scan_sram"])
+                    for s in corpus)
+    bits_small, t_small = points[0]
+    bits_large, t_large = points[-1]
+    assert t_large > t_small
+    ratio_bits = bits_large / bits_small
+    ratio_time = t_large / t_small
+    assert 0.5 * ratio_bits <= ratio_time <= 2.0 * ratio_bits
+
+    # Shape 2: SRAM-resident snapshots beat host round-trips everywhere;
+    # the gap is widest on small chains (transport dominates) and
+    # narrows as the shift itself starts to dominate.
+    gaps = {}
+    for spec in corpus:
+        bits, times = results[spec.name]
+        assert times["scan_sram"] < times["scan_host"] / 2, spec.name
+        gaps[bits] = times["scan_host"] / times["scan_sram"]
+    ordered = [gaps[b] for b in sorted(gaps)]
+    assert ordered[0] > ordered[-1]
+
+    # Shape 3: CRIU flat across small designs and far above scan.
+    criu = [results[s.name][1]["criu"] for s in corpus]
+    assert max(criu) / min(criu) < 1.5
+    for spec in corpus:
+        _, times = results[spec.name]
+        assert times["criu"] > 100 * times["scan_sram"], spec.name
+
+    # Shape 4: readback pays its fixed setup floor.
+    floor = ReadbackModel().setup_s
+    for spec in corpus:
+        assert results[spec.name][1]["readback"] >= floor
+
+
+def test_benchmark_scan_shift_host_time(benchmark):
+    """Host-time cost of one scan save+restore through the real RTL shift
+    (the mechanism itself, not the functional shortcut)."""
+    target = fpga_with(catalog.TIMER, scan_mode="shift")
+
+    def save_restore():
+        snap = target.save_snapshot()
+        target.restore_snapshot(snap)
+
+    benchmark.pedantic(save_restore, rounds=3, iterations=1)

@@ -1,0 +1,63 @@
+"""E8 — whole-design vs subsystem snapshotting on a composed SoC.
+
+Paper §I: "HardSnap can be either used for testing the whole design or
+only a subsystem. We believe this would facilitate its integration in a
+product development flow where components and firmware are built
+concurrently."
+
+We compose a 4-peripheral SoC behind one AXI interconnect (generated
+RTL), then compare the scan chain over the whole design against chains
+scoped (``include=``) to each subsystem: chain length, modelled snapshot
+latency, and the guarantee that a subsystem chain equals the standalone
+peripheral's state size (nothing leaks in, nothing is missed).
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis import format_si_time, format_table
+from repro.instrument import insert_scan_chain
+from repro.peripherals import catalog
+from repro.peripherals.soc import SocSpec
+from repro.targets.snapshot_ip import SnapshotIp
+from repro.bus.transport import USB3
+
+SLAVES = [catalog.TIMER, catalog.GPIO, catalog.UART, catalog.AES128]
+
+
+def test_soc_subsystem_snapshotting(benchmark):
+    def run():
+        soc = SocSpec(SLAVES, name="soc4")
+        design = soc.elaborate()
+        ip = SnapshotIp(100e6, USB3)
+        rows = []
+        whole = insert_scan_chain(design)
+        rows.append(("whole design", whole.chain_length,
+                     ip.shift_cost_s(whole.chain_length)))
+        scoped = {}
+        for i, spec in enumerate(SLAVES):
+            sub = insert_scan_chain(design, include=[f"p{i}"])
+            scoped[spec.name] = sub
+            rows.append((f"subsystem p{i} ({spec.name})", sub.chain_length,
+                         ip.shift_cost_s(sub.chain_length)))
+        return design, whole, scoped, rows
+
+    design, whole, scoped, rows = benchmark.pedantic(run, rounds=1,
+                                                     iterations=1)
+    emit("soc_subsystem", format_table(
+        ["scope", "chain bits", "snapshot shift (modelled)"],
+        [[name, bits, format_si_time(cost)] for name, bits, cost in rows],
+        title="E8: whole-SoC vs subsystem scan chains"))
+
+    # The whole chain covers at least the sum of the subsystems (plus
+    # interconnect state like the latched selects).
+    subsystem_sum = sum(s.chain_length for s in scoped.values())
+    assert whole.chain_length >= subsystem_sum
+    assert whole.chain_length <= subsystem_sum + 64  # interconnect is small
+
+    # Each subsystem chain matches the standalone peripheral exactly.
+    for spec in SLAVES:
+        standalone = spec.elaborate().state_bit_count
+        assert scoped[spec.name].chain_length == standalone, spec.name
+
+    # Subsystem snapshots are proportionally cheaper.
+    timer_chain = scoped["timer"].chain_length
+    assert timer_chain < whole.chain_length / 5

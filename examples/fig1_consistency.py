@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""The paper's Fig. 1, live: three ways to co-test two firmware paths
+that share one hardware peripheral.
+
+Two execution paths (REQ A / REQ B) program the same timer with
+different task lengths and wait for its interrupt. Explored
+*concurrently*, the hardware must be context-switched per path — or
+corruption follows.
+
+Run:  python examples/fig1_consistency.py
+"""
+
+from repro import HardSnapSession
+from repro.firmware import TIMER_BASE, fig1_two_paths
+from repro.peripherals import catalog
+
+STRATEGIES = {
+    "hardsnap": "HardSnap (per-state hardware snapshots)",
+    "naive-consistent": "naive-and-consistent (reboot + replay per switch)",
+    "naive-inconsistent": "naive-and-inconsistent (shared hardware)",
+}
+
+
+def main() -> None:
+    print("Fig. 1: two firmware paths, one timer peripheral, concurrent")
+    print("exploration (round-robin scheduling).")
+    print("Ground truth: path A halts 0xA, path B halts 0xB.\n")
+
+    for strategy, description in STRATEGIES.items():
+        session = HardSnapSession(
+            fig1_two_paths(),
+            [(catalog.TIMER, TIMER_BASE)],
+            strategy=strategy,
+            searcher="round-robin",
+            scan_mode="functional",
+        )
+        report = session.run(max_instructions=30_000)
+        verdicts = {hex(k): v for k, v in report.halt_codes().items()}
+        ok = report.halt_codes() == {0xA: 1, 0xB: 1} and not report.bugs
+        print(f"== {description}")
+        print(f"   verdicts: {verdicts or 'NONE (paths never completed)'}"
+              f"   correct: {'yes' if ok else 'NO'}")
+        print(f"   snapshot ops: {report.snapshot_saves + report.snapshot_restores}"
+              f"   reboots: {report.reboots}"
+              f"   modelled time: {report.modelled_time_s * 1e3:.2f} ms")
+        if strategy == "naive-inconsistent" and not ok:
+            print("   -> REQ A's task was clobbered by REQ B reprogramming")
+            print("      the shared timer; its interrupt never matched and")
+            print("      the path starved — exactly the Fig. 1 scenario.")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Quickstart: symbolically co-test a tiny firmware against a real RTL
+timer peripheral, with HardSnap keeping hardware state consistent per
+explored path.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import HardSnapSession
+from repro.peripherals import catalog
+
+TIMER_BASE = 0x4000_0000
+
+# HS32 assembly. The firmware reads a *symbolic* command, programs the
+# timer accordingly, and waits for expiry by polling MMIO. Each `sym`
+# value is an unknown input; the engine explores every feasible path and
+# produces a concrete test case per path.
+FIRMWARE = f"""
+.equ TIMER, 0x{TIMER_BASE:x}
+
+start:
+    movi r1, TIMER
+    sym  r2                 ; symbolic command byte
+    andi r2, r2, 1
+    beq  r2, r0, short_task
+
+long_task:
+    movi r3, 40
+    sw   r3, 4(r1)          ; LOAD = 40
+    movi r3, 1
+    sw   r3, 0(r1)          ; CTRL = EN
+poll_long:
+    lw   r4, 12(r1)         ; STATUS
+    beq  r4, r0, poll_long
+    movi r5, 0xL0NG_IS_2    ; placeholder replaced below
+    halt r5
+
+short_task:
+    movi r3, 5
+    sw   r3, 4(r1)
+    movi r3, 1
+    sw   r3, 0(r1)
+poll_short:
+    lw   r4, 12(r1)
+    beq  r4, r0, poll_short
+    movi r5, 1
+    halt r5
+""".replace("movi r5, 0xL0NG_IS_2", "movi r5, 2")
+
+
+def main() -> None:
+    session = HardSnapSession(
+        FIRMWARE,
+        peripherals=[(catalog.TIMER, TIMER_BASE)],
+        # "fpga" (default) = compiled backend + scan-chain snapshots;
+        # "simulator" = interpreted backend + CRIU-style checkpoints.
+        target="fpga",
+    )
+    report = session.run(max_instructions=100_000)
+
+    print(report.summary())
+    print()
+    print("explored paths:")
+    for path in report.halted_paths:
+        inputs = ", ".join(f"{k}=0x{v:x}" for k, v in path.test_case.items())
+        print(f"  path {path.state_id}: halt code {path.halt_code} "
+              f"after {path.steps} instructions  (test case: {inputs})")
+    print()
+    print(f"hardware snapshots: {report.snapshot_saves} saved, "
+          f"{report.snapshot_restores} restored")
+    print(f"modelled analysis time: {report.modelled_time_s * 1e3:.3f} ms")
+    assert sorted(report.halt_codes()) == [1, 2]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Hunt the planted vulnerability suite and show HardSnap's diagnosis
+payload: for every finding, the concrete input witness, the control-flow
+tail, and the complete hardware state at the detection point.
+
+Run:  python examples/vuln_hunt.py
+"""
+
+from repro import HardSnapSession
+from repro.firmware import (AES_BASE, TIMER_BASE, UART_BASE, WDT_BASE,
+                            vuln_buffer_overflow, vuln_irq_race,
+                            vuln_peripheral_misuse, vuln_wdt_starvation)
+from repro.isa.disassembler import disassemble_word
+from repro.peripherals import catalog
+
+SUITE = [
+    ("driver buffer overflow (attacker-controlled length)",
+     vuln_buffer_overflow(), [(catalog.UART, UART_BASE)], "uart"),
+    ("peripheral misuse (result consumed while AES busy)",
+     vuln_peripheral_misuse(), [(catalog.AES128, AES_BASE)], "aes128"),
+    ("interrupt race (lost update on shared counter)",
+     vuln_irq_race(), [(catalog.TIMER, TIMER_BASE)], "timer"),
+    ("watchdog starvation (data-dependent slow path)",
+     vuln_wdt_starvation(), [(catalog.WDT, WDT_BASE)], "wdt"),
+]
+
+INTERESTING_NETS = {
+    "uart": ["tx_busy", "rx_count", "bauddiv"],
+    "aes128": ["busy", "done", "round"],
+    "timer": ["value", "expired", "ctrl"],
+    "wdt": ["barked", "locked", "value"],
+}
+
+
+def main() -> None:
+    for title, firmware, peripherals, pname in SUITE:
+        print("=" * 72)
+        print(f"hunting: {title}")
+        session = HardSnapSession(firmware, peripherals,
+                                  scan_mode="functional")
+        report = session.run(max_instructions=500_000)
+        print(f"  {report.summary()}")
+        if not report.bugs:
+            print("  NO FINDINGS")
+            continue
+        bug = report.bugs[0]
+        print(f"  first finding: {bug.summary()}")
+        print(f"  witness input: {bug.test_case}")
+        # Control-flow tail, disassembled from the program image.
+        print("  control flow before detection:")
+        for pc in list(bug.backtrace)[-5:]:
+            word = session.program.words.get(pc)
+            text = disassemble_word(word, pc) if word is not None else "?"
+            print(f"    {pc:#06x}: {text}")
+        # The hardware side of the combined state S.
+        hw = bug.hw_snapshot.states[pname]["nets"]
+        shown = {k: hw[k] for k in INTERESTING_NETS[pname] if k in hw}
+        print(f"  peripheral state at detection ({pname}): {shown}")
+        safe = len(report.halted_paths)
+        print(f"  paths that pass the property: {safe}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

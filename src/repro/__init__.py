@@ -1,0 +1,27 @@
+"""HardSnap reproduction — hardware/software co-snapshotting for embedded
+systems security testing (Corteggiani & Francillon, DSN 2020).
+
+The package is organised as the paper's three components plus the
+substrates they stand on:
+
+* :mod:`repro.hdl`, :mod:`repro.sim` — a Verilog frontend and cycle-accurate
+  RTL simulator (the Verilator analogue),
+* :mod:`repro.instrument` — the scan-chain insertion toolchain
+  (*Peripheral Snapshotting Mechanism*),
+* :mod:`repro.bus`, :mod:`repro.targets` — AXI4-Lite/Wishbone bus models and
+  the simulator/FPGA hardware targets with multi-target orchestration,
+* :mod:`repro.solver`, :mod:`repro.isa`, :mod:`repro.vm` — a bitvector
+  solver, a small RISC ISA and the *Selective Symbolic Virtual Machine*,
+* :mod:`repro.core` — the *Snapshotting Controller*, the HardSnap session
+  facade (Algorithm 1) and the naive baselines,
+* :mod:`repro.peripherals`, :mod:`repro.firmware` — the evaluation corpus.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.config import SessionConfig  # noqa: E402
+from repro.core.engine import AnalysisReport  # noqa: E402
+from repro.core.hardsnap import HardSnapSession, run_all_strategies  # noqa: E402
+
+__all__ = ["HardSnapSession", "SessionConfig", "AnalysisReport",
+           "run_all_strategies", "__version__"]

@@ -1,0 +1,53 @@
+"""Coverage accounting over firmware programs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.isa.assembler import Program
+from repro.isa.disassembler import disassemble_word
+
+
+@dataclass
+class CoverageReport:
+    covered: Set[int]
+    total_instructions: int
+
+    @property
+    def covered_count(self) -> int:
+        return len(self.covered)
+
+    @property
+    def percent(self) -> float:
+        if not self.total_instructions:
+            return 0.0
+        return 100.0 * len(self.covered) / self.total_instructions
+
+
+def coverage_report(program: Program, covered_pcs: Set[int]) -> CoverageReport:
+    """Intersect executed pcs with the program's instruction addresses."""
+    addrs = set(program.words)
+    return CoverageReport(covered=covered_pcs & addrs,
+                          total_instructions=len(addrs))
+
+
+def uncovered_listing(program: Program, covered_pcs: Set[int],
+                      limit: int = 50) -> List[str]:
+    """Disassembly of instructions never executed (analysis aid)."""
+    out: List[str] = []
+    for addr in sorted(set(program.words) - covered_pcs):
+        word = program.words[addr]
+        out.append(f"{addr:08x}:  {disassemble_word(word, addr)}")
+        if len(out) >= limit:
+            break
+    return out
+
+
+def source_line_coverage(program: Program,
+                         covered_pcs: Set[int]) -> Dict[int, bool]:
+    """Assembly-source-line coverage via the program's source map."""
+    out: Dict[int, bool] = {}
+    for addr, line in program.source_map.items():
+        out[line] = out.get(line, False) or addr in covered_pcs
+    return out

@@ -1,0 +1,13 @@
+"""Bus functional models, memory map and transport latency models."""
+
+from repro.bus.axi4lite import Axi4LiteMaster, BusStats
+from repro.bus.memory_map import MemoryMap, Region
+from repro.bus.transport import (ALL_TRANSPORTS, JTAG, SHARED_MEMORY, USB3,
+                                 ModelledTimer, Transport)
+from repro.bus.wishbone import WishboneMaster
+
+__all__ = [
+    "Axi4LiteMaster", "WishboneMaster", "BusStats", "MemoryMap", "Region",
+    "Transport", "ModelledTimer", "SHARED_MEMORY", "USB3", "JTAG",
+    "ALL_TRANSPORTS",
+]

@@ -1,0 +1,85 @@
+"""Wishbone (classic, single-beat) master bus functional model.
+
+HardSnap's memory-bus abstraction is modular (paper §IV-A: "a simulated
+memory bus (i.e., AXI, Wishbone)"); this BFM drives peripherals exposing a
+Wishbone slave port. Signal naming convention::
+
+    wb_cyc  wb_stb  wb_we  wb_adr  wb_dat_w   (master -> slave)
+    wb_ack  wb_dat_r                          (slave -> master)
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import BusError
+from repro.bus.axi4lite import BusStats
+from repro.sim.base import BaseSimulation
+
+DEFAULT_TIMEOUT_CYCLES = 64
+
+
+class WishboneMaster:
+    """Cycle-accurate Wishbone classic master."""
+
+    def __init__(self, sim: BaseSimulation, prefix: str = "wb_",
+                 timeout: int = DEFAULT_TIMEOUT_CYCLES):
+        self.sim = sim
+        self.prefix = prefix
+        self.timeout = timeout
+        self.stats = BusStats()
+        self._idle()
+
+    def _sig(self, name: str) -> str:
+        return self.prefix + name
+
+    def _idle(self) -> None:
+        self.sim.poke_many({
+            self._sig("cyc"): 0,
+            self._sig("stb"): 0,
+            self._sig("we"): 0,
+        })
+
+    def write(self, addr: int, data: int) -> int:
+        sim = self.sim
+        start = sim.cycle
+        sim.poke_many({
+            self._sig("cyc"): 1,
+            self._sig("stb"): 1,
+            self._sig("we"): 1,
+            self._sig("adr"): addr,
+            self._sig("dat_w"): data,
+        })
+        for _ in range(self.timeout):
+            ack = sim.peek(self._sig("ack"))
+            sim.step()
+            if ack:
+                self._idle()
+                cycles = sim.cycle - start
+                self.stats.writes += 1
+                self.stats.write_cycles += cycles
+                return cycles
+        self._idle()
+        raise BusError(f"wishbone write to 0x{addr:x}: no ack")
+
+    def read(self, addr: int) -> Tuple[int, int]:
+        sim = self.sim
+        start = sim.cycle
+        sim.poke_many({
+            self._sig("cyc"): 1,
+            self._sig("stb"): 1,
+            self._sig("we"): 0,
+            self._sig("adr"): addr,
+        })
+        for _ in range(self.timeout):
+            ack = sim.peek(self._sig("ack"))
+            data = sim.peek(self._sig("dat_r"))
+            sim.step()
+            if ack:
+                self._idle()
+                cycles = sim.cycle - start
+                self.stats.reads += 1
+                self.stats.read_cycles += cycles
+                return data, cycles
+        self._idle()
+        raise BusError(f"wishbone read of 0x{addr:x}: no ack")

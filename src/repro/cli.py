@@ -1,0 +1,177 @@
+"""Command-line interface.
+
+::
+
+    python -m repro.cli instrument design.v --top periph [-o out.v]
+    python -m repro.cli run firmware.s --peripheral timer@0x40000000 ...
+    python -m repro.cli fuzz firmware.s --peripheral timer@0x40000000 -n 500
+    python -m repro.cli disasm firmware.s
+    python -m repro.cli corpus
+    python -m repro.cli table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Tuple
+
+from repro.analysis import format_table
+from repro.core import HardSnapSession, SnapshotFuzzer
+from repro.hdl import elaborate
+from repro.instrument import emit_verilog, insert_scan_chain, overhead_row
+from repro.isa import assemble
+from repro.isa.disassembler import disassemble_program
+from repro.peripherals import catalog
+from repro.targets import FpgaTarget
+
+
+def _parse_peripherals(items: List[str]) -> List[Tuple]:
+    out = []
+    for item in items:
+        name, _, base_text = item.partition("@")
+        base = int(base_text, 0) if base_text else 0x4000_0000
+        out.append((catalog.get(name), base))
+    return out
+
+
+def cmd_instrument(args) -> int:
+    source = open(args.design).read()
+    design = elaborate(source, args.top)
+    result = insert_scan_chain(design, clock=args.clock,
+                               include=args.include or None)
+    text = emit_verilog(result.design)
+    if args.output:
+        open(args.output, "w").write(text)
+        print(f"instrumented design written to {args.output}")
+    else:
+        print(text)
+    row = overhead_row(design, clock=args.clock, result=result)
+    print(f"// chain length: {row.chain_length} bits "
+          f"({row.flip_flops} FFs + {row.memory_bits} memory bits), "
+          f"{row.added_muxes} scan muxes added", file=sys.stderr)
+    return 0
+
+
+def cmd_run(args) -> int:
+    firmware = open(args.firmware).read()
+    session = HardSnapSession(
+        firmware, _parse_peripherals(args.peripheral),
+        target=args.target, strategy=args.strategy, searcher=args.searcher,
+        concretization=args.concretization, scan_mode="functional")
+    report = session.run(max_instructions=args.max_instructions,
+                         stop_after_bugs=args.stop_after_bugs)
+    print(report.summary())
+    for path in report.halted_paths:
+        print(f"  path {path.state_id}: halt {path.halt_code} "
+              f"steps {path.steps} test case {path.test_case}")
+    for bug in report.bugs:
+        print(f"  BUG {bug.summary()}")
+    return 1 if report.bugs else 0
+
+
+def cmd_fuzz(args) -> int:
+    program = assemble(open(args.firmware).read())
+    target = FpgaTarget(scan_mode="functional")
+    for spec, base in _parse_peripherals(args.peripheral):
+        target.add_peripheral(spec, base)
+    seeds = [bytes.fromhex(s) for s in args.seed] or None
+    fuzzer = SnapshotFuzzer(program, target, seeds=seeds,
+                            reset=args.reset, seed=args.rng_seed)
+    report = fuzzer.run(executions=args.executions)
+    print(report.summary())
+    for crash in report.crashes[:10]:
+        print(f"  crash @{crash.execution}: {crash.reason}")
+        print(f"    input: {crash.input_bytes.hex()}")
+    return 1 if report.crashes else 0
+
+
+def cmd_disasm(args) -> int:
+    program = assemble(open(args.firmware).read())
+    for line in disassemble_program(program.words):
+        print(line)
+    return 0
+
+
+def cmd_corpus(args) -> int:
+    rows = []
+    for spec in catalog.EXTENDED_CORPUS:
+        design = spec.elaborate()
+        stats = design.stats()
+        rows.append([spec.name, spec.bus, f"{spec.window_size:#x}",
+                     stats["flip_flops"], stats["memory_bits"],
+                     stats["state_bits"], "yes" if spec.has_irq else "no"])
+    print(format_table(
+        ["peripheral", "bus", "window", "flip-flops", "mem bits",
+         "state bits", "irq"],
+        rows, title="peripheral corpus"))
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from repro.analysis.table1 import render
+    print(render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HardSnap reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("instrument",
+                       help="insert a scan chain into a Verilog design")
+    p.add_argument("design", help="Verilog source file")
+    p.add_argument("--top", required=True, help="top module name")
+    p.add_argument("--clock", default="clk")
+    p.add_argument("--include", action="append",
+                   help="restrict to sub-component prefix (repeatable)")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_instrument)
+
+    p = sub.add_parser("run", help="symbolically co-test firmware")
+    p.add_argument("firmware", help="HS32 assembly file")
+    p.add_argument("--peripheral", action="append", default=[],
+                   help="name@base, e.g. timer@0x40000000 (repeatable)")
+    p.add_argument("--target", choices=["fpga", "simulator"],
+                   default="fpga")
+    p.add_argument("--strategy", default="hardsnap",
+                   choices=["hardsnap", "naive-consistent",
+                            "naive-inconsistent"])
+    p.add_argument("--searcher", default="affinity")
+    p.add_argument("--concretization", default="performance",
+                   choices=["performance", "completeness"])
+    p.add_argument("--max-instructions", type=int, default=1_000_000)
+    p.add_argument("--stop-after-bugs", type=int, default=0)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("fuzz", help="snapshot-based coverage-guided fuzzing")
+    p.add_argument("firmware")
+    p.add_argument("--peripheral", action="append", default=[])
+    p.add_argument("-n", "--executions", type=int, default=500)
+    p.add_argument("--reset", choices=["snapshot", "reboot"],
+                   default="snapshot")
+    p.add_argument("--seed", action="append", default=[],
+                   help="hex seed input (repeatable)")
+    p.add_argument("--rng-seed", type=int, default=0)
+    p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser("disasm", help="assemble + disassemble firmware")
+    p.add_argument("firmware")
+    p.set_defaults(func=cmd_disasm)
+
+    p = sub.add_parser("corpus", help="list the peripheral corpus")
+    p.set_defaults(func=cmd_corpus)
+
+    p = sub.add_parser("table1", help="print the related-work comparison")
+    p.set_defaults(func=cmd_table1)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""HardSnap core: Algorithm 1, the snapshot controller, the consistency
+strategies (HardSnap + the two naive baselines) and the session facade."""
+
+from repro.core.config import SessionConfig
+from repro.core.fuzzer import (INPUT_ADDR, FuzzCrash, FuzzReport,
+                               SnapshotFuzzer)
+from repro.core.engine import (AnalysisEngine, AnalysisReport, CompletedPath,
+                               ConsistencyStrategy, RebootReplayStrategy,
+                               SharedHardwareStrategy, SnapshotStrategy)
+from repro.core.hardsnap import (HardSnapSession, make_strategy, make_target,
+                                 run_all_strategies)
+from repro.core.persistence import (export_crash_pack, load_snapshot,
+                                    replay_crash, save_snapshot)
+from repro.core.snapshot import SnapshotController, SnapshotStats
+
+__all__ = [
+    "HardSnapSession", "SessionConfig", "AnalysisEngine", "AnalysisReport",
+    "CompletedPath", "ConsistencyStrategy", "SnapshotStrategy",
+    "RebootReplayStrategy", "SharedHardwareStrategy", "SnapshotController",
+    "SnapshotStats", "make_strategy", "make_target", "run_all_strategies",
+    "SnapshotFuzzer", "FuzzReport", "FuzzCrash", "INPUT_ADDR",
+    "save_snapshot", "load_snapshot", "export_crash_pack", "replay_crash",
+]

@@ -1,0 +1,43 @@
+"""Session configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.vm.forwarding import PERFORMANCE
+
+
+@dataclass
+class SessionConfig:
+    """Knobs for a :class:`~repro.core.hardsnap.HardSnapSession`.
+
+    Defaults follow the paper's setup: FPGA target, HardSnap snapshot
+    strategy, snapshot-affinity scheduling, performance concretization.
+    """
+
+    #: "fpga" or "simulator" (ignored when a target instance is passed).
+    target: str = "fpga"
+    #: "hardsnap", "naive-consistent" or "naive-inconsistent".
+    strategy: str = "hardsnap"
+    #: Searcher name: affinity / dfs / bfs / random / coverage.
+    searcher: str = "affinity"
+    #: Concretization policy mode: performance / completeness.
+    concretization: str = PERFORMANCE
+    #: Max values enumerated per concretization in completeness mode.
+    concretization_limit: int = 8
+    #: Firmware RAM size in bytes.
+    ram_size: int = 64 * 1024
+    #: Base of the MMIO window (everything above is forwarded).
+    mmio_base: int = 0x4000_0000
+    #: Hardware clock cycles advanced per executed instruction.
+    cycles_per_instruction: int = 1
+    #: Poll interrupt lines every N instructions.
+    irq_poll_interval: int = 1
+    #: Device reboot wall time charged by the naive-consistent baseline.
+    reboot_time_s: float = 0.25
+    #: FPGA scan execution mode: "shift" (real RTL shifting) or
+    #: "functional" (same costs, direct state move).
+    scan_mode: str = "functional"
+    #: Random seed for stochastic searchers.
+    seed: int = 0

@@ -1,0 +1,349 @@
+"""The analysis engine: Algorithm 1 with pluggable hardware-consistency
+strategies.
+
+The paper's Fig. 1 contrasts three ways of co-testing multiple firmware
+paths against stateful hardware; all three share the same symbolic
+execution loop and differ only in what happens when the scheduled state
+changes and when states fork:
+
+* :class:`SnapshotStrategy` — **HardSnap**: ``UpdateState(S_prev)`` /
+  ``RestoreState(S)`` hardware context switches through the snapshot
+  controller; forked states receive cloned, non-shared snapshots,
+* :class:`RebootReplayStrategy` — **naive-and-consistent**: every switch
+  reboots the device and replays the incoming state's entire MMIO
+  interaction history (record-and-replay; §II's "extremely slow" case),
+* :class:`SharedHardwareStrategy` — **naive-and-inconsistent**: states
+  share the live hardware with no isolation; fast and wrong.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.snapshot import SnapshotController
+from repro.errors import VmError
+from repro.solver import Solver
+from repro.targets.base import HardwareTarget
+from repro.vm.detectors import Bug, model_to_test_case
+from repro.vm.executor import SymbolicExecutor
+from repro.vm.forwarding import MmioBridge
+from repro.vm.searchers import Searcher
+from repro.vm.state import (STATUS_HALTED, ExecState)
+
+
+# ---------------------------------------------------------------------------
+# Consistency strategies
+# ---------------------------------------------------------------------------
+
+class ConsistencyStrategy:
+    """Hooks invoked by the engine around scheduling and forking."""
+
+    name = "abstract"
+
+    def bind(self, controller: SnapshotController,
+             bridge: MmioBridge) -> None:
+        self.controller = controller
+        self.bridge = bridge
+
+    def on_start(self, initial: ExecState) -> None:
+        self.controller.reset()
+
+    def on_switch(self, previous: Optional[ExecState],
+                  current: ExecState) -> None:
+        raise NotImplementedError
+
+    def on_fork(self, state: ExecState, forks: List[ExecState]) -> None:
+        raise NotImplementedError
+
+    def on_access(self, state: ExecState, op: str, addr: int,
+                  value: int) -> None:
+        """Called for every MMIO access of the scheduled state."""
+
+
+class SnapshotStrategy(ConsistencyStrategy):
+    """HardSnap: per-state hardware snapshots (Algorithm 1)."""
+
+    name = "hardsnap"
+
+    def on_switch(self, previous: Optional[ExecState],
+                  current: ExecState) -> None:
+        if previous is not None and previous.is_active:
+            self.controller.update_state(previous)
+        self.controller.restore_state(current)
+
+    def on_fork(self, state: ExecState, forks: List[ExecState]) -> None:
+        # "Resulting state flows with a unique and non-shared hardware
+        # snapshot" (§IV-B): refresh the parent's snapshot from the live
+        # hardware and hand clones to the children.
+        snapshot = self.controller.save()
+        state.hw_snapshot = snapshot
+        for fork in forks:
+            fork.hw_snapshot = snapshot.clone()
+
+
+class RebootReplayStrategy(ConsistencyStrategy):
+    """Naive-and-consistent: reboot + replay the MMIO history per switch."""
+
+    name = "naive-consistent"
+
+    def __init__(self, reboot_time_s: float = 0.25,
+                 cycles_per_instruction: int = 1):
+        self.reboot_time_s = reboot_time_s
+        self.cpi = cycles_per_instruction
+        #: state id -> [(op, addr, value, instruction_count)]
+        self.traces: Dict[int, List[Tuple[str, int, int, int]]] = {}
+        self.replayed_accesses = 0
+        self.replay_divergences = 0
+        self.reboots = 0
+
+    def on_start(self, initial: ExecState) -> None:
+        self.controller.reset()
+        self.traces[initial.state_id] = []
+
+    def on_switch(self, previous: Optional[ExecState],
+                  current: ExecState) -> None:
+        self._reboot()
+        self._replay(current)
+
+    def on_fork(self, state: ExecState, forks: List[ExecState]) -> None:
+        trace = self.traces.get(state.state_id, [])
+        for fork in forks:
+            self.traces[fork.state_id] = list(trace)
+
+    def on_access(self, state: ExecState, op: str, addr: int,
+                  value: int) -> None:
+        self.traces.setdefault(state.state_id, []).append(
+            (op, addr, value, state.steps))
+
+    def _reboot(self) -> None:
+        self.controller.reset()
+        # A device reboot is wall-clock expensive (Muench et al. report
+        # multi-second resets for real boards; we default to 250 ms).
+        self.controller.target.timer.add_fixed(self.reboot_time_s)
+        self.reboots += 1
+
+    def _replay(self, state: ExecState) -> None:
+        """Re-execute the state's MMIO history against fresh hardware."""
+        trace = self.traces.get(state.state_id, [])
+        last_step = 0
+        for op, addr, value, at_step in trace:
+            gap = max(0, at_step - last_step) * self.cpi
+            if gap:
+                self.bridge.step_hardware(gap)
+            last_step = at_step
+            self.replayed_accesses += 1
+            if op == "w":
+                self.bridge.write(addr, value)
+            else:
+                got = self.bridge.read(addr)
+                if got != value:
+                    self.replay_divergences += 1
+        tail = max(0, state.steps - last_step) * self.cpi
+        if tail:
+            self.bridge.step_hardware(tail)
+
+
+class SharedHardwareStrategy(ConsistencyStrategy):
+    """Naive-and-inconsistent: no isolation whatsoever."""
+
+    name = "naive-inconsistent"
+
+    def on_switch(self, previous: Optional[ExecState],
+                  current: ExecState) -> None:
+        pass  # hardware carries over: this is the bug the paper shows
+
+    def on_fork(self, state: ExecState, forks: List[ExecState]) -> None:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Reports
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CompletedPath:
+    state_id: int
+    status: str
+    halt_code: Optional[int]
+    steps: int
+    depth: int
+    test_case: Dict[str, int] = field(default_factory=dict)
+    trace_marks: List[int] = field(default_factory=list)
+    error: Optional[str] = None
+
+
+@dataclass
+class AnalysisReport:
+    strategy: str
+    paths: List[CompletedPath] = field(default_factory=list)
+    bugs: List[Bug] = field(default_factory=list)
+    instructions: int = 0
+    forks: int = 0
+    max_live_states: int = 0
+    coverage: int = 0
+    modelled_time_s: float = 0.0
+    host_time_s: float = 0.0
+    snapshot_saves: int = 0
+    snapshot_restores: int = 0
+    reboots: int = 0
+    replayed_accesses: int = 0
+    mmio_accesses: int = 0
+    stop_reason: str = "exhausted"
+
+    @property
+    def halted_paths(self) -> List[CompletedPath]:
+        return [p for p in self.paths if p.status == STATUS_HALTED]
+
+    def halt_codes(self) -> Dict[int, int]:
+        """Histogram of halt codes over completed paths (ground-truth
+        comparison axis for the consistency experiment)."""
+        out: Dict[int, int] = {}
+        for p in self.halted_paths:
+            if p.halt_code is not None:
+                out[p.halt_code] = out.get(p.halt_code, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        return (f"[{self.strategy}] paths={len(self.paths)} "
+                f"(halted={len(self.halted_paths)}) bugs={len(self.bugs)} "
+                f"instr={self.instructions} forks={self.forks} "
+                f"saves={self.snapshot_saves} restores={self.snapshot_restores} "
+                f"reboots={self.reboots} "
+                f"modelled={self.modelled_time_s:.4f}s "
+                f"host={self.host_time_s:.3f}s stop={self.stop_reason}")
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+class AnalysisEngine:
+    """Algorithm 1: the main execution loop."""
+
+    def __init__(self, executor: SymbolicExecutor, searcher: Searcher,
+                 strategy: ConsistencyStrategy, target: HardwareTarget,
+                 bridge: MmioBridge,
+                 cycles_per_instruction: int = 1,
+                 irq_poll_interval: int = 1):
+        self.executor = executor
+        self.searcher = searcher
+        self.strategy = strategy
+        self.target = target
+        self.bridge = bridge
+        self.controller = SnapshotController(target)
+        self.cpi = cycles_per_instruction
+        self.irq_poll_interval = max(1, irq_poll_interval)
+        strategy.bind(self.controller, bridge)
+        self._wire_access_recording()
+
+    def _wire_access_recording(self) -> None:
+        """Route every MMIO access through the strategy's on_access hook
+        (record-and-replay needs the trace)."""
+        engine = self
+        bridge = self.bridge
+        original_read, original_write = bridge.read, bridge.write
+
+        def read(addr: int) -> int:
+            value = original_read(addr)
+            if engine._scheduled is not None and not engine._replaying:
+                engine.strategy.on_access(engine._scheduled, "r", addr, value)
+            return value
+
+        def write(addr: int, value: int) -> None:
+            original_write(addr, value)
+            if engine._scheduled is not None and not engine._replaying:
+                engine.strategy.on_access(engine._scheduled, "w", addr, value)
+
+        bridge.read = read  # type: ignore[method-assign]
+        bridge.write = write  # type: ignore[method-assign]
+        self._scheduled: Optional[ExecState] = None
+        self._replaying = False
+
+    # -- main loop ---------------------------------------------------------------
+
+    def run(self, initial: ExecState, max_instructions: int = 1_000_000,
+            max_states: int = 4096, stop_after_bugs: int = 0,
+            host_time_limit_s: float = 0.0) -> AnalysisReport:
+        report = AnalysisReport(strategy=self.strategy.name)
+        start = time.perf_counter()
+        modelled_start = self.target.timer.total_s
+        self.strategy.on_start(initial)
+        self.searcher.add(initial)
+        previous: Optional[ExecState] = None
+        executed = 0
+        since_poll = 0
+        while len(self.searcher):
+            if executed >= max_instructions:
+                report.stop_reason = "instruction-budget"
+                break
+            if stop_after_bugs and len(self.executor.bugs) >= stop_after_bugs:
+                report.stop_reason = "bug-budget"
+                break
+            if host_time_limit_s and \
+                    time.perf_counter() - start > host_time_limit_s:
+                report.stop_reason = "host-timeout"
+                break
+            state = self.searcher.select(previous)
+            if state is not previous:
+                self._replaying = True
+                try:
+                    self.strategy.on_switch(previous, state)
+                finally:
+                    self._replaying = False
+            previous = state
+            self._scheduled = state
+            # ServePendingInterrupt(S)
+            since_poll += 1
+            if since_poll >= self.irq_poll_interval:
+                since_poll = 0
+                pending = any(self.bridge.irq_lines().values())
+                self.executor.maybe_interrupt(state, pending)
+            # StepInstruction / ExecuteInstruction
+            outcome = self.executor.step(state)
+            self.bridge.step_hardware(self.cpi)
+            executed += 1
+            self._scheduled = None
+            if outcome.forks:
+                self.strategy.on_fork(state, outcome.forks)
+                report.forks += len(outcome.forks)
+                for fork in outcome.forks:
+                    if len(self.searcher) < max_states:
+                        self.searcher.add(fork)
+            report.max_live_states = max(report.max_live_states,
+                                         len(self.searcher))
+            if not state.is_active:
+                self.searcher.remove(state)
+                report.paths.append(self._finish_path(state))
+        else:
+            report.stop_reason = "exhausted"
+        report.instructions = executed
+        report.bugs = list(self.executor.bugs)
+        report.coverage = len(self.executor.coverage)
+        report.host_time_s = time.perf_counter() - start
+        report.modelled_time_s = self.target.timer.total_s - modelled_start
+        report.snapshot_saves = self.controller.stats.saves
+        report.snapshot_restores = self.controller.stats.restores
+        report.mmio_accesses = self.bridge.accesses
+        if isinstance(self.strategy, RebootReplayStrategy):
+            report.reboots = self.strategy.reboots
+            report.replayed_accesses = self.strategy.replayed_accesses
+        return report
+
+    def _finish_path(self, state: ExecState) -> CompletedPath:
+        test_case: Dict[str, int] = {}
+        if state.status == STATUS_HALTED and state.constraints:
+            result = self.executor.solver.check(state.constraints)
+            if result.is_sat:
+                test_case = model_to_test_case(result.model)
+        return CompletedPath(
+            state_id=state.state_id,
+            status=state.status,
+            halt_code=state.halt_code,
+            steps=state.steps,
+            depth=state.depth,
+            test_case=test_case,
+            trace_marks=list(state.trace_marks),
+            error=state.error,
+        )

@@ -1,0 +1,81 @@
+"""The snapshotting controller (paper §III-C).
+
+    "This controller is in charge of saving/restoring snapshots that are
+    identified by a unique identifier. ... The core of the snapshotting
+    controller is part of the virtual machine and it communicates with
+    target-specific snapshot controllers."
+
+:class:`SnapshotController` is that core: it assigns snapshot ids, calls
+into the target-specific mechanisms (CRIU on the simulator target, the
+scan-chain IP on the FPGA target), keeps accounting, and implements
+Algorithm 1's ``UpdateState``/``RestoreState`` pair.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import SnapshotError
+from repro.targets.base import HardwareTarget, HwSnapshot
+from repro.vm.state import ExecState
+
+
+@dataclass
+class SnapshotStats:
+    saves: int = 0
+    restores: int = 0
+    resets: int = 0
+    bits_saved: int = 0
+    bits_restored: int = 0
+    modelled_save_s: float = 0.0
+    modelled_restore_s: float = 0.0
+
+
+class SnapshotController:
+    """VM-side snapshot management over one hardware target."""
+
+    def __init__(self, target: HardwareTarget):
+        self.target = target
+        self._ids = itertools.count(1)
+        self.stats = SnapshotStats()
+
+    # -- primitive operations ---------------------------------------------------
+
+    def save(self) -> HwSnapshot:
+        """Suspend the target, capture its state, resume; assign an id."""
+        snapshot = self.target.save_snapshot()
+        snapshot.snapshot_id = snapshot.snapshot_id or next(self._ids)
+        self.stats.saves += 1
+        self.stats.bits_saved += snapshot.bits
+        self.stats.modelled_save_s += snapshot.modelled_cost_s
+        return snapshot
+
+    def restore(self, snapshot: HwSnapshot) -> None:
+        before = self.target.timer.total_s
+        self.target.restore_snapshot(snapshot)
+        self.stats.restores += 1
+        self.stats.bits_restored += snapshot.bits
+        self.stats.modelled_restore_s += self.target.timer.total_s - before
+
+    def reset(self) -> None:
+        """Full power-on reset (the 'reboot' the baselines pay for)."""
+        self.target.reset()
+        self.stats.resets += 1
+
+    # -- Algorithm 1 lines 6-7 -------------------------------------------------------
+
+    def update_state(self, state: ExecState) -> None:
+        """``UpdateState(S_prev)``: re-snapshot the live hardware into the
+        outgoing state (its old snapshot is superseded)."""
+        state.hw_snapshot = self.save()
+
+    def restore_state(self, state: ExecState) -> None:
+        """``RestoreState(S)``: make the live hardware match the incoming
+        state. A state that never owned hardware gets a fresh reset."""
+        if state.hw_snapshot is None:
+            self.reset()
+            state.hw_snapshot = self.save()
+        else:
+            self.restore(state.hw_snapshot)

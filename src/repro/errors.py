@@ -1,0 +1,84 @@
+"""Exception hierarchy for the HardSnap reproduction.
+
+Every subsystem raises subclasses of :class:`ReproError` so callers can
+distinguish errors of the framework from bugs in the systems under test.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SolverError(ReproError):
+    """Raised for malformed solver queries (width mismatches, bad ops)."""
+
+
+class HdlError(ReproError):
+    """Base class for Verilog frontend errors."""
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        self.line = line
+        self.col = col
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class LexError(HdlError):
+    """Raised when the Verilog lexer encounters an invalid token."""
+
+
+class ParseError(HdlError):
+    """Raised when the Verilog parser encounters invalid syntax."""
+
+
+class ElaborationError(HdlError):
+    """Raised when a parsed design cannot be elaborated to RTL IR."""
+
+
+class SimulationError(ReproError):
+    """Raised for runtime errors inside the RTL simulator."""
+
+
+class CombinationalLoopError(SimulationError):
+    """Raised when the combinational netlist cannot be levelised."""
+
+
+class InstrumentationError(ReproError):
+    """Raised when the scan-chain insertion pass cannot transform a design."""
+
+
+class BusError(ReproError):
+    """Raised for protocol violations on the bus functional models."""
+
+
+class TargetError(ReproError):
+    """Raised for errors on hardware targets (snapshot, transfer, I/O)."""
+
+
+class SnapshotError(TargetError):
+    """Raised when a hardware snapshot cannot be saved or restored."""
+
+
+class AssemblerError(ReproError):
+    """Raised for errors in firmware assembly sources."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class VmError(ReproError):
+    """Raised for errors inside the symbolic virtual machine."""
+
+
+class ConcretizationError(VmError):
+    """Raised when a symbolic value cannot be concretized at the VM boundary."""
+
+
+class FirmwarePanic(VmError):
+    """Raised when executed firmware reaches an irrecoverable fault."""

@@ -1,0 +1,17 @@
+"""Synthetic firmware corpus for the evaluation."""
+
+from repro.firmware import programs
+from repro.firmware.programs import (AES_BASE, DMA_BASE, GPIO_BASE, SHA_BASE,
+                                     TIMER_BASE, UART_BASE, dispatcher,
+                                     fig1_two_paths, fuzz_packet_parser,
+                                     init_heavy, uart_echo,
+                                     vuln_buffer_overflow, vuln_irq_race,
+                                     vuln_peripheral_misuse,
+                                     vuln_wdt_starvation, WDT_BASE)
+
+__all__ = ["programs", "fig1_two_paths", "dispatcher", "init_heavy",
+           "fuzz_packet_parser",
+           "uart_echo", "vuln_buffer_overflow", "vuln_irq_race",
+           "vuln_peripheral_misuse", "vuln_wdt_starvation",
+           "TIMER_BASE", "UART_BASE", "AES_BASE", "WDT_BASE",
+           "SHA_BASE", "GPIO_BASE", "DMA_BASE"]

@@ -1,0 +1,539 @@
+"""Synthetic firmware corpus (paper §V: "synthetic firmware" over
+open-source peripherals).
+
+Each entry is an assembly source (HS32) parameterised where useful.
+Address-space conventions: RAM at 0, peripherals per the bases passed to
+the builders. Every program uses the ``sym``/``assert`` intrinsics the
+way KLEE-style harnesses use ``klee_make_symbolic``/``klee_assert``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+TIMER_BASE = 0x4000_0000
+UART_BASE = 0x4001_0000
+AES_BASE = 0x4002_0000
+SHA_BASE = 0x4003_0000
+GPIO_BASE = 0x4004_0000
+DMA_BASE = 0x4005_0000
+
+
+def fig1_two_paths(timer_base: int = TIMER_BASE) -> str:
+    """The motivation example (Fig. 1): INIT, then two execution paths
+    'REQ A' / 'REQ B' that program the same peripheral differently and
+    wait for its interrupt.
+
+    Path A asks the timer for a short task (LOAD=8), path B for a longer
+    one (LOAD=24). The IRQ handler records when the task completed; each
+    path asserts it observed *its own* task duration. Under shared
+    hardware (naive-and-inconsistent) path A's request is clobbered when
+    path B runs concurrently — exactly the 'Task A aborted' scenario.
+
+    Halt codes: path A -> 0xA, path B -> 0xB.
+    """
+    return f"""
+.equ TIMER, 0x{timer_base:x}
+start:
+    ; ---- INIT sequence (shared prefix) ----
+    movi r1, TIMER
+    movi r2, handler
+    setivt r2
+    movi r9, 0              ; IRQ-seen flag
+    movi r2, 0
+    sw   r2, 16(r1)         ; PRESCALE = 0
+    ei
+    ; ---- fork: symbolic command selects the request ----
+    sym  r4
+    andi r4, r4, 1
+    beq  r4, r0, req_b
+req_a:
+    movi r5, 8
+    sw   r5, 4(r1)          ; LOAD = 8  (task A)
+    movi r2, 3
+    sw   r2, 0(r1)          ; CTRL = EN|IRQ_EN
+wait_a:
+    beq  r9, r0, wait_a
+    ; the peripheral must have run OUR task: LOAD still 8
+    lw   r6, 4(r1)
+    movi r7, 8
+    sub  r6, r6, r7
+    movi r8, 1
+    beq  r6, r0, ok_a
+    movi r8, 0
+ok_a:
+    assert r8
+    movi r2, 0xA
+    halt r2
+req_b:
+    movi r5, 24
+    sw   r5, 4(r1)          ; LOAD = 24 (task B)
+    movi r2, 3
+    sw   r2, 0(r1)
+wait_b:
+    beq  r9, r0, wait_b
+    lw   r6, 4(r1)
+    movi r7, 24
+    sub  r6, r6, r7
+    movi r8, 1
+    beq  r6, r0, ok_b
+    movi r8, 0
+ok_b:
+    assert r8
+    movi r2, 0xB
+    halt r2
+handler:
+    push r2
+    movi r9, 1
+    movi r2, 1
+    sw   r2, 12(r1)         ; clear STATUS.EXPIRED
+    pop  r2
+    iret
+"""
+
+
+def dispatcher(n_paths: int, work_cycles: int = 40,
+               timer_base: int = TIMER_BASE) -> str:
+    """N-way dispatcher: a symbolic command selects one of *n_paths*
+    handlers; each handler programs the timer with its own duration and
+    polls for expiry. The workload of experiment E2a — path count scales
+    while the per-path work stays constant.
+
+    Halt code of path i is ``0x100 + i``.
+    """
+    if not (2 <= n_paths <= 256):
+        raise ValueError("n_paths must be in [2, 256]")
+    cases: List[str] = []
+    for i in range(n_paths):
+        cases.append(f"""
+case_{i}:
+    movi r5, {work_cycles + i}
+    sw   r5, 4(r1)          ; LOAD
+    movi r2, 1
+    sw   r2, 0(r1)          ; CTRL = EN
+poll_{i}:
+    lw   r3, 12(r1)         ; STATUS
+    beq  r3, r0, poll_{i}
+    movi r2, 1
+    sw   r2, 12(r1)         ; clear
+    movi r2, 0x100 + {i}
+    halt r2
+""")
+    compare = []
+    for i in range(n_paths - 1):
+        compare.append(f"""
+    movi r3, {i}
+    beq  r4, r3, case_{i}""")
+    return f"""
+.equ TIMER, 0x{timer_base:x}
+start:
+    movi r1, TIMER
+    movi r2, 0
+    sw   r2, 16(r1)         ; PRESCALE = 0
+    sym  r4
+    movi r3, {n_paths}
+    remu r4, r4, r3         ; command in [0, n)
+{''.join(compare)}
+    j case_{n_paths - 1}
+{''.join(cases)}
+"""
+
+
+def init_heavy(init_writes: int = 200, n_paths: int = 4,
+               uart_base: int = UART_BASE,
+               timer_base: int = TIMER_BASE) -> str:
+    """Driver with a long INIT sequence (experiment E2b).
+
+    Mimics Talebi et al.'s observation (8800 I/O operations to initialise
+    one camera driver): INIT performs *init_writes* MMIO writes before
+    any interesting branching happens. Re-executing this prefix is what
+    makes reboot-per-path expensive; HardSnap snapshots past it once.
+    """
+    body = []
+    for i in range(init_writes):
+        reg = [0x10, 0x0C][i % 2]  # BAUDDIV / CTRL, harmless config churn
+        body.append(f"""
+    movi r3, {(i * 7) & 0xFF}
+    sw   r3, {reg}(r1)""")
+    cases = []
+    for i in range(n_paths):
+        cases.append(f"""
+path_{i}:
+    movi r5, {16 + i}
+    sw   r5, 4(r2)
+    movi r3, 1
+    sw   r3, 0(r2)
+wait_{i}:
+    lw   r3, 12(r2)
+    beq  r3, r0, wait_{i}
+    movi r3, 0x200 + {i}
+    halt r3
+""")
+    compare = []
+    for i in range(n_paths - 1):
+        compare.append(f"""
+    movi r3, {i}
+    beq  r4, r3, path_{i}""")
+    return f"""
+.equ UART, 0x{uart_base:x}
+.equ TIMER, 0x{timer_base:x}
+start:
+    movi r1, UART
+    movi r2, TIMER
+    movi r3, 0
+    sw   r3, 16(r2)         ; PRESCALE = 0
+    ; ---- long INIT: {init_writes} configuration writes ----
+{''.join(body)}
+    ; ---- branch on symbolic command ----
+    sym  r4
+    movi r3, {n_paths}
+    remu r4, r4, r3
+{''.join(compare)}
+    j path_{n_paths - 1}
+{''.join(cases)}
+"""
+
+
+def vuln_buffer_overflow(uart_base: int = UART_BASE) -> str:
+    """Planted bug 1: classic driver RX buffer overflow.
+
+    The firmware copies a "packet" into a 16-byte stack buffer using an
+    attacker-controlled length byte without validation. A length > 16
+    smashes adjacent memory; the symbolic engine finds the overflowing
+    length and the OOB-write detector fires with a concrete witness.
+    """
+    return f"""
+.equ UART, 0x{uart_base:x}
+.equ BUF, 0x8000            ; 16-byte buffer in RAM
+.equ GUARD, 0x8010          ; canary word right after it
+start:
+    movi r1, UART
+    movi r2, GUARD
+    movi r3, 0x51a4d5       ; canary value
+    sw   r3, 0(r2)
+    ; length byte comes from the radio packet (symbolic)
+    sym  r4
+    andi r4, r4, 0x3f       ; length in [0, 63] — still unchecked vs 16!
+    movi r5, BUF
+    movi r6, 0              ; index
+copy:
+    beq  r6, r4, done
+    add  r7, r5, r6
+    movi r8, 0x41
+    sb   r8, 0(r7)          ; buf[i] = 'A'
+    inc  r6
+    j    copy
+done:
+    ; integrity check: canary must be intact
+    movi r2, GUARD
+    lw   r3, 0(r2)
+    movi r7, 0x51a4d5
+    sub  r3, r3, r7
+    movi r8, 1
+    beq  r3, r0, intact
+    movi r8, 0
+intact:
+    assert r8
+    halt r0
+"""
+
+
+def vuln_peripheral_misuse(aes_base: int = AES_BASE) -> str:
+    """Planted bug 2: peripheral-misuse — reading the AES RESULT window
+    while the engine is still busy returns a partially encrypted state
+    (key material leakage pattern). The assertion encodes the security
+    property "result must only be consumed when DONE"; a symbolic delay
+    decides how long the driver waits, and the engine finds the
+    too-short wait.
+    """
+    return f"""
+.equ AES, 0x{aes_base:x}
+start:
+    movi r1, AES
+    ; program key + block (fixed vectors)
+    movi r2, 0x00010203
+    sw   r2, 16(r1)
+    movi r2, 0x04050607
+    sw   r2, 20(r1)
+    movi r2, 0x08090a0b
+    sw   r2, 24(r1)
+    movi r2, 0x0c0d0e0f
+    sw   r2, 28(r1)
+    movi r2, 0x00112233
+    sw   r2, 32(r1)
+    movi r2, 0x44556677
+    sw   r2, 36(r1)
+    movi r2, 0x8899aabb
+    sw   r2, 40(r1)
+    movi r2, 0xccddeeff
+    sw   r2, 44(r1)
+    movi r2, 1
+    sw   r2, 0(r1)          ; START
+    ; symbolic wait: the driver author guessed a delay instead of
+    ; polling STATUS.DONE
+    sym  r4
+    andi r4, r4, 0x1f       ; wait 0..31 loop iterations
+delay:
+    beq  r4, r0, consume
+    dec  r4
+    j    delay
+consume:
+    ; property: DONE must be set when the result is consumed
+    lw   r5, 4(r1)          ; STATUS
+    andi r5, r5, 2          ; DONE bit
+    movi r8, 1
+    bne  r5, r0, okflag
+    movi r8, 0
+okflag:
+    lw   r6, 48(r1)         ; read RESULT[0] (the "consumption")
+    assert r8
+    halt r0
+"""
+
+
+def vuln_irq_race(timer_base: int = TIMER_BASE) -> str:
+    """Planted bug 3: interrupt race — a lost update on a shared counter.
+
+    The main flow performs an unprotected read-modify-write of ``count``
+    (no DI/EI around the critical section) while the timer IRQ handler
+    also updates it. A symbolic delay shifts where the interrupt lands;
+    when it hits *inside* the read-modify-write window the handler's
+    update is overwritten ("lost update"). The property — after both
+    updates, ``count`` must equal ``1 - 1 - 2 = -2`` — fails exactly for
+    the racy interleavings, so the engine's counterexample pins the
+    vulnerable window. A hardware-dependent control-flow bug: finding it
+    requires accurate interrupt timing from the peripheral.
+    """
+    return f"""
+.equ TIMER, 0x{timer_base:x}
+.equ COUNT, 0x7000
+.equ FLAG, 0x7004
+start:
+    movi r1, TIMER
+    movi r2, handler
+    setivt r2
+    movi r2, COUNT
+    movi r3, 1
+    sw   r3, 0(r2)          ; count = 1
+    movi r2, FLAG
+    sw   r0, 0(r2)          ; handler-ran flag = 0
+    ei
+    movi r3, 8
+    sw   r3, 4(r1)          ; LOAD = 8
+    movi r3, 3
+    sw   r3, 0(r1)          ; EN | IRQ_EN
+    ; symbolic delay: shifts where the whole critical section sits
+    ; relative to the timer expiry
+    sym  r6
+    andi r6, r6, 31
+spin:
+    beq  r6, r0, contin
+    dec  r6
+    j    spin
+contin:
+    ; ---- unprotected read-modify-write of count ----
+    movi r2, COUNT
+    lw   r4, 0(r2)          ; read count
+    dec  r4                 ; count - 1 (stale if the IRQ hit in between)
+    sw   r4, 0(r2)          ; write back
+    ; ---- wait until the handler has definitely run ----
+    movi r2, FLAG
+waitflag:
+    lw   r5, 0(r2)
+    beq  r5, r0, waitflag
+    ; ---- property: both updates applied => count == -2 ----
+    movi r2, COUNT
+    lw   r5, 0(r2)
+    movi r7, 0 - 2
+    sub  r5, r5, r7
+    movi r8, 1
+    beq  r5, r0, fine
+    movi r8, 0
+fine:
+    assert r8
+    di
+    halt r0
+handler:
+    push r3
+    push r4
+    movi r4, COUNT
+    lw   r3, 0(r4)
+    dec  r3
+    dec  r3                 ; handler consumes two credits
+    sw   r3, 0(r4)
+    movi r4, FLAG
+    movi r3, 1
+    sw   r3, 0(r4)          ; flag = 1
+    movi r3, 1
+    sw   r3, 12(r1)         ; clear STATUS.EXPIRED
+    pop  r4
+    pop  r3
+    iret
+"""
+
+
+def fuzz_packet_parser(timer_base: int = TIMER_BASE) -> str:
+    """Fuzzing harness firmware (see :mod:`repro.core.fuzzer`).
+
+    Reads an input packet from the fuzzer's buffer at 0xF000
+    (``[len32][bytes...]``) and parses it as ``[cmd][n][payload...]``:
+
+    * cmd 0x01 — copy ``n`` payload bytes into a 16-byte buffer. The
+      length check uses a signed comparison on purpose: n >= 0x80 is
+      "negative", passes the check, and smashes the canary — the planted
+      crash the fuzzer must find,
+    * cmd 0x02 — program the timer with the first payload byte and wait
+      for expiry (exercises MMIO + hardware time per execution),
+    * anything else — clean exit.
+    """
+    return f"""
+.equ TIMER, 0x{timer_base:x}
+.equ INPUT, 0xF000
+.equ BUF, 0xE000
+.equ GUARD, 0xE010
+start:
+    movi r1, INPUT
+    lw   r2, 0(r1)          ; input length
+    movi r3, 2
+    bltu r2, r3, done       ; need at least cmd+len
+    lbu  r4, 4(r1)          ; cmd
+    lb   r5, 5(r1)          ; n — sign-extended byte: the root cause
+    movi r3, 1
+    beq  r4, r3, cmd_copy
+    movi r3, 2
+    beq  r4, r3, cmd_timer
+done:
+    halt r0
+
+cmd_copy:
+    ; canary guards the 16-byte buffer
+    movi r6, GUARD
+    movi r7, 0x600D
+    sw   r7, 0(r6)
+    ; BUG: signed length check — a "negative" n (byte >= 0x80) passes
+    movi r3, 16
+    slt  r8, r3, r5         ; signed: 16 < n ?
+    bne  r8, r0, done       ; reject "large" n
+    andi r5, r5, 0xFF       ; ...but the copy uses the raw byte
+    movi r6, BUF
+    movi r9, 0
+copy:
+    beq  r9, r5, copied
+    add  r10, r1, r9
+    lbu  r11, 6(r10)        ; payload byte
+    add  r12, r6, r9
+    sb   r11, 0(r12)
+    inc  r9
+    j    copy
+copied:
+    movi r6, GUARD
+    lw   r7, 0(r6)
+    movi r3, 0x600D
+    sub  r7, r7, r3
+    movi r8, 1
+    beq  r7, r0, intact
+    movi r8, 0
+intact:
+    assert r8               ; canary intact?
+    halt r0
+
+cmd_timer:
+    movi r6, TIMER
+    movi r3, 0
+    sw   r3, 16(r6)         ; PRESCALE = 0
+    andi r5, r5, 0x1F
+    addi r5, r5, 1
+    sw   r5, 4(r6)          ; LOAD
+    movi r3, 1
+    sw   r3, 0(r6)          ; EN
+wait_t:
+    lw   r3, 12(r6)
+    beq  r3, r0, wait_t
+    movi r3, 1
+    sw   r3, 12(r6)
+    halt r0
+"""
+
+
+WDT_BASE = 0x4006_0000
+
+
+def vuln_wdt_starvation(wdt_base: int = WDT_BASE) -> str:
+    """Planted bug 4: watchdog starvation on a data-dependent slow path.
+
+    The firmware locks and arms the watchdog (production style: LOCK is
+    write-once), then processes a "packet" whose symbolic length drives a
+    per-byte work loop. The developer sized the watchdog for typical
+    packets; the maximum length starves the feed and the dog barks.
+    The property asserts the watchdog never fired; the engine's
+    counterexample is the minimal starving length.
+    """
+    return f"""
+.equ WDT, 0x{wdt_base:x}
+start:
+    movi r1, WDT
+    movi r2, 120
+    sw   r2, 4(r1)          ; LOAD = 120 cycles ("plenty", thought the dev)
+    movi r2, 3
+    sw   r2, 0(r1)          ; EN | LOCK — cannot be disabled any more
+    ; feed once before processing
+    movi r2, 0x5C
+    sw   r2, 12(r1)
+    ; process a packet of symbolic length (0..31 units of work)
+    sym  r4
+    andi r4, r4, 0x1F
+work:
+    beq  r4, r0, done_work
+    ; each unit of work is ~8 instructions of "parsing"
+    movi r5, 3
+inner:
+    dec  r5
+    bne  r5, r0, inner
+    dec  r4
+    j    work
+done_work:
+    ; feed again after processing
+    movi r2, 0x5C
+    sw   r2, 12(r1)
+    ; property: the watchdog never fired
+    lw   r6, 16(r1)         ; STATUS
+    andi r6, r6, 1          ; BARKED
+    movi r8, 1
+    beq  r6, r0, fine
+    movi r8, 0
+fine:
+    assert r8
+    halt r4
+"""
+
+
+def uart_echo(uart_base: int = UART_BASE, count: int = 4) -> str:
+    """Benign workload: echo *count* looped-back bytes, used by the I/O
+    forwarding benchmarks and the quickstart example."""
+    return f"""
+.equ UART, 0x{uart_base:x}
+start:
+    movi r1, UART
+    movi r2, 4
+    sw   r2, 16(r1)         ; BAUDDIV = 4
+    movi r6, 0              ; byte counter
+loop:
+    movi r3, 0x30
+    add  r3, r3, r6
+    sw   r3, 0(r1)          ; TX byte
+rx_wait:
+    lw   r4, 8(r1)          ; STATUS
+    andi r4, r4, 4          ; RX_AVAIL
+    beq  r4, r0, rx_wait
+    lw   r5, 4(r1)          ; RX byte
+    sub  r5, r5, r3
+    movi r8, 1
+    beq  r5, r0, match
+    movi r8, 0
+match:
+    assert r8
+    inc  r6
+    movi r7, {count}
+    bne  r6, r7, loop
+    halt r6
+"""

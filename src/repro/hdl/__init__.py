@@ -1,0 +1,14 @@
+"""Verilog frontend: lexer, parser, AST, elaborator and RTL IR.
+
+Entry point: :func:`~repro.hdl.elaborator.elaborate` turns Verilog source
+text (or a parsed :class:`~repro.hdl.ast_nodes.SourceFile`) into a flat,
+width-resolved :class:`~repro.hdl.ir.Design` ready for simulation or
+instrumentation.
+"""
+
+from repro.hdl import ast_nodes, ir
+from repro.hdl.elaborator import elaborate
+from repro.hdl.lexer import tokenize
+from repro.hdl.parser import parse
+
+__all__ = ["ast_nodes", "ir", "elaborate", "parse", "tokenize"]

@@ -1,0 +1,248 @@
+"""Abstract syntax tree for the supported Verilog subset.
+
+The subset is the synthesisable register-transfer-level core that the
+HardSnap peripheral corpus uses: module declarations with ANSI port lists
+and parameters, ``wire``/``reg`` declarations (including memories),
+continuous assignments, ``always`` blocks (edge-sensitive and
+combinational), ``if``/``case``/``for``, blocking and non-blocking
+assignments, module instantiation, and the usual expression operators
+including concatenation, replication, bit and part selects.
+
+All nodes carry the source line for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Expr:
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class Number(Expr):
+    """A literal. ``width`` is None for unsized decimals; ``xmask`` marks
+    bits written as x/z/? (value bits are 0 there, casez treats them as
+    wildcards)."""
+
+    value: int
+    width: Optional[int] = None
+    xmask: int = 0
+
+
+@dataclass
+class Identifier(Expr):
+    name: str
+
+
+@dataclass
+class BitSelect(Expr):
+    """``base[index]`` — index may be non-constant (memory read/bit pick)."""
+
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class PartSelect(Expr):
+    """``base[msb:lsb]`` with constant bounds."""
+
+    base: Expr
+    msb: Expr
+    lsb: Expr
+
+
+@dataclass
+class Unary(Expr):
+    op: str  # ~ ! - + & | ^ ~& ~| ~^
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str  # + - * / % & | ^ << >> >>> < <= > >= == != && ||
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Expr
+    then: Expr
+    other: Expr
+
+
+@dataclass
+class Concat(Expr):
+    parts: List[Expr]
+
+
+@dataclass
+class Repeat(Expr):
+    """``{count{value}}`` with constant count."""
+
+    count: Expr
+    value: Expr
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Stmt:
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class Assign(Stmt):
+    """Procedural assignment; ``blocking`` selects ``=`` vs ``<=``."""
+
+    target: Expr  # Identifier / BitSelect / PartSelect / Concat of those
+    value: Expr
+    blocking: bool = True
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: List[Stmt] = field(default_factory=list)
+    other: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class CaseItem:
+    labels: List[Expr]  # empty list means `default`
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Case(Stmt):
+    subject: Expr
+    items: List[CaseItem] = field(default_factory=list)
+    kind: str = "case"  # case / casez / casex (z/x bits not modelled)
+
+
+@dataclass
+class For(Stmt):
+    """``for (i = a; i < b; i = i + 1)`` — unrolled during elaboration."""
+
+    var: str
+    init: Expr
+    cond: Expr
+    step: Expr  # the full RHS of the update assignment
+    body: List[Stmt] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Module items
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Range:
+    """A ``[msb:lsb]`` vector range (expressions, resolved at elaboration)."""
+
+    msb: Expr
+    lsb: Expr
+
+
+@dataclass
+class NetDecl:
+    """wire/reg/integer declaration; ``array`` is the memory range if any."""
+
+    kind: str  # wire | reg | integer
+    name: str
+    range: Optional[Range] = None
+    array: Optional[Range] = None
+    init: Optional[Expr] = None  # `reg [7:0] r = 0;`
+    line: int = 0
+
+
+@dataclass
+class Port:
+    direction: str  # input | output | inout
+    kind: str  # wire | reg
+    name: str
+    range: Optional[Range] = None
+    line: int = 0
+
+
+@dataclass
+class ParamDecl:
+    name: str
+    value: Expr
+    local: bool = False
+    line: int = 0
+
+
+@dataclass
+class ContinuousAssign:
+    target: Expr
+    value: Expr
+    line: int = 0
+
+
+@dataclass
+class EdgeEvent:
+    """One item of a sensitivity list: ``posedge clk`` / ``negedge rst`` /
+    a plain signal (level sensitivity, only meaningful for comb blocks)."""
+
+    edge: Optional[str]  # posedge | negedge | None
+    signal: str
+
+
+@dataclass
+class AlwaysBlock:
+    sensitivity: List[EdgeEvent]  # empty means @(*)
+    body: List[Stmt] = field(default_factory=list)
+    line: int = 0
+
+    @property
+    def is_combinational(self) -> bool:
+        return all(e.edge is None for e in self.sensitivity)
+
+
+@dataclass
+class InitialBlock:
+    body: List[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Instance:
+    module: str
+    name: str
+    params: List[Tuple[Optional[str], Expr]] = field(default_factory=list)
+    connections: List[Tuple[Optional[str], Optional[Expr]]] = field(default_factory=list)
+    line: int = 0
+
+
+ModuleItem = Union[NetDecl, ParamDecl, ContinuousAssign, AlwaysBlock,
+                   InitialBlock, Instance]
+
+
+@dataclass
+class Module:
+    name: str
+    ports: List[Port] = field(default_factory=list)
+    params: List[ParamDecl] = field(default_factory=list)  # header parameters
+    items: List[ModuleItem] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class SourceFile:
+    modules: List[Module] = field(default_factory=list)
+
+    def module(self, name: str) -> Module:
+        for m in self.modules:
+            if m.name == name:
+                return m
+        raise KeyError(name)

@@ -1,0 +1,644 @@
+"""Elaboration: parsed AST -> flat, width-resolved RTL IR.
+
+Responsibilities:
+
+* parameter resolution (header parameters, body ``parameter``/``localparam``,
+  instance overrides),
+* hierarchical flattening — child instances are inlined with dotted name
+  prefixes (``uart0.tx_busy``), port connections become combinational glue,
+* ``for``-loop unrolling with constant bounds,
+* symbol resolution and width computation following Verilog's
+  context-determined width rules (see :mod:`repro.hdl.ir`),
+* state inference (flip-flops and state memories) via :meth:`Design.finalize`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import ElaborationError
+from repro.hdl import ast_nodes as A
+from repro.hdl import ir
+from repro.hdl.parser import parse
+
+_MAX_UNROLL = 65536
+
+Symbol = Union[ir.Net, ir.Memory, int]  # int for parameters / loop constants
+
+
+def elaborate(source: Union[str, A.SourceFile], top: str,
+              params: Optional[Dict[str, int]] = None) -> ir.Design:
+    """Elaborate module *top* of *source* (text or parsed AST) to IR."""
+    if isinstance(source, str):
+        source = parse(source)
+    design = ir.Design(name=top)
+    Elaborator(source, design).instantiate(top, params or {}, prefix="",
+                                           port_map=None)
+    design.finalize()
+    return design
+
+
+class Elaborator:
+    def __init__(self, source: A.SourceFile, design: ir.Design):
+        self.source = source
+        self.design = design
+
+    # -- module instantiation ------------------------------------------------
+
+    def instantiate(self, module_name: str, param_overrides: Dict[str, int],
+                    prefix: str,
+                    port_map: Optional[Dict[str, ir.Net]]) -> None:
+        """Inline one instance of *module_name* into the design.
+
+        *port_map* maps port names to pre-created boundary nets (used for
+        child instances); None marks the top module, whose ports become the
+        design's inputs/outputs.
+        """
+        try:
+            module = self.source.module(module_name)
+        except KeyError:
+            raise ElaborationError(f"unknown module {module_name!r}") from None
+        ctx = _ModuleCtx(self, module, param_overrides, prefix)
+        ctx.declare_ports(port_map, top=port_map is None)
+        ctx.declare_items()
+        ctx.lower_items()
+
+    def find_module(self, name: str) -> A.Module:
+        try:
+            return self.source.module(name)
+        except KeyError:
+            raise ElaborationError(f"unknown module {name!r}") from None
+
+
+class _ModuleCtx:
+    """Per-instance elaboration context."""
+
+    def __init__(self, elab: Elaborator, module: A.Module,
+                 param_overrides: Dict[str, int], prefix: str):
+        self.elab = elab
+        self.design = elab.design
+        self.module = module
+        self.prefix = prefix
+        self.symbols: Dict[str, Symbol] = {}
+        self.params: Dict[str, int] = {}
+        self._port_names = {p.name for p in module.ports}
+        self._resolve_params(param_overrides)
+
+    # -- naming ----------------------------------------------------------------
+
+    def qualify(self, name: str) -> str:
+        return self.prefix + name
+
+    def _new_net(self, name: str, width: int, kind: str) -> ir.Net:
+        qname = self.qualify(name)
+        if qname in self.design.nets or qname in self.design.memories:
+            raise ElaborationError(f"duplicate declaration of {qname!r}",
+                                   self.module.line)
+        net = ir.Net(qname, width, kind)
+        self.design.nets[qname] = net
+        self.symbols[name] = net
+        return net
+
+    # -- parameters ---------------------------------------------------------------
+
+    def _resolve_params(self, overrides: Dict[str, int]) -> None:
+        for decl in self.module.params:
+            value = overrides.get(decl.name)
+            if value is None:
+                value = self.const_eval(decl.value)
+            self.params[decl.name] = value
+            self.symbols[decl.name] = value
+        # Body parameters are resolved in declaration order during
+        # declare_items; overrides may name them too.
+        self._body_param_overrides = dict(overrides)
+
+    # -- declarations ---------------------------------------------------------------
+
+    def declare_ports(self, port_map: Optional[Dict[str, ir.Net]],
+                      top: bool) -> None:
+        for port in self.module.ports:
+            width = self.range_width(port.range)
+            if port_map is not None and port.name in port_map:
+                # The boundary net was created by the parent; adopt it.
+                net = port_map[port.name]
+                if net.width != width:
+                    raise ElaborationError(
+                        f"port {port.name!r} width mismatch: "
+                        f"{net.width} vs {width}", port.line)
+                self.symbols[port.name] = net
+                continue
+            kind = port.kind
+            if top:
+                kind = "input" if port.direction == "input" else "output"
+            net = self._new_net(port.name, width, kind)
+            if top:
+                if port.direction == "input":
+                    self.design.inputs.append(net)
+                else:
+                    self.design.outputs.append(net)
+
+    def declare_items(self) -> None:
+        for item in self.module.items:
+            if isinstance(item, A.ParamDecl):
+                value = self._body_param_overrides.get(item.name)
+                if value is None or item.local:
+                    value = self.const_eval(item.value)
+                self.params[item.name] = value
+                self.symbols[item.name] = value
+            elif isinstance(item, A.NetDecl):
+                self._declare_net(item)
+
+    def _declare_net(self, decl: A.NetDecl) -> None:
+        if decl.name in self.symbols:
+            sym = self.symbols[decl.name]
+            # Port redeclaration (`output reg [7:0] x` + body `reg [7:0] x`)
+            # is legal; duplicating an ordinary net is not.
+            if isinstance(sym, ir.Net) and decl.name in self._port_names:
+                if decl.init is not None:
+                    sym.initial = self.const_eval(decl.init) & sym.mask
+                return
+            raise ElaborationError(f"{decl.name!r} already declared", decl.line)
+        if decl.kind == "integer":
+            width = 32
+        else:
+            width = self.range_width(decl.range)
+        if decl.array is not None:
+            msb = self.const_eval(decl.array.msb)
+            lsb = self.const_eval(decl.array.lsb)
+            depth = abs(msb - lsb) + 1
+            qname = self.qualify(decl.name)
+            mem = ir.Memory(qname, width, depth)
+            self.design.memories[qname] = mem
+            self.symbols[decl.name] = mem
+            return
+        net = self._new_net(decl.name, width,
+                            "reg" if decl.kind in ("reg", "integer") else "wire")
+        if decl.init is not None:
+            net.initial = self.const_eval(decl.init) & net.mask
+
+    def range_width(self, rng: Optional[A.Range]) -> int:
+        if rng is None:
+            return 1
+        msb = self.const_eval(rng.msb)
+        lsb = self.const_eval(rng.lsb)
+        if lsb != 0:
+            raise ElaborationError(
+                f"only [msb:0] ranges are supported, got [{msb}:{lsb}]")
+        return msb - lsb + 1
+
+    # -- item lowering ---------------------------------------------------------------
+
+    def lower_items(self) -> None:
+        for item in self.module.items:
+            if isinstance(item, (A.ParamDecl, A.NetDecl)):
+                continue
+            if isinstance(item, A.ContinuousAssign):
+                self._lower_continuous(item)
+            elif isinstance(item, A.AlwaysBlock):
+                self._lower_always(item)
+            elif isinstance(item, A.InitialBlock):
+                stmts = self.lower_stmts(item.body, {})
+                self.design.init_blocks.append(ir.InitBlock(stmts))
+            elif isinstance(item, A.Instance):
+                self._lower_instance(item)
+            else:
+                raise ElaborationError(f"unsupported item {item!r}")
+
+    def _lower_continuous(self, item: A.ContinuousAssign) -> None:
+        target = self.lower_lvalue(item.target, {})
+        value = self.lower_expr(item.value, {})
+        value = _widen(value, max(value.width, target.width))
+        stmt = ir.SAssign(target, value, blocking=True)
+        reads, writes = ir.stmt_reads_writes([stmt])
+        self.design.comb_blocks.append(ir.CombBlock(
+            [stmt], frozenset(reads), frozenset(writes),
+            name=f"{self.prefix}assign@{item.line}"))
+
+    def _lower_always(self, item: A.AlwaysBlock) -> None:
+        if item.is_combinational:
+            stmts = self.lower_stmts(item.body, {})
+            reads, writes = ir.stmt_reads_writes(stmts)
+            self.design.comb_blocks.append(ir.CombBlock(
+                stmts, frozenset(reads), frozenset(writes),
+                name=f"{self.prefix}always@{item.line}"))
+            return
+        edges = [e for e in item.sensitivity if e.edge is not None]
+        if len(edges) != len(item.sensitivity):
+            raise ElaborationError(
+                "mixed edge/level sensitivity is not supported", item.line)
+        clock = self._edge_net(edges[0])
+        areset = None
+        areset_edge = "posedge"
+        if len(edges) > 1:
+            if len(edges) > 2:
+                raise ElaborationError(
+                    "at most one async reset per always block", item.line)
+            areset = self._edge_net(edges[1])
+            areset_edge = edges[1].edge or "posedge"
+        stmts = self.lower_stmts(item.body, {})
+        self.design.seq_blocks.append(ir.SeqBlock(
+            clock, edges[0].edge or "posedge", stmts, areset, areset_edge,
+            name=f"{self.prefix}always@{item.line}"))
+
+    def _edge_net(self, event: A.EdgeEvent) -> ir.Net:
+        sym = self.symbols.get(event.signal)
+        if not isinstance(sym, ir.Net):
+            raise ElaborationError(f"unknown clock/reset signal {event.signal!r}")
+        return sym
+
+    def _lower_instance(self, inst: A.Instance) -> None:
+        child = self.elab.find_module(inst.module)
+        # Parameter bindings.
+        overrides: Dict[str, int] = {}
+        header_names = [p.name for p in child.params]
+        for i, (pname, pexpr) in enumerate(inst.params):
+            value = self.const_eval(pexpr)
+            if pname is None:
+                if i >= len(header_names):
+                    raise ElaborationError(
+                        f"too many positional parameters for {inst.module!r}",
+                        inst.line)
+                overrides[header_names[i]] = value
+            else:
+                overrides[pname] = value
+        # Pre-create boundary nets for the child's ports.
+        child_prefix = self.qualify(inst.name) + "."
+        child_ctx = _ModuleCtx(self.elab, child, overrides, child_prefix)
+        port_map: Dict[str, ir.Net] = {}
+        for port in child.ports:
+            width = child_ctx.range_width(port.range)
+            qname = child_prefix + port.name
+            net = ir.Net(qname, width, port.kind)
+            self.design.nets[qname] = net
+            port_map[port.name] = net
+        # Glue logic for connections.
+        port_names = [p.name for p in child.ports]
+        directions = {p.name: p.direction for p in child.ports}
+        for i, (cname, cexpr) in enumerate(inst.connections):
+            if cname is None:
+                if i >= len(port_names):
+                    raise ElaborationError(
+                        f"too many positional connections for {inst.name!r}",
+                        inst.line)
+                cname = port_names[i]
+            if cname not in port_map:
+                raise ElaborationError(
+                    f"module {inst.module!r} has no port {cname!r}", inst.line)
+            if cexpr is None:
+                continue  # explicitly unconnected
+            boundary = port_map[cname]
+            if directions[cname] == "input":
+                value = self.lower_expr(cexpr, {})
+                value = _widen(value, max(value.width, boundary.width))
+                stmt = ir.SAssign(ir.LNet(boundary), value)
+                reads, writes = ir.stmt_reads_writes([stmt])
+                self.design.comb_blocks.append(ir.CombBlock(
+                    [stmt], frozenset(reads), frozenset(writes),
+                    name=f"{child_prefix}{cname}.in"))
+            else:
+                target = self.lower_lvalue(cexpr, {})
+                stmt = ir.SAssign(target, ir.Ref(boundary, width=boundary.width))
+                reads, writes = ir.stmt_reads_writes([stmt])
+                self.design.comb_blocks.append(ir.CombBlock(
+                    [stmt], frozenset(reads), frozenset(writes),
+                    name=f"{child_prefix}{cname}.out"))
+        # Recurse into the child body, adopting the boundary nets.
+        child_ctx.declare_ports(port_map, top=False)
+        child_ctx.declare_items()
+        child_ctx.lower_items()
+
+    # -- statements ---------------------------------------------------------------
+
+    def lower_stmts(self, stmts: List[A.Stmt],
+                    env: Dict[str, int]) -> List[ir.Stmt]:
+        out: List[ir.Stmt] = []
+        for stmt in stmts:
+            out.extend(self.lower_stmt(stmt, env))
+        return out
+
+    def lower_stmt(self, stmt: A.Stmt, env: Dict[str, int]) -> List[ir.Stmt]:
+        if isinstance(stmt, A.Assign):
+            target = self.lower_lvalue(stmt.target, env)
+            value = self.lower_expr(stmt.value, env)
+            value = _widen(value, max(value.width, target.width))
+            return [ir.SAssign(target, value, stmt.blocking)]
+        if isinstance(stmt, A.If):
+            cond = self.lower_expr(stmt.cond, env)
+            if isinstance(cond, ir.Const):
+                branch = stmt.then if cond.value else stmt.other
+                return self.lower_stmts(branch, env)
+            return [ir.SIf(cond, self.lower_stmts(stmt.then, env),
+                           self.lower_stmts(stmt.other, env))]
+        if isinstance(stmt, A.Case):
+            return [self._lower_case(stmt, env)]
+        if isinstance(stmt, A.For):
+            return self._unroll_for(stmt, env)
+        raise ElaborationError(f"unsupported statement {stmt!r}")
+
+    def _lower_case(self, stmt: A.Case, env: Dict[str, int]) -> ir.Stmt:
+        subject = self.lower_expr(stmt.subject, env)
+        items: List[ir.SCaseItem] = []
+        default: List[ir.Stmt] = []
+        wildcard_ok = stmt.kind in ("casez", "casex")
+        for item in stmt.items:
+            body = self.lower_stmts(item.body, env)
+            if not item.labels:
+                default = body
+                continue
+            labels: List[Tuple[int, int]] = []
+            for label in item.labels:
+                value, xmask = self._const_eval_with_xmask(label, env)
+                care = ((1 << subject.width) - 1)
+                if wildcard_ok:
+                    care &= ~xmask
+                labels.append((value & care, care))
+            items.append(ir.SCaseItem(labels, body))
+        return ir.SCase(subject, items, default)
+
+    def _unroll_for(self, stmt: A.For, env: Dict[str, int]) -> List[ir.Stmt]:
+        out: List[ir.Stmt] = []
+        value = self.const_eval(stmt.init, env)
+        count = 0
+        while True:
+            loop_env = dict(env)
+            loop_env[stmt.var] = value
+            cond = self.const_eval(stmt.cond, loop_env)
+            if not cond:
+                break
+            out.extend(self.lower_stmts(stmt.body, loop_env))
+            value = self.const_eval(stmt.step, loop_env)
+            count += 1
+            if count > _MAX_UNROLL:
+                raise ElaborationError(
+                    f"for-loop exceeds {_MAX_UNROLL} iterations", stmt.line)
+        return out
+
+    # -- lvalues ---------------------------------------------------------------
+
+    def lower_lvalue(self, expr: A.Expr, env: Dict[str, int]) -> ir.LValue:
+        if isinstance(expr, A.Identifier):
+            sym = self._lookup(expr.name, env)
+            if isinstance(sym, ir.Net):
+                return ir.LNet(sym)
+            raise ElaborationError(
+                f"cannot assign to {expr.name!r}", expr.line)
+        if isinstance(expr, A.PartSelect):
+            base = self._lvalue_net(expr.base, env)
+            hi = self.const_eval(expr.msb, env)
+            lo = self.const_eval(expr.lsb, env)
+            if not (0 <= lo <= hi < base.width):
+                raise ElaborationError(
+                    f"part select [{hi}:{lo}] out of range for "
+                    f"{base.name!r}:{base.width}", expr.line)
+            return ir.LNet(base, hi, lo)
+        if isinstance(expr, A.BitSelect):
+            sym = self._resolve_base(expr.base, env)
+            index = self.lower_expr(expr.index, env)
+            if isinstance(sym, ir.Memory):
+                return ir.LMem(sym, index)
+            if isinstance(index, ir.Const):
+                bit = index.value
+                if not (0 <= bit < sym.width):
+                    raise ElaborationError(
+                        f"bit select [{bit}] out of range for "
+                        f"{sym.name!r}:{sym.width}", expr.line)
+                return ir.LNet(sym, bit, bit)
+            return ir.LNetDyn(sym, index)
+        if isinstance(expr, A.Concat):
+            return ir.LConcat([self.lower_lvalue(p, env) for p in expr.parts])
+        raise ElaborationError(f"invalid assignment target {expr!r}")
+
+    def _lvalue_net(self, expr: A.Expr, env: Dict[str, int]) -> ir.Net:
+        if not isinstance(expr, A.Identifier):
+            raise ElaborationError("part select target must be a simple net")
+        sym = self._lookup(expr.name, env)
+        if not isinstance(sym, ir.Net):
+            raise ElaborationError(f"{expr.name!r} is not a net", expr.line)
+        return sym
+
+    def _resolve_base(self, expr: A.Expr, env: Dict[str, int]):
+        if not isinstance(expr, A.Identifier):
+            raise ElaborationError("select base must be a simple name")
+        sym = self._lookup(expr.name, env)
+        if isinstance(sym, (ir.Net, ir.Memory)):
+            return sym
+        raise ElaborationError(f"{expr.name!r} is not selectable", expr.line)
+
+    # -- expressions ---------------------------------------------------------------
+
+    def _lookup(self, name: str, env: Dict[str, int]) -> Symbol:
+        if name in env:
+            return env[name]
+        sym = self.symbols.get(name)
+        if sym is None:
+            raise ElaborationError(f"undeclared identifier {name!r}")
+        return sym
+
+    def lower_expr(self, expr: A.Expr, env: Dict[str, int]) -> ir.Expr:
+        if isinstance(expr, A.Number):
+            width = expr.width if expr.width is not None else 32
+            return ir.Const(expr.value, width=width)
+        if isinstance(expr, A.Identifier):
+            sym = self._lookup(expr.name, env)
+            if isinstance(sym, int):
+                return ir.Const(sym & 0xFFFFFFFF, width=32)
+            if isinstance(sym, ir.Net):
+                return ir.Ref(sym, width=sym.width)
+            raise ElaborationError(
+                f"memory {expr.name!r} used without an index", expr.line)
+        if isinstance(expr, A.BitSelect):
+            sym = self._resolve_base(expr.base, env)
+            index = self.lower_expr(expr.index, env)
+            if isinstance(sym, ir.Memory):
+                return ir.MemRead(sym, index, width=sym.width)
+            base = ir.Ref(sym, width=sym.width)
+            if isinstance(index, ir.Const):
+                bit = index.value
+                if not (0 <= bit < sym.width):
+                    raise ElaborationError(
+                        f"bit select [{bit}] out of range for "
+                        f"{sym.name!r}:{sym.width}", expr.line)
+                return ir.Slice(base, bit, bit, width=1)
+            return ir.DynBit(base, index, width=1)
+        if isinstance(expr, A.PartSelect):
+            base = self.lower_expr(expr.base, env)
+            hi = self.const_eval(expr.msb, env)
+            lo = self.const_eval(expr.lsb, env)
+            if not (0 <= lo <= hi < base.width):
+                raise ElaborationError(
+                    f"part select [{hi}:{lo}] out of range (width {base.width})",
+                    expr.line)
+            return ir.Slice(base, hi, lo, width=hi - lo + 1)
+        if isinstance(expr, A.Unary):
+            operand = self.lower_expr(expr.operand, env)
+            if expr.op in ("&", "|", "^", "~&", "~|", "~^", "!"):
+                width = 1
+            else:
+                width = operand.width
+            node = ir.Unary(expr.op, operand, width=width)
+            return _fold_unary(node)
+        if isinstance(expr, A.Binary):
+            left = self.lower_expr(expr.left, env)
+            right = self.lower_expr(expr.right, env)
+            op = expr.op
+            if op in ("==", "!=", "<", "<=", ">", ">=", "&&", "||"):
+                if op not in ("&&", "||"):
+                    cw = max(left.width, right.width)
+                    left = _widen(left, cw)
+                    right = _widen(right, cw)
+                width = 1
+            elif op in ("<<", ">>", ">>>"):
+                width = left.width
+            else:
+                width = max(left.width, right.width)
+                left = _widen(left, width)
+                right = _widen(right, width)
+            node = ir.Binary(op, left, right, width=width)
+            return _fold_binary(node)
+        if isinstance(expr, A.Ternary):
+            cond = self.lower_expr(expr.cond, env)
+            then = self.lower_expr(expr.then, env)
+            other = self.lower_expr(expr.other, env)
+            width = max(then.width, other.width)
+            if isinstance(cond, ir.Const):
+                chosen = then if cond.value else other
+                return _widen(chosen, width)
+            return ir.Ternary(cond, _widen(then, width), _widen(other, width),
+                              width=width)
+        if isinstance(expr, A.Concat):
+            parts = [self.lower_expr(p, env) for p in expr.parts]
+            return ir.Concat(parts, width=sum(p.width for p in parts))
+        if isinstance(expr, A.Repeat):
+            count = self.const_eval(expr.count, env)
+            value = self.lower_expr(expr.value, env)
+            if count <= 0:
+                raise ElaborationError(f"bad replication count {count}",
+                                       expr.line)
+            parts = [value] * count
+            return ir.Concat(parts, width=value.width * count)
+        raise ElaborationError(f"unsupported expression {expr!r}")
+
+    # -- constant evaluation ---------------------------------------------------------
+
+    def const_eval(self, expr: A.Expr, env: Optional[Dict[str, int]] = None) -> int:
+        value, _ = self._const_eval_with_xmask(expr, env or {})
+        return value
+
+    def _const_eval_with_xmask(self, expr: A.Expr,
+                               env: Dict[str, int]) -> Tuple[int, int]:
+        lowered = self.lower_expr(expr, env)
+        if isinstance(lowered, ir.Const):
+            xmask = expr.xmask if isinstance(expr, A.Number) else 0
+            return lowered.value, xmask
+        raise ElaborationError(
+            f"expression at line {getattr(expr, 'line', '?')} is not constant")
+
+
+# ---------------------------------------------------------------------------
+# Width widening + constant folding
+# ---------------------------------------------------------------------------
+
+_CONTEXT_OPS = frozenset({"+", "-", "*", "/", "%", "&", "|", "^"})
+
+
+def _widen(expr: ir.Expr, width: int) -> ir.Expr:
+    """Push a context width into *expr* per Verilog's width rules.
+
+    Nodes whose result genuinely depends on operand width (``~``, unary
+    ``-``, subtraction wrap-around) are re-masked at the wider width with
+    the widening pushed into their operands. Self-determined contexts
+    (concat parts, comparisons, shift amounts) are never widened by callers.
+    """
+    if width <= expr.width:
+        return expr
+    if isinstance(expr, ir.Const):
+        return ir.Const(expr.value, width=width)
+    if isinstance(expr, ir.Binary):
+        if expr.op in _CONTEXT_OPS:
+            return ir.Binary(expr.op, _widen(expr.left, width),
+                             _widen(expr.right, width), width=width)
+        if expr.op in ("<<", ">>", ">>>"):
+            return ir.Binary(expr.op, _widen(expr.left, width), expr.right,
+                             width=width)
+    if isinstance(expr, ir.Unary) and expr.op in ("~", "-"):
+        return ir.Unary(expr.op, _widen(expr.operand, width), width=width)
+    if isinstance(expr, ir.Ternary):
+        return ir.Ternary(expr.cond, _widen(expr.then, width),
+                          _widen(expr.other, width), width=width)
+    # Refs, slices, concats, comparisons: implicit zero extension.
+    return expr
+
+
+def _fold_unary(node: ir.Unary) -> ir.Expr:
+    if not isinstance(node.operand, ir.Const):
+        return node
+    value = node.operand.value
+    w = node.operand.width
+    mask = (1 << w) - 1
+    op = node.op
+    if op == "~":
+        return ir.Const(~value & ((1 << node.width) - 1), width=node.width)
+    if op == "-":
+        return ir.Const(-value & ((1 << node.width) - 1), width=node.width)
+    if op == "!":
+        return ir.Const(int(value == 0), width=1)
+    if op == "&":
+        return ir.Const(int(value == mask), width=1)
+    if op == "|":
+        return ir.Const(int(value != 0), width=1)
+    if op == "^":
+        return ir.Const(bin(value).count("1") & 1, width=1)
+    if op == "~&":
+        return ir.Const(int(value != mask), width=1)
+    if op == "~|":
+        return ir.Const(int(value == 0), width=1)
+    if op == "~^":
+        return ir.Const((bin(value).count("1") + 1) & 1, width=1)
+    return node
+
+
+def _fold_binary(node: ir.Binary) -> ir.Expr:
+    if not (isinstance(node.left, ir.Const) and isinstance(node.right, ir.Const)):
+        return node
+    a, b = node.left.value, node.right.value
+    mask = (1 << node.width) - 1
+    op = node.op
+    if op == "+":
+        return ir.Const((a + b) & mask, width=node.width)
+    if op == "-":
+        return ir.Const((a - b) & mask, width=node.width)
+    if op == "*":
+        return ir.Const((a * b) & mask, width=node.width)
+    if op == "/":
+        return ir.Const((a // b) & mask if b else mask, width=node.width)
+    if op == "%":
+        return ir.Const((a % b) & mask if b else a & mask, width=node.width)
+    if op == "&":
+        return ir.Const(a & b, width=node.width)
+    if op == "|":
+        return ir.Const(a | b, width=node.width)
+    if op == "^":
+        return ir.Const(a ^ b, width=node.width)
+    if op == "<<":
+        return ir.Const((a << b) & mask if b < 64 else 0, width=node.width)
+    if op == ">>":
+        return ir.Const(a >> b if b < 64 else 0, width=node.width)
+    if op == ">>>":
+        return ir.Const(a >> b if b < 64 else 0, width=node.width)
+    if op == "==":
+        return ir.Const(int(a == b), width=1)
+    if op == "!=":
+        return ir.Const(int(a != b), width=1)
+    if op == "<":
+        return ir.Const(int(a < b), width=1)
+    if op == "<=":
+        return ir.Const(int(a <= b), width=1)
+    if op == ">":
+        return ir.Const(int(a > b), width=1)
+    if op == ">=":
+        return ir.Const(int(a >= b), width=1)
+    if op == "&&":
+        return ir.Const(int(bool(a) and bool(b)), width=1)
+    if op == "||":
+        return ir.Const(int(bool(a) or bool(b)), width=1)
+    return node

@@ -1,0 +1,159 @@
+"""Tokenizer for the supported Verilog subset."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.errors import LexError
+
+KEYWORDS = frozenset({
+    "module", "endmodule", "input", "output", "inout", "wire", "reg",
+    "integer", "parameter", "localparam", "assign", "always", "initial",
+    "begin", "end", "if", "else", "case", "casez", "casex", "endcase",
+    "default", "for", "posedge", "negedge", "or", "signed", "genvar",
+    "generate", "endgenerate", "function", "endfunction", "task", "endtask",
+})
+
+# Multi-character operators, longest first so the scanner is greedy.
+OPERATORS = [
+    "<<<", ">>>", "===", "!==", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&", "||", "~&", "~|", "~^", "^~", "+", "-", "*", "/", "%", "&",
+    "|", "^", "~", "!", "<", ">", "=", "?", ":", "(", ")", "[", "]",
+    "{", "}", ",", ";", ".", "@", "#",
+]
+
+_NUMBER_RE = re.compile(
+    r"(?:(\d+)\s*)?'\s*([bBoOdDhH])\s*([0-9a-fA-FxXzZ_?]+)")
+_DECIMAL_RE = re.compile(r"\d[\d_]*")
+_ID_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_$]*")
+_BASES = {"b": 2, "o": 8, "d": 10, "h": 16}
+_BITS_PER_DIGIT = {2: 1, 8: 3, 16: 4}
+
+
+def _xz_mask(digits: str, base: int) -> int:
+    """Mask of bits spelled as x/z/? in a based literal (0 for decimal)."""
+    bits = _BITS_PER_DIGIT.get(base)
+    if bits is None:
+        return 0
+    mask = 0
+    shift = 0
+    for ch in reversed(digits):
+        if ch in "xXzZ?":
+            mask |= ((1 << bits) - 1) << shift
+        shift += bits
+    return mask
+
+
+@dataclass
+class Token:
+    kind: str  # 'id' | 'keyword' | 'number' | 'op' | 'string' | 'eof'
+    text: str
+    line: int
+    # For numbers: decoded value, declared width (None if unsized), and the
+    # mask of bits written as x/z/? (treated as 0 in value, wildcards in
+    # casez labels).
+    value: int = 0
+    width: Optional[int] = None
+    xmask: int = 0
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line={self.line})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize Verilog *source*, raising :class:`LexError` on bad input."""
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    pos = 0
+    line = 1
+    length = len(source)
+    while pos < length:
+        ch = source[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        # Comments.
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            pos = length if end == -1 else end
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos)
+            if end == -1:
+                raise LexError("unterminated block comment", line)
+            line += source.count("\n", pos, end)
+            pos = end + 2
+            continue
+        # Compiler directives: consume to end of line (`timescale etc.)
+        if ch == "`":
+            end = source.find("\n", pos)
+            pos = length if end == -1 else end
+            continue
+        # Strings (used only in rare $display; tokenised, ignored by parser).
+        if ch == '"':
+            end = source.find('"', pos + 1)
+            if end == -1:
+                raise LexError("unterminated string", line)
+            yield Token("string", source[pos + 1:end], line)
+            pos = end + 1
+            continue
+        # System tasks like $display — lex as identifiers with $ prefix.
+        if ch == "$":
+            m = _ID_RE.match(source, pos + 1)
+            if not m:
+                raise LexError("stray '$'", line)
+            yield Token("id", "$" + m.group(0), line)
+            pos = m.end()
+            continue
+        # Based number literal (possibly with explicit size).
+        m = _NUMBER_RE.match(source, pos)
+        if m:
+            size_txt, base_ch, digits = m.groups()
+            base = _BASES[base_ch.lower()]
+            raw = digits.replace("_", "")
+            cleaned = re.sub(r"[xXzZ?]", "0", raw)
+            try:
+                value = int(cleaned, base) if cleaned else 0
+            except ValueError:
+                raise LexError(f"bad digits {digits!r} for base {base}", line) from None
+            xmask = _xz_mask(raw, base)
+            width = int(size_txt) if size_txt else 32
+            if width <= 0:
+                raise LexError(f"bad literal width {width}", line)
+            mask = (1 << width) - 1
+            yield Token("number", m.group(0), line,
+                        value=value & mask, width=width, xmask=xmask & mask)
+            pos = m.end()
+            continue
+        # Unsized decimal.
+        m = _DECIMAL_RE.match(source, pos)
+        if m:
+            yield Token("number", m.group(0), line,
+                        value=int(m.group(0).replace("_", "")), width=None)
+            pos = m.end()
+            continue
+        # Identifier or keyword.
+        m = _ID_RE.match(source, pos)
+        if m:
+            text = m.group(0)
+            kind = "keyword" if text in KEYWORDS else "id"
+            yield Token(kind, text, line)
+            pos = m.end()
+            continue
+        # Operator / punctuation.
+        for op in OPERATORS:
+            if source.startswith(op, pos):
+                yield Token("op", op, line)
+                pos += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line)
+    yield Token("eof", "", line)

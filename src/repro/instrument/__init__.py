@@ -1,0 +1,26 @@
+"""HardSnap's Peripheral Snapshotting Mechanism: the instrumentation
+toolchain that makes hardware state observable and controllable.
+
+* :func:`~repro.instrument.scan_chain.insert_scan_chain` — RTL-to-RTL
+  scan-chain insertion (paper §IV-A, path B.1),
+* :class:`~repro.instrument.readback.ReadbackModel` — vendor
+  configuration-readback latency model (the comparison point in §V),
+* :func:`~repro.instrument.emit_verilog.emit_verilog` — IR -> Verilog
+  printer, used to keep the instrumented design toolchain-independent,
+* :mod:`~repro.instrument.report` — overhead accounting (experiment E6).
+"""
+
+from repro.instrument.emit_verilog import emit_verilog
+from repro.instrument.readback import ReadbackModel
+from repro.instrument.report import (OverheadRow, format_overhead_table,
+                                     overhead_row, overhead_table)
+from repro.instrument.scan_chain import (SCAN_ENABLE, SCAN_IN, SCAN_OUT,
+                                         ChainElement, ScanChainResult,
+                                         insert_scan_chain)
+
+__all__ = [
+    "insert_scan_chain", "ScanChainResult", "ChainElement",
+    "SCAN_ENABLE", "SCAN_IN", "SCAN_OUT",
+    "ReadbackModel", "emit_verilog",
+    "OverheadRow", "overhead_row", "overhead_table", "format_overhead_table",
+]

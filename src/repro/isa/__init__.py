@@ -1,0 +1,10 @@
+"""HS32: the firmware instruction set, assembler, disassembler and
+concrete reference core."""
+
+from repro.isa import encoding
+from repro.isa.assembler import Program, assemble
+from repro.isa.cpu import Cpu, CpuExit
+from repro.isa.disassembler import disassemble_program, disassemble_word
+
+__all__ = ["encoding", "assemble", "Program", "Cpu", "CpuExit",
+           "disassemble_word", "disassemble_program"]

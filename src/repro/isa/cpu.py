@@ -1,0 +1,272 @@
+"""Concrete reference core for HS32.
+
+Executes assembled programs directly with integer state — the oracle the
+symbolic executor's concrete paths are differentially tested against, and
+a handy way to run firmware without any symbolic machinery.
+
+MMIO is pluggable: addresses inside registered windows are forwarded to
+``mmio_read``/``mmio_write`` callbacks (usually a hardware target).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import FirmwarePanic, VmError
+from repro.isa import encoding as enc
+from repro.isa.assembler import Program
+
+MASK32 = 0xFFFFFFFF
+
+
+def _signed(value: int) -> int:
+    value &= MASK32
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+@dataclass
+class CpuExit:
+    reason: str  # halt | limit | fault
+    code: int = 0
+    pc: int = 0
+    steps: int = 0
+
+
+class Cpu:
+    """Concrete HS32 interpreter."""
+
+    def __init__(self, program: Program, ram_size: int = 64 * 1024,
+                 mmio_base: int = 0x4000_0000,
+                 mmio_read: Optional[Callable[[int], int]] = None,
+                 mmio_write: Optional[Callable[[int, int], None]] = None,
+                 irq_poll: Optional[Callable[[], bool]] = None,
+                 sym_values: Optional[List[int]] = None):
+        self.ram_size = ram_size
+        self.ram = bytearray(ram_size)
+        for addr, byte in program.as_bytes().items():
+            if addr < ram_size:
+                self.ram[addr] = byte
+        self.regs: List[int] = [0] * enc.NUM_REGS
+        self.regs[enc.REG_SP] = ram_size - 16
+        self.pc = program.entry
+        self.mmio_base = mmio_base
+        self.mmio_read = mmio_read
+        self.mmio_write = mmio_write
+        self.irq_poll = irq_poll
+        self.irq_enabled = False
+        self.irq_handler: Optional[int] = None
+        self.in_irq = False
+        self._irq_return_pc = 0
+        self.steps = 0
+        self.trace_marks: List[int] = []
+        # Concrete replay of symbolic test cases: values consumed by
+        # successive `sym` intrinsics (defaults to 0 when exhausted).
+        self.sym_values: List[int] = list(sym_values or [])
+        self._sym_index = 0
+
+    # -- memory -------------------------------------------------------------
+
+    def _is_mmio(self, addr: int) -> bool:
+        return addr >= self.mmio_base
+
+    def load(self, addr: int, size: int) -> int:
+        if self._is_mmio(addr):
+            if self.mmio_read is None:
+                raise VmError(f"MMIO read at 0x{addr:08x} with no handler")
+            word = self.mmio_read(addr & ~3)
+            if size == 4:
+                return word & MASK32
+            shift = (addr & 3) * 8
+            return (word >> shift) & ((1 << (8 * size)) - 1)
+        if addr + size > self.ram_size or addr < 0:
+            raise FirmwarePanic(
+                f"out-of-bounds load at 0x{addr:08x} (pc=0x{self.pc:08x})")
+        return int.from_bytes(self.ram[addr:addr + size], "little")
+
+    def store(self, addr: int, value: int, size: int) -> None:
+        if self._is_mmio(addr):
+            if self.mmio_write is None:
+                raise VmError(f"MMIO write at 0x{addr:08x} with no handler")
+            self.mmio_write(addr & ~3, value & MASK32)
+            return
+        if addr + size > self.ram_size or addr < 0:
+            raise FirmwarePanic(
+                f"out-of-bounds store at 0x{addr:08x} (pc=0x{self.pc:08x})")
+        self.ram[addr:addr + size] = (value & ((1 << (8 * size)) - 1)) \
+            .to_bytes(size, "little")
+
+    # -- execution -------------------------------------------------------------------
+
+    def run(self, max_steps: int = 1_000_000) -> CpuExit:
+        while self.steps < max_steps:
+            exit_ = self.step()
+            if exit_ is not None:
+                exit_.steps = self.steps
+                return exit_
+        return CpuExit("limit", pc=self.pc, steps=self.steps)
+
+    def step(self) -> Optional[CpuExit]:
+        self._maybe_interrupt()
+        word = self.load(self.pc, 4)
+        instr = enc.decode(word)
+        self.steps += 1
+        return self._execute(instr)
+
+    def _maybe_interrupt(self) -> None:
+        if (self.irq_enabled and not self.in_irq
+                and self.irq_handler is not None
+                and self.irq_poll is not None and self.irq_poll()):
+            # Hardware-style entry: only the return PC is banked; the
+            # handler preserves any registers it clobbers (push/pop).
+            self._irq_return_pc = self.pc
+            self.in_irq = True
+            self.pc = self.irq_handler
+
+    def _execute(self, instr: enc.Instruction) -> Optional[CpuExit]:
+        op = instr.opcode
+        regs = self.regs
+        next_pc = self.pc + 4
+        if op in enc.R_TYPE:
+            a, b = regs[instr.rs1], regs[instr.rs2]
+            regs[instr.rd] = _alu_r(op, a, b, self.pc)
+        elif op in enc.I_ALU:
+            regs[instr.rd] = _alu_i(op, regs[instr.rs1], instr.imm,
+                                    regs[instr.rd])
+        elif op in enc.LOADS:
+            addr = (regs[instr.rs1] + instr.imm) & MASK32
+            if op == enc.LW:
+                regs[instr.rd] = self.load(addr, 4)
+            elif op == enc.LB:
+                regs[instr.rd] = _signed_byte(self.load(addr, 1))
+            else:
+                regs[instr.rd] = self.load(addr, 1)
+        elif op in enc.STORES:
+            addr = (regs[instr.rs1] + instr.imm) & MASK32
+            self.store(addr, regs[instr.rd], 4 if op == enc.SW else 1)
+        elif op in enc.BRANCHES:
+            if _branch_taken(op, regs[instr.rd], regs[instr.rs1]):
+                next_pc = (self.pc + instr.imm) & MASK32
+        elif op == enc.JAL:
+            if instr.rd:
+                regs[instr.rd] = next_pc
+            next_pc = (self.pc + instr.imm) & MASK32
+        elif op == enc.JALR:
+            target = (regs[instr.rs1] + instr.imm) & MASK32
+            if instr.rd:
+                regs[instr.rd] = next_pc
+            next_pc = target
+        elif op == enc.HALT:
+            return CpuExit("halt", code=regs[instr.rs1], pc=self.pc)
+        elif op == enc.IRET:
+            if not self.in_irq:
+                raise FirmwarePanic(f"iret outside interrupt at 0x{self.pc:08x}")
+            self.in_irq = False
+            self.pc = self._irq_return_pc
+            return None
+        elif op == enc.HS:
+            self._intrinsic(instr)
+        else:
+            raise FirmwarePanic(
+                f"illegal instruction 0x{instr.opcode:02x} at 0x{self.pc:08x}")
+        self.pc = next_pc
+        return None
+
+    def _intrinsic(self, instr: enc.Instruction) -> None:
+        func = instr.imm & 0xFF
+        if func == enc.HS_SYMBOLIC:
+            # Concrete core: consume the next replay value (KLEE-style
+            # .ktest replay), or zero when none was provided.
+            if self._sym_index < len(self.sym_values):
+                self.regs[instr.rd] = self.sym_values[self._sym_index] & MASK32
+                self._sym_index += 1
+            else:
+                self.regs[instr.rd] = 0
+        elif func == enc.HS_SYMBOLIC_BYTES:
+            pass  # buffer keeps its concrete contents
+        elif func == enc.HS_ASSUME:
+            if self.regs[instr.rs1] == 0:
+                raise FirmwarePanic(f"assume failed at 0x{self.pc:08x}")
+        elif func == enc.HS_ASSERT:
+            if self.regs[instr.rs1] == 0:
+                raise FirmwarePanic(f"assertion failed at 0x{self.pc:08x}")
+        elif func == enc.HS_SET_IVT:
+            self.irq_handler = self.regs[instr.rs1] & MASK32
+        elif func == enc.HS_EI:
+            self.irq_enabled = True
+        elif func == enc.HS_DI:
+            self.irq_enabled = False
+        elif func == enc.HS_TRACE:
+            self.trace_marks.append(self.regs[instr.rs1])
+        else:
+            raise FirmwarePanic(f"unknown intrinsic {func} at 0x{self.pc:08x}")
+
+
+def _alu_r(op: int, a: int, b: int, pc: int) -> int:
+    if op == enc.ADD:
+        return (a + b) & MASK32
+    if op == enc.SUB:
+        return (a - b) & MASK32
+    if op == enc.AND:
+        return a & b
+    if op == enc.OR:
+        return a | b
+    if op == enc.XOR:
+        return a ^ b
+    if op == enc.SLL:
+        return (a << (b & 31)) & MASK32
+    if op == enc.SRL:
+        return a >> (b & 31)
+    if op == enc.SRA:
+        return (_signed(a) >> (b & 31)) & MASK32
+    if op == enc.MUL:
+        return (a * b) & MASK32
+    if op == enc.DIVU:
+        return MASK32 if b == 0 else (a // b) & MASK32
+    if op == enc.REMU:
+        return a if b == 0 else a % b
+    if op == enc.SLT:
+        return int(_signed(a) < _signed(b))
+    if op == enc.SLTU:
+        return int(a < b)
+    raise VmError(f"not an R-type op {op:#x}")
+
+
+def _alu_i(op: int, a: int, imm: int, old_rd: int) -> int:
+    if op == enc.ADDI:
+        return (a + imm) & MASK32
+    if op == enc.ANDI:
+        return a & (imm & MASK32)
+    if op == enc.ORI:
+        return a | (imm & MASK32)
+    if op == enc.XORI:
+        return a ^ (imm & MASK32)
+    if op == enc.SLLI:
+        return (a << (imm & 31)) & MASK32
+    if op == enc.SRLI:
+        return a >> (imm & 31)
+    if op == enc.SRAI:
+        return (_signed(a) >> (imm & 31)) & MASK32
+    if op == enc.LUI:
+        return (imm & 0xFFFF) << 16
+    raise VmError(f"not an I-type op {op:#x}")
+
+
+def _branch_taken(op: int, a: int, b: int) -> bool:
+    if op == enc.BEQ:
+        return a == b
+    if op == enc.BNE:
+        return a != b
+    if op == enc.BLT:
+        return _signed(a) < _signed(b)
+    if op == enc.BGE:
+        return _signed(a) >= _signed(b)
+    if op == enc.BLTU:
+        return a < b
+    if op == enc.BGEU:
+        return a >= b
+    raise VmError(f"not a branch op {op:#x}")
+
+
+def _signed_byte(value: int) -> int:
+    return (value - 256 if value & 0x80 else value) & MASK32

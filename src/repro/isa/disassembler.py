@@ -1,0 +1,69 @@
+"""HS32 disassembler — for diagnostics, traces and bug reports."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.isa import encoding as enc
+
+_HS_NAMES = {
+    enc.HS_SYMBOLIC: "sym",
+    enc.HS_ASSUME: "assume",
+    enc.HS_ASSERT: "assert",
+    enc.HS_SET_IVT: "setivt",
+    enc.HS_EI: "ei",
+    enc.HS_DI: "di",
+    enc.HS_TRACE: "trace",
+    enc.HS_SYMBOLIC_BYTES: "symbuf",
+}
+
+
+def disassemble_word(word: int, pc: int = 0) -> str:
+    """One instruction word -> assembly-like text."""
+    instr = enc.decode(word)
+    op = instr.opcode
+    name = instr.name
+    if op in enc.R_TYPE:
+        return f"{name} r{instr.rd}, r{instr.rs1}, r{instr.rs2}"
+    if op in enc.I_ALU:
+        if op == enc.LUI:
+            return f"lui r{instr.rd}, 0x{instr.imm & 0xFFFF:x}"
+        return f"{name} r{instr.rd}, r{instr.rs1}, {instr.imm}"
+    if op in enc.LOADS:
+        return f"{name} r{instr.rd}, {instr.imm}(r{instr.rs1})"
+    if op in enc.STORES:
+        return f"{name} r{instr.rd}, {instr.imm}(r{instr.rs1})"
+    if op in enc.BRANCHES:
+        return f"{name} r{instr.rd}, r{instr.rs1}, 0x{(pc + instr.imm) & 0xFFFFFFFF:x}"
+    if op == enc.JAL:
+        target = (pc + instr.imm) & 0xFFFFFFFF
+        if instr.rd == 0:
+            return f"j 0x{target:x}"
+        if instr.rd == enc.REG_LR:
+            return f"call 0x{target:x}"
+        return f"jal r{instr.rd}, 0x{target:x}"
+    if op == enc.JALR:
+        if instr.rd == 0 and instr.rs1 == enc.REG_LR and instr.imm == 0:
+            return "ret"
+        return f"jalr r{instr.rd}, r{instr.rs1}, {instr.imm}"
+    if op == enc.HALT:
+        return f"halt r{instr.rs1}"
+    if op == enc.IRET:
+        return "iret"
+    if op == enc.HS:
+        func = instr.imm & 0xFF
+        mnemonic = _HS_NAMES.get(func, f"hs#{func}")
+        if func in (enc.HS_SYMBOLIC,):
+            return f"{mnemonic} r{instr.rd}"
+        if func == enc.HS_SYMBOLIC_BYTES:
+            return f"{mnemonic} r{instr.rs1}, r{instr.rd}"
+        if func in (enc.HS_EI, enc.HS_DI):
+            return mnemonic
+        return f"{mnemonic} r{instr.rs1}"
+    return f".word 0x{word:08x}"
+
+
+def disassemble_program(words: Dict[int, int]) -> List[str]:
+    """Byte-addr->word map -> listing lines."""
+    return [f"{addr:08x}:  {word:08x}  {disassemble_word(word, addr)}"
+            for addr, word in sorted(words.items())]

@@ -1,0 +1,20 @@
+"""The peripheral corpus: open-source-style Verilog peripherals used for
+HardSnap's evaluation, generated as Verilog text and elaborated by
+:mod:`repro.hdl`.
+
+All peripherals share the AXI4-Lite slave front-end from
+:mod:`~repro.peripherals.axi_skeleton`; see
+:mod:`~repro.peripherals.catalog` for the corpus definition.
+"""
+
+from repro.peripherals import (aes128, dma, gpio, gpio_wb, intc, sha256,
+                               timer, uart, wdt)
+from repro.peripherals.axi_skeleton import axi_module
+from repro.peripherals.wb_skeleton import wishbone_module
+from repro.peripherals.soc import SocSpec, build_soc
+
+__all__ = ["aes128", "dma", "gpio", "gpio_wb", "intc", "sha256", "timer",
+           "uart", "wdt", "axi_module", "wishbone_module", "catalog",
+           "SocSpec", "build_soc"]
+
+from repro.peripherals import catalog  # noqa: E402  (circular-safe tail import)

@@ -1,0 +1,260 @@
+"""AES-128 encryption accelerator — the largest corpus peripheral.
+
+One AES round per cycle with on-the-fly key expansion (11 cycles per
+block), S-box as a 256-entry ROM, the classic iterative architecture of
+open-source AES IPs. The S-box and round-constant values are derived
+algorithmically at generation time (GF(2^8) inversion + affine map).
+
+Register map:
+
+=========== ======== ================================================
+0x00        CTRL     bit0 START, bit1 IRQ_EN
+0x04        STATUS   bit0 BUSY, bit1 DONE (write 1 to bit1 to clear)
+0x10-0x1C   KEY      cipher key, 4 big-endian words
+0x20-0x2C   BLOCK    plaintext block, 4 big-endian words
+0x30-0x3C   RESULT   ciphertext block (read-only)
+=========== ======== ================================================
+
+Byte order follows FIPS-197: byte 0 of the block is the most significant
+byte of word 0; AES state column ``c`` is word ``c``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.peripherals.axi_skeleton import axi_module
+
+NAME = "aes128"
+ADDR_BITS = 8
+IRQ = True
+
+REGISTERS = {
+    "CTRL": 0x00,
+    "STATUS": 0x04,
+    "KEY": 0x10,     # 4 words
+    "BLOCK": 0x20,   # 4 words
+    "RESULT": 0x30,  # 4 words
+}
+
+CTRL_START = 1 << 0
+CTRL_IRQ_EN = 1 << 1
+STATUS_BUSY = 1 << 0
+STATUS_DONE = 1 << 1
+
+
+def sbox_table() -> List[int]:
+    """The AES S-box, computed from first principles.
+
+    Multiplicative inverse in GF(2^8) (via 3 as generator of the
+    multiplicative group) followed by the affine transformation.
+    """
+
+    def rotl8(x: int, n: int) -> int:
+        return ((x << n) | (x >> (8 - n))) & 0xFF
+
+    sbox = [0] * 256
+    p = 1
+    q = 1
+    while True:
+        # p := p * 3 in GF(2^8)
+        p = (p ^ ((p << 1) & 0xFF) ^ (0x1B if p & 0x80 else 0)) & 0xFF
+        # q := q / 3 (multiply by the inverse of 3, i.e. 0xF6)
+        q ^= (q << 1) & 0xFF
+        q ^= (q << 2) & 0xFF
+        q ^= (q << 4) & 0xFF
+        if q & 0x80:
+            q ^= 0x09
+        q &= 0xFF
+        sbox[p] = (q ^ rotl8(q, 1) ^ rotl8(q, 2) ^ rotl8(q, 3)
+                   ^ rotl8(q, 4) ^ 0x63) & 0xFF
+        if p == 1:
+            break
+    sbox[0] = 0x63
+    return sbox
+
+
+def _byte(reg: str, i: int) -> str:
+    """Bit-slice of byte *i* (0 = most significant) of a 128-bit reg."""
+    hi = 127 - 8 * i
+    return f"{reg}[{hi}:{hi - 7}]"
+
+
+def _word_byte(reg: str, i: int) -> str:
+    """Byte *i* (0 = MSB) of a 32-bit wire/reg."""
+    hi = 31 - 8 * i
+    return f"{reg}[{hi}:{hi - 7}]"
+
+
+def _core_body() -> str:
+    sbox = sbox_table()
+    sbox_init = "\n".join(
+        f"        sbox[{i}] = 8'h{v:02x};" for i, v in enumerate(sbox))
+
+    lines: List[str] = []
+    # SubBytes + ShiftRows taps, per output column.
+    for c in range(4):
+        for r in range(4):
+            src = 4 * ((c + r) % 4) + r
+            lines.append(f"    wire [7:0] a_{c}_{r};")
+            lines.append(f"    assign a_{c}_{r} = sbox[{_byte('st', src)}];")
+    # xtime of each substituted byte.
+    for c in range(4):
+        for r in range(4):
+            a = f"a_{c}_{r}"
+            lines.append(f"    wire [7:0] x_{c}_{r};")
+            lines.append(
+                f"    assign x_{c}_{r} = {{{a}[6:0], 1'b0}} ^ "
+                f"({a}[7] ? 8'h1b : 8'h00);")
+    # MixColumns per column: standard 02/03/01/01 circulant.
+    for c in range(4):
+        a = [f"a_{c}_{r}" for r in range(4)]
+        x = [f"x_{c}_{r}" for r in range(4)]
+        m = [
+            f"{x[0]} ^ ({x[1]} ^ {a[1]}) ^ {a[2]} ^ {a[3]}",
+            f"{a[0]} ^ {x[1]} ^ ({x[2]} ^ {a[2]}) ^ {a[3]}",
+            f"{a[0]} ^ {a[1]} ^ {x[2]} ^ ({x[3]} ^ {a[3]})",
+            f"({x[0]} ^ {a[0]}) ^ {a[1]} ^ {a[2]} ^ {x[3]}",
+        ]
+        for r in range(4):
+            lines.append(f"    wire [7:0] m_{c}_{r};")
+            lines.append(f"    assign m_{c}_{r} = {m[r]};")
+        lines.append(f"    wire [31:0] colm_{c};")
+        lines.append(
+            f"    assign colm_{c} = {{m_{c}_0, m_{c}_1, m_{c}_2, m_{c}_3}};")
+        lines.append(f"    wire [31:0] coln_{c};")
+        lines.append(
+            f"    assign coln_{c} = {{a_{c}_0, a_{c}_1, a_{c}_2, a_{c}_3}};")
+    mix_taps = "\n".join(lines)
+
+    # On-the-fly key schedule.
+    key_lines: List[str] = []
+    key_lines.append("    wire [31:0] rotw;")
+    key_lines.append("    assign rotw = {k3[23:0], k3[31:24]};")
+    for j in range(4):
+        key_lines.append(f"    wire [7:0] sw_{j};")
+        key_lines.append(f"    assign sw_{j} = sbox[{_word_byte('rotw', j)}];")
+    key_lines.append("    wire [31:0] nk0;")
+    key_lines.append("    assign nk0 = k0 ^ {sw_0, sw_1, sw_2, sw_3} ^ "
+                     "{rcon, 24'h0};")
+    key_lines.append("    wire [31:0] nk1;")
+    key_lines.append("    assign nk1 = k1 ^ nk0;")
+    key_lines.append("    wire [31:0] nk2;")
+    key_lines.append("    assign nk2 = k2 ^ nk1;")
+    key_lines.append("    wire [31:0] nk3;")
+    key_lines.append("    assign nk3 = k3 ^ nk2;")
+    key_schedule = "\n".join(key_lines)
+
+    return f"""
+    reg [7:0] sbox [0:255];
+    initial begin
+{sbox_init}
+    end
+
+    reg [127:0] st;
+    reg [31:0] k0;
+    reg [31:0] k1;
+    reg [31:0] k2;
+    reg [31:0] k3;
+    reg [31:0] kh0;
+    reg [31:0] kh1;
+    reg [31:0] kh2;
+    reg [31:0] kh3;
+    reg [31:0] b0;
+    reg [31:0] b1;
+    reg [31:0] b2;
+    reg [31:0] b3;
+    reg [7:0] rcon;
+    reg [3:0] round;
+    reg busy;
+    reg done;
+    reg irq_en;
+
+{mix_taps}
+
+{key_schedule}
+
+    always @(posedge clk) begin
+        if (rst) begin
+            st <= 0;
+            k0 <= 0; k1 <= 0; k2 <= 0; k3 <= 0;
+            kh0 <= 0; kh1 <= 0; kh2 <= 0; kh3 <= 0;
+            b0 <= 0; b1 <= 0; b2 <= 0; b3 <= 0;
+            rcon <= 0;
+            round <= 0;
+            busy <= 0;
+            done <= 0;
+            irq_en <= 0;
+        end else begin
+            if (bus_wr) begin
+                case (bus_waddr)
+                    8'h00: begin
+                        if (bus_wdata[0]) begin
+                            st <= {{b0 ^ kh0, b1 ^ kh1, b2 ^ kh2, b3 ^ kh3}};
+                            k0 <= kh0; k1 <= kh1; k2 <= kh2; k3 <= kh3;
+                            rcon <= 8'h01;
+                            round <= 4'd1;
+                            busy <= 1'b1;
+                            done <= 1'b0;
+                        end
+                        irq_en <= bus_wdata[1];
+                    end
+                    8'h04: begin
+                        if (bus_wdata[1])
+                            done <= 1'b0;
+                    end
+                    8'h10: kh0 <= bus_wdata;
+                    8'h14: kh1 <= bus_wdata;
+                    8'h18: kh2 <= bus_wdata;
+                    8'h1c: kh3 <= bus_wdata;
+                    8'h20: b0 <= bus_wdata;
+                    8'h24: b1 <= bus_wdata;
+                    8'h28: b2 <= bus_wdata;
+                    8'h2c: b3 <= bus_wdata;
+                    default: begin end
+                endcase
+            end
+            if (busy) begin
+                if (round == 4'd10) begin
+                    st <= {{coln_0 ^ nk0, coln_1 ^ nk1, coln_2 ^ nk2,
+                           coln_3 ^ nk3}};
+                    busy <= 1'b0;
+                    done <= 1'b1;
+                end else begin
+                    st <= {{colm_0 ^ nk0, colm_1 ^ nk1, colm_2 ^ nk2,
+                           colm_3 ^ nk3}};
+                end
+                k0 <= nk0;
+                k1 <= nk1;
+                k2 <= nk2;
+                k3 <= nk3;
+                rcon <= {{rcon[6:0], 1'b0}} ^ (rcon[7] ? 8'h1b : 8'h00);
+                round <= round + 1;
+            end
+        end
+    end
+
+    reg [31:0] rd_data;
+    always @(*) begin
+        case (bus_raddr)
+            8'h00: rd_data = {{30'h0, irq_en, 1'b0}};
+            8'h04: rd_data = {{30'h0, done, busy}};
+            8'h10: rd_data = kh0;
+            8'h14: rd_data = kh1;
+            8'h18: rd_data = kh2;
+            8'h1c: rd_data = kh3;
+            8'h30: rd_data = st[127:96];
+            8'h34: rd_data = st[95:64];
+            8'h38: rd_data = st[63:32];
+            8'h3c: rd_data = st[31:0];
+            default: rd_data = 32'h0;
+        endcase
+    end
+
+    assign irq = done && irq_en;
+"""
+
+
+def verilog() -> str:
+    return axi_module(NAME, _core_body(), ADDR_BITS,
+                      extra_ports=("output wire irq",))

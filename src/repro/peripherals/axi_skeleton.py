@@ -1,0 +1,134 @@
+"""Shared AXI4-Lite slave scaffold for the peripheral corpus.
+
+Every corpus peripheral is a single Verilog module with the same bus
+front-end: a handshake state machine for the five AXI4-Lite channels that
+exposes four events/buses to the peripheral core logic::
+
+    bus_wr     1-cycle pulse: a write (address+data) completed
+    bus_waddr  byte address of the write
+    bus_wdata  32-bit write data
+    bus_rd     1-cycle pulse: a read address was accepted
+    bus_raddr  byte address of the read
+
+The core provides a combinational read mux driving ``rd_data``; the
+skeleton registers it into ``s_axi_rdata`` when the read is accepted.
+Read side effects (FIFO pops, read-to-clear flags) key off ``bus_rd``.
+
+This mirrors how real register-file generators (and the OpenCores
+peripherals HardSnap built on) structure an AXI4-Lite slave, and keeps
+each peripheral's interesting logic front and centre.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def axi_module(name: str, core_body: str, addr_bits: int = 8,
+               extra_ports: Sequence[str] = (),
+               params: Optional[str] = None) -> str:
+    """Assemble a complete AXI4-Lite slave module around *core_body*.
+
+    *core_body* must declare ``reg [31:0] rd_data;`` logic (an
+    ``always @(*)`` mux over ``bus_raddr``) and may use the ``bus_*``
+    events freely. *extra_ports* are raw port declaration strings, e.g.
+    ``"output wire irq"``.
+    """
+    ports = [
+        "input wire clk",
+        "input wire rst",
+        "input wire s_axi_awvalid",
+        "output reg s_axi_awready",
+        f"input wire [{addr_bits - 1}:0] s_axi_awaddr",
+        "input wire s_axi_wvalid",
+        "output reg s_axi_wready",
+        "input wire [31:0] s_axi_wdata",
+        "output reg s_axi_bvalid",
+        "input wire s_axi_bready",
+        "input wire s_axi_arvalid",
+        "output reg s_axi_arready",
+        f"input wire [{addr_bits - 1}:0] s_axi_araddr",
+        "output reg s_axi_rvalid",
+        "input wire s_axi_rready",
+        "output reg [31:0] s_axi_rdata",
+    ]
+    ports.extend(extra_ports)
+    port_text = ",\n    ".join(ports)
+    param_text = f" #(\n    {params}\n)" if params else ""
+    return f"""
+module {name}{param_text} (
+    {port_text}
+);
+    // ---- AXI4-Lite write channel handshake ----
+    reg [{addr_bits - 1}:0] awaddr_q;
+    reg [31:0] wdata_q;
+    reg aw_got;
+    reg w_got;
+    wire bus_wr;
+    wire [{addr_bits - 1}:0] bus_waddr;
+    wire [31:0] bus_wdata;
+    assign bus_wr = aw_got && w_got;
+    assign bus_waddr = awaddr_q;
+    assign bus_wdata = wdata_q;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            s_axi_awready <= 1'b1;
+            s_axi_wready <= 1'b1;
+            s_axi_bvalid <= 1'b0;
+            aw_got <= 1'b0;
+            w_got <= 1'b0;
+            awaddr_q <= 0;
+            wdata_q <= 0;
+        end else begin
+            if (s_axi_awvalid && s_axi_awready) begin
+                awaddr_q <= s_axi_awaddr;
+                aw_got <= 1'b1;
+                s_axi_awready <= 1'b0;
+            end
+            if (s_axi_wvalid && s_axi_wready) begin
+                wdata_q <= s_axi_wdata;
+                w_got <= 1'b1;
+                s_axi_wready <= 1'b0;
+            end
+            if (bus_wr) begin
+                aw_got <= 1'b0;
+                w_got <= 1'b0;
+                s_axi_bvalid <= 1'b1;
+            end
+            if (s_axi_bvalid && s_axi_bready) begin
+                s_axi_bvalid <= 1'b0;
+                s_axi_awready <= 1'b1;
+                s_axi_wready <= 1'b1;
+            end
+        end
+    end
+
+    // ---- AXI4-Lite read channel handshake ----
+    wire bus_rd;
+    wire [{addr_bits - 1}:0] bus_raddr;
+    assign bus_rd = s_axi_arvalid && s_axi_arready;
+    assign bus_raddr = s_axi_araddr;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            s_axi_arready <= 1'b1;
+            s_axi_rvalid <= 1'b0;
+            s_axi_rdata <= 0;
+        end else begin
+            if (bus_rd) begin
+                s_axi_arready <= 1'b0;
+                s_axi_rvalid <= 1'b1;
+                s_axi_rdata <= rd_data;
+            end
+            if (s_axi_rvalid && s_axi_rready) begin
+                s_axi_rvalid <= 1'b0;
+                s_axi_arready <= 1'b1;
+            end
+        end
+    end
+
+    // ---- peripheral core ----
+{core_body}
+endmodule
+"""

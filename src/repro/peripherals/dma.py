@@ -1,0 +1,129 @@
+"""Scratchpad DMA engine.
+
+A memory-to-memory copy engine over a 256-word internal scratchpad RAM,
+one word per cycle — the corpus' large-memory design point: most of its
+state lives in RAM rather than flip-flops, which stresses the memory
+handling of the scan chain and the snapshot size accounting.
+
+Register map (12-bit address space):
+
+============ ========= ==============================================
+0x000        SRC       source word index
+0x004        DST       destination word index
+0x008        LEN       number of words to copy
+0x00C        CTRL      bit0 START, bit1 IRQ_EN
+0x010        STATUS    bit0 BUSY, bit1 DONE (write 1 to bit1 to clear)
+0x800-0xBFC  RAM       scratchpad window (word at (addr-0x800)/4)
+============ ========= ==============================================
+"""
+
+from __future__ import annotations
+
+from repro.peripherals.axi_skeleton import axi_module
+
+NAME = "dma"
+ADDR_BITS = 12
+IRQ = True
+RAM_WORDS = 256
+RAM_BASE = 0x800
+
+REGISTERS = {
+    "SRC": 0x000,
+    "DST": 0x004,
+    "LEN": 0x008,
+    "CTRL": 0x00C,
+    "STATUS": 0x010,
+    "RAM": RAM_BASE,
+}
+
+CTRL_START = 1 << 0
+CTRL_IRQ_EN = 1 << 1
+STATUS_BUSY = 1 << 0
+STATUS_DONE = 1 << 1
+
+_CORE = """
+    reg [31:0] ram [0:255];
+    reg [7:0] src;
+    reg [7:0] dst;
+    reg [8:0] len;
+    reg [8:0] remaining;
+    reg [7:0] src_ptr;
+    reg [7:0] dst_ptr;
+    reg busy;
+    reg done;
+    reg irq_en;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            src <= 0;
+            dst <= 0;
+            len <= 0;
+            remaining <= 0;
+            src_ptr <= 0;
+            dst_ptr <= 0;
+            busy <= 0;
+            done <= 0;
+            irq_en <= 0;
+        end else begin
+            if (bus_wr) begin
+                if (bus_waddr[11]) begin
+                    ram[bus_waddr[9:2]] <= bus_wdata;
+                end else begin
+                    case (bus_waddr)
+                        12'h000: src <= bus_wdata[7:0];
+                        12'h004: dst <= bus_wdata[7:0];
+                        12'h008: len <= bus_wdata[8:0];
+                        12'h00C: begin
+                            if (bus_wdata[0] && (len != 0)) begin
+                                busy <= 1'b1;
+                                done <= 1'b0;
+                                remaining <= len;
+                                src_ptr <= src;
+                                dst_ptr <= dst;
+                            end
+                            irq_en <= bus_wdata[1];
+                        end
+                        12'h010: begin
+                            if (bus_wdata[1])
+                                done <= 1'b0;
+                        end
+                        default: begin end
+                    endcase
+                end
+            end
+            if (busy) begin
+                ram[dst_ptr] <= ram[src_ptr];
+                src_ptr <= src_ptr + 1;
+                dst_ptr <= dst_ptr + 1;
+                remaining <= remaining - 1;
+                if (remaining == 9'd1) begin
+                    busy <= 1'b0;
+                    done <= 1'b1;
+                end
+            end
+        end
+    end
+
+    reg [31:0] rd_data;
+    always @(*) begin
+        if (bus_raddr[11]) begin
+            rd_data = ram[bus_raddr[9:2]];
+        end else begin
+            case (bus_raddr)
+                12'h000: rd_data = {24'h0, src};
+                12'h004: rd_data = {24'h0, dst};
+                12'h008: rd_data = {23'h0, len};
+                12'h00C: rd_data = {30'h0, irq_en, 1'b0};
+                12'h010: rd_data = {30'h0, done, busy};
+                default: rd_data = 32'h0;
+            endcase
+        end
+    end
+
+    assign irq = done && irq_en;
+"""
+
+
+def verilog() -> str:
+    return axi_module(NAME, _CORE, ADDR_BITS,
+                      extra_ports=("output wire irq",))

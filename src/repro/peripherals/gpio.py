@@ -1,0 +1,87 @@
+"""GPIO peripheral: the smallest design point of the corpus.
+
+Register map (byte addresses):
+
+====== ======= =====================================================
+0x00   DIR     bit i = 1 drives pin i as output
+0x04   OUT     output latch
+0x08   IN      synchronised input pins (read-only)
+0x0C   IRQ_EN  per-pin rising-edge interrupt enable
+0x10   IRQ_ST  pending edge interrupts, write-1-to-clear
+====== ======= =====================================================
+
+``irq`` is high while any enabled pending bit is set.
+"""
+
+from __future__ import annotations
+
+from repro.peripherals.axi_skeleton import axi_module
+
+NAME = "gpio"
+ADDR_BITS = 8
+IRQ = True
+
+REGISTERS = {
+    "DIR": 0x00,
+    "OUT": 0x04,
+    "IN": 0x08,
+    "IRQ_EN": 0x0C,
+    "IRQ_ST": 0x10,
+}
+
+_CORE = """
+    reg [31:0] dir;
+    reg [31:0] out;
+    reg [31:0] in_sync;
+    reg [31:0] in_prev;
+    reg [31:0] irq_en;
+    reg [31:0] irq_st;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            dir <= 0;
+            out <= 0;
+            in_sync <= 0;
+            in_prev <= 0;
+            irq_en <= 0;
+            irq_st <= 0;
+        end else begin
+            in_sync <= gpio_in;
+            in_prev <= in_sync;
+            // Rising-edge detection on enabled pins.
+            irq_st <= irq_st | (in_sync & ~in_prev & irq_en);
+            if (bus_wr) begin
+                case (bus_waddr)
+                    8'h00: dir <= bus_wdata;
+                    8'h04: out <= bus_wdata;
+                    8'h0C: irq_en <= bus_wdata;
+                    8'h10: irq_st <= irq_st & ~bus_wdata;
+                    default: begin end
+                endcase
+            end
+        end
+    end
+
+    reg [31:0] rd_data;
+    always @(*) begin
+        case (bus_raddr)
+            8'h00: rd_data = dir;
+            8'h04: rd_data = out;
+            8'h08: rd_data = in_sync;
+            8'h0C: rd_data = irq_en;
+            8'h10: rd_data = irq_st;
+            default: rd_data = 32'h0;
+        endcase
+    end
+
+    assign gpio_out = out & dir;
+    assign irq = |(irq_st & irq_en);
+"""
+
+
+def verilog() -> str:
+    return axi_module(NAME, _CORE, ADDR_BITS, extra_ports=(
+        "input wire [31:0] gpio_in",
+        "output wire [31:0] gpio_out",
+        "output wire irq",
+    ))

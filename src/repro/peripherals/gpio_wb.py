@@ -1,0 +1,27 @@
+"""GPIO on a Wishbone bus — the modular-bus-abstraction demonstration.
+
+Exactly the same core logic as :mod:`~repro.peripherals.gpio` (the body
+is literally shared), wrapped in the Wishbone scaffold instead of the
+AXI4-Lite one. Hosted on a target, the memory forwarding path drives it
+through a :class:`~repro.bus.wishbone.WishboneMaster` transparently.
+"""
+
+from __future__ import annotations
+
+from repro.peripherals import gpio
+from repro.peripherals.wb_skeleton import wishbone_module
+
+NAME = "gpio_wb"
+ADDR_BITS = 8
+IRQ = True
+BUS = "wishbone"
+
+REGISTERS = dict(gpio.REGISTERS)
+
+
+def verilog() -> str:
+    return wishbone_module(NAME, gpio._CORE, ADDR_BITS, extra_ports=(
+        "input wire [31:0] gpio_in",
+        "output wire [31:0] gpio_out",
+        "output wire irq",
+    ))

@@ -1,0 +1,97 @@
+"""8-line interrupt controller.
+
+Aggregates level-sensitive interrupt requests from other peripherals into
+one CPU interrupt, with masking, software-pend and claim registers —
+the glue that lets multi-peripheral systems route IRQs to the VM.
+
+Register map:
+
+====== ========= ====================================================
+0x00   ENABLE    per-line enable mask
+0x04   PENDING   latched pending lines (write-1-to-clear)
+0x08   CLAIM     read: lowest pending+enabled line number (0xFF none);
+                 the read also clears that line (claim semantics)
+0x0C   SWPEND    write-1-to-set pending bits (software interrupts)
+====== ========= ====================================================
+"""
+
+from __future__ import annotations
+
+from repro.peripherals.axi_skeleton import axi_module
+
+NAME = "intc"
+ADDR_BITS = 8
+IRQ = True
+
+REGISTERS = {
+    "ENABLE": 0x00,
+    "PENDING": 0x04,
+    "CLAIM": 0x08,
+    "SWPEND": 0x0C,
+}
+
+_CORE = """
+    reg [7:0] enable;
+    reg [7:0] pending;
+    reg [7:0] lines_sync;
+
+    wire [7:0] active;
+    assign active = pending & enable;
+
+    // Priority encoder: lowest active line wins.
+    reg [7:0] claim_id;
+    always @(*) begin
+        if (active[0]) claim_id = 8'd0;
+        else if (active[1]) claim_id = 8'd1;
+        else if (active[2]) claim_id = 8'd2;
+        else if (active[3]) claim_id = 8'd3;
+        else if (active[4]) claim_id = 8'd4;
+        else if (active[5]) claim_id = 8'd5;
+        else if (active[6]) claim_id = 8'd6;
+        else if (active[7]) claim_id = 8'd7;
+        else claim_id = 8'hFF;
+    end
+
+    wire claim_rd;
+    assign claim_rd = bus_rd && (bus_raddr == 8'h08);
+
+    always @(posedge clk) begin
+        if (rst) begin
+            enable <= 0;
+            pending <= 0;
+            lines_sync <= 0;
+        end else begin
+            lines_sync <= lines;
+            pending <= pending | lines_sync;
+            if (claim_rd && (claim_id != 8'hFF))
+                pending[claim_id[2:0]] <= 1'b0;
+            if (bus_wr) begin
+                case (bus_waddr)
+                    8'h00: enable <= bus_wdata[7:0];
+                    8'h04: pending <= pending & ~bus_wdata[7:0];
+                    8'h0C: pending <= pending | bus_wdata[7:0];
+                    default: begin end
+                endcase
+            end
+        end
+    end
+
+    reg [31:0] rd_data;
+    always @(*) begin
+        case (bus_raddr)
+            8'h00: rd_data = {24'h0, enable};
+            8'h04: rd_data = {24'h0, pending};
+            8'h08: rd_data = {24'h0, claim_id};
+            default: rd_data = 32'h0;
+        endcase
+    end
+
+    assign irq = |active;
+"""
+
+
+def verilog() -> str:
+    return axi_module(NAME, _CORE, ADDR_BITS, extra_ports=(
+        "input wire [7:0] lines",
+        "output wire irq",
+    ))

@@ -1,0 +1,244 @@
+"""SHA-256 accelerator — a high-complexity corpus peripheral.
+
+A full FIPS-180-4 compression core, one round per cycle (64 cycles per
+block) with a rolling 16-word message schedule, the architecture used by
+the OpenCores/secworks ``sha256`` IP that HardSnap-class corpora draw on.
+
+Register map:
+
+=========== ========= ==============================================
+0x00        CTRL      bit0 INIT (load H constants), bit1 NEXT (start
+                      compressing the loaded block), bit2 IRQ_EN
+0x04        STATUS    bit0 BUSY, bit1 DONE (write 1 to bit1 to clear)
+0x40-0x7C   BLOCK     16 big-endian message words W0..W15
+0x80-0x9C   DIGEST    8 hash words H0..H7 (read-only)
+=========== ========= ==============================================
+
+Message padding is the driver's job (as on the real IP): firmware writes
+padded 512-bit blocks and pulses INIT once, then NEXT per block.
+
+Round constants and initial hash values are derived at generation time
+with exact integer arithmetic (cube/square roots of the first primes), so
+no magic tables are embedded in the source.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.peripherals.axi_skeleton import axi_module
+
+NAME = "sha256"
+ADDR_BITS = 8
+IRQ = True
+
+REGISTERS = {
+    "CTRL": 0x00,
+    "STATUS": 0x04,
+    "BLOCK": 0x40,   # 16 words
+    "DIGEST": 0x80,  # 8 words
+}
+
+CTRL_INIT = 1 << 0
+CTRL_NEXT = 1 << 1
+CTRL_IRQ_EN = 1 << 2
+STATUS_BUSY = 1 << 0
+STATUS_DONE = 1 << 1
+
+
+def _primes(count: int) -> List[int]:
+    out: List[int] = []
+    candidate = 2
+    while len(out) < count:
+        if all(candidate % p for p in out if p * p <= candidate):
+            out.append(candidate)
+        candidate += 1
+    return out
+
+
+def _icbrt(n: int) -> int:
+    """Exact integer cube root (floor)."""
+    if n == 0:
+        return 0
+    x = 1 << ((n.bit_length() + 2) // 3)
+    while True:
+        y = (2 * x + n // (x * x)) // 3
+        if y >= x:
+            return x
+        x = y
+
+
+def round_constants() -> List[int]:
+    """The 64 K constants: frac(cbrt(prime_i)) * 2^32, exact."""
+    out: List[int] = []
+    for p in _primes(64):
+        root = _icbrt(p << 96)  # floor(cbrt(p) * 2^32)
+        out.append(root & 0xFFFFFFFF)
+    return out
+
+
+def initial_hash() -> List[int]:
+    """The 8 H constants: frac(sqrt(prime_i)) * 2^32, exact."""
+    out: List[int] = []
+    for p in _primes(8):
+        root = math.isqrt(p << 64)  # floor(sqrt(p) * 2^32)
+        out.append(root & 0xFFFFFFFF)
+    return out
+
+
+def _core_body() -> str:
+    k = round_constants()
+    h0 = initial_hash()
+    k_cases = "\n".join(
+        f"            7'd{i}: kt = 32'h{v:08x};" for i, v in enumerate(k))
+    h_init = "\n".join(
+        f"                        hreg{i} <= 32'h{v:08x};"
+        for i, v in enumerate(h0))
+    h_decls = "\n".join(f"    reg [31:0] hreg{i};" for i in range(8))
+    digest_cases = "\n".join(
+        f"                3'd{i}: rd_data = hreg{i};" for i in range(8))
+    return f"""
+    reg [31:0] a;
+    reg [31:0] b;
+    reg [31:0] c;
+    reg [31:0] d;
+    reg [31:0] e;
+    reg [31:0] f;
+    reg [31:0] g;
+    reg [31:0] h;
+{h_decls}
+    reg [31:0] wmem [0:15];
+    reg [6:0] t;
+    reg busy;
+    reg done;
+    reg irq_en;
+
+    // ---- message schedule (rolling 16-word window) ----
+    wire [31:0] w2;
+    wire [31:0] w7;
+    wire [31:0] w15;
+    wire [31:0] w16;
+    assign w2 = wmem[t[3:0] - 4'd2];
+    assign w7 = wmem[t[3:0] - 4'd7];
+    assign w15 = wmem[t[3:0] - 4'd15];
+    assign w16 = wmem[t[3:0]];
+    wire [31:0] ssig0;
+    wire [31:0] ssig1;
+    assign ssig0 = {{w15[6:0], w15[31:7]}} ^ {{w15[17:0], w15[31:18]}} ^ (w15 >> 3);
+    assign ssig1 = {{w2[16:0], w2[31:17]}} ^ {{w2[18:0], w2[31:19]}} ^ (w2 >> 10);
+    wire [31:0] wt;
+    assign wt = (t < 7'd16) ? w16 : (ssig1 + w7 + ssig0 + w16);
+
+    // ---- round constant ROM ----
+    reg [31:0] kt;
+    always @(*) begin
+        case (t)
+{k_cases}
+            default: kt = 32'h0;
+        endcase
+    end
+
+    // ---- round function ----
+    wire [31:0] bsig1;
+    wire [31:0] chef;
+    wire [31:0] t1;
+    wire [31:0] bsig0;
+    wire [31:0] majv;
+    wire [31:0] t2;
+    assign bsig1 = {{e[5:0], e[31:6]}} ^ {{e[10:0], e[31:11]}} ^ {{e[24:0], e[31:25]}};
+    assign chef = (e & f) ^ ((~e) & g);
+    assign t1 = h + bsig1 + chef + kt + wt;
+    assign bsig0 = {{a[1:0], a[31:2]}} ^ {{a[12:0], a[31:13]}} ^ {{a[21:0], a[31:22]}};
+    assign majv = (a & b) ^ (a & c) ^ (b & c);
+    assign t2 = bsig0 + majv;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            a <= 0; b <= 0; c <= 0; d <= 0;
+            e <= 0; f <= 0; g <= 0; h <= 0;
+            t <= 0;
+            busy <= 0;
+            done <= 0;
+            irq_en <= 0;
+        end else begin
+            if (bus_wr) begin
+                if (bus_waddr[7:6] == 2'b01) begin
+                    wmem[bus_waddr[5:2]] <= bus_wdata;
+                end else begin
+                    case (bus_waddr)
+                        8'h00: begin
+                            if (bus_wdata[0]) begin
+{h_init}
+                                done <= 1'b0;
+                            end
+                            if (bus_wdata[1]) begin
+                                a <= hreg0; b <= hreg1; c <= hreg2; d <= hreg3;
+                                e <= hreg4; f <= hreg5; g <= hreg6; h <= hreg7;
+                                t <= 0;
+                                busy <= 1'b1;
+                                done <= 1'b0;
+                            end
+                            irq_en <= bus_wdata[2];
+                        end
+                        8'h04: begin
+                            if (bus_wdata[1])
+                                done <= 1'b0;
+                        end
+                        default: begin end
+                    endcase
+                end
+            end
+            if (busy) begin
+                if (t >= 7'd16)
+                    wmem[t[3:0]] <= wt;
+                h <= g;
+                g <= f;
+                f <= e;
+                e <= d + t1;
+                d <= c;
+                c <= b;
+                b <= a;
+                a <= t1 + t2;
+                t <= t + 1;
+                if (t == 7'd63) begin
+                    busy <= 1'b0;
+                    done <= 1'b1;
+                    hreg0 <= hreg0 + (t1 + t2);
+                    hreg1 <= hreg1 + a;
+                    hreg2 <= hreg2 + b;
+                    hreg3 <= hreg3 + c;
+                    hreg4 <= hreg4 + (d + t1);
+                    hreg5 <= hreg5 + e;
+                    hreg6 <= hreg6 + f;
+                    hreg7 <= hreg7 + g;
+                end
+            end
+        end
+    end
+
+    reg [31:0] rd_data;
+    always @(*) begin
+        if (bus_raddr[7:5] == 3'b100) begin
+            case (bus_raddr[4:2])
+{digest_cases}
+                default: rd_data = 32'h0;
+            endcase
+        end else if (bus_raddr[7:6] == 2'b01) begin
+            rd_data = wmem[bus_raddr[5:2]];
+        end else begin
+            case (bus_raddr)
+                8'h00: rd_data = {{29'h0, irq_en, 2'b00}};
+                8'h04: rd_data = {{30'h0, done, busy}};
+                default: rd_data = 32'h0;
+            endcase
+        end
+    end
+
+    assign irq = done && irq_en;
+"""
+
+
+def verilog() -> str:
+    return axi_module(NAME, _core_body(), ADDR_BITS,
+                      extra_ports=("output wire irq",))

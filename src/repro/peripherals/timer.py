@@ -1,0 +1,110 @@
+"""Programmable down-counter timer with interrupt.
+
+The workhorse peripheral of the motivation example (Fig. 1): firmware
+kicks off a timed task and receives an IRQ when it expires. Register map:
+
+====== ======== =====================================================
+0x00   CTRL     bit0 EN, bit1 IRQ_EN, bit2 AUTO_RELOAD, bit3 ONESHOT_CLR
+0x04   LOAD     reload value
+0x08   VALUE    current count (read-only)
+0x0C   STATUS   bit0 EXPIRED (write-1-to-clear)
+0x10   PRESCALE 8-bit clock divider
+====== ======== =====================================================
+
+``irq`` is high while STATUS.EXPIRED && CTRL.IRQ_EN.
+"""
+
+from __future__ import annotations
+
+from repro.peripherals.axi_skeleton import axi_module
+
+NAME = "timer"
+ADDR_BITS = 8
+IRQ = True
+
+REGISTERS = {
+    "CTRL": 0x00,
+    "LOAD": 0x04,
+    "VALUE": 0x08,
+    "STATUS": 0x0C,
+    "PRESCALE": 0x10,
+}
+
+CTRL_EN = 1 << 0
+CTRL_IRQ_EN = 1 << 1
+CTRL_AUTO_RELOAD = 1 << 2
+
+_CORE = """
+    reg [3:0] ctrl;
+    reg [31:0] load;
+    reg [31:0] value;
+    reg expired;
+    reg [7:0] prescale;
+    reg [7:0] presc_cnt;
+
+    wire tick;
+    assign tick = (presc_cnt == prescale);
+
+    always @(posedge clk) begin
+        if (rst) begin
+            ctrl <= 0;
+            load <= 0;
+            value <= 0;
+            expired <= 0;
+            prescale <= 0;
+            presc_cnt <= 0;
+        end else begin
+            if (ctrl[0]) begin
+                if (tick) begin
+                    presc_cnt <= 0;
+                    if (value == 0) begin
+                        expired <= 1'b1;
+                        if (ctrl[2])
+                            value <= load;
+                        else
+                            ctrl[0] <= 1'b0;
+                    end else begin
+                        value <= value - 1;
+                    end
+                end else begin
+                    presc_cnt <= presc_cnt + 1;
+                end
+            end
+            if (bus_wr) begin
+                case (bus_waddr)
+                    8'h00: ctrl <= bus_wdata[3:0];
+                    8'h04: begin
+                        load <= bus_wdata;
+                        value <= bus_wdata;
+                        presc_cnt <= 0;
+                    end
+                    8'h0C: begin
+                        if (bus_wdata[0])
+                            expired <= 1'b0;
+                    end
+                    8'h10: prescale <= bus_wdata[7:0];
+                    default: begin end
+                endcase
+            end
+        end
+    end
+
+    reg [31:0] rd_data;
+    always @(*) begin
+        case (bus_raddr)
+            8'h00: rd_data = {28'h0, ctrl};
+            8'h04: rd_data = load;
+            8'h08: rd_data = value;
+            8'h0C: rd_data = {31'h0, expired};
+            8'h10: rd_data = {24'h0, prescale};
+            default: rd_data = 32'h0;
+        endcase
+    end
+
+    assign irq = expired && ctrl[1];
+"""
+
+
+def verilog() -> str:
+    return axi_module(NAME, _CORE, ADDR_BITS,
+                      extra_ports=("output wire irq",))

@@ -1,0 +1,233 @@
+"""UART with TX/RX FIFOs — the corpus' medium-complexity peripheral.
+
+A 16550-flavoured design: programmable baud divider, 8N1 framing, 8-deep
+TX and RX FIFOs, and a real serial pair (``tx``/``rx`` pins) so two
+instances can be cross-wired, or ``tx`` looped back into ``rx``.
+
+Register map:
+
+====== ========= ===================================================
+0x00   TXDATA    write: push byte into the TX FIFO
+0x04   RXDATA    read: pop byte from the RX FIFO
+0x08   STATUS    bit0 TX_BUSY, bit1 TX_FULL, bit2 RX_AVAIL,
+                 bit3 RX_OVERRUN, bit4 TX_EMPTY
+0x0C   CTRL      bit0 RX_IRQ_EN, bit1 TX_IRQ_EN, bit2 CLR_OVERRUN
+0x10   BAUDDIV   clock cycles per bit (16 bit, minimum 2)
+====== ========= ===================================================
+
+``irq`` = (RX_AVAIL && RX_IRQ_EN) || (TX idle+empty && TX_IRQ_EN).
+"""
+
+from __future__ import annotations
+
+from repro.peripherals.axi_skeleton import axi_module
+
+NAME = "uart"
+ADDR_BITS = 8
+IRQ = True
+
+REGISTERS = {
+    "TXDATA": 0x00,
+    "RXDATA": 0x04,
+    "STATUS": 0x08,
+    "CTRL": 0x0C,
+    "BAUDDIV": 0x10,
+}
+
+STATUS_TX_BUSY = 1 << 0
+STATUS_TX_FULL = 1 << 1
+STATUS_RX_AVAIL = 1 << 2
+STATUS_RX_OVERRUN = 1 << 3
+STATUS_TX_EMPTY = 1 << 4
+
+_CORE = """
+    reg [15:0] bauddiv;
+    reg [2:0] ctrl;
+
+    // ---- TX FIFO ----
+    reg [7:0] tx_fifo [0:7];
+    reg [2:0] tx_head;
+    reg [2:0] tx_tail;
+    reg [3:0] tx_count;
+    wire tx_full;
+    wire tx_empty;
+    assign tx_full = (tx_count == 4'd8);
+    assign tx_empty = (tx_count == 4'd0);
+
+    // ---- TX engine ----
+    reg tx_busy;
+    reg [9:0] tx_shift;
+    reg [3:0] tx_bits;
+    reg [15:0] tx_baud_cnt;
+    reg tx_line;
+
+    wire tx_pop;
+    assign tx_pop = !tx_busy && !tx_empty;
+    wire tx_push;
+    assign tx_push = bus_wr && (bus_waddr == 8'h00) && !tx_full;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            tx_head <= 0;
+            tx_tail <= 0;
+            tx_count <= 0;
+            tx_busy <= 0;
+            tx_shift <= 10'h3FF;
+            tx_bits <= 0;
+            tx_baud_cnt <= 0;
+            tx_line <= 1'b1;
+        end else begin
+            if (tx_push) begin
+                tx_fifo[tx_head] <= bus_wdata[7:0];
+                tx_head <= tx_head + 1;
+            end
+            if (tx_pop) begin
+                // Frame: start(0), 8 data bits LSB first, stop(1).
+                tx_shift <= {1'b1, tx_fifo[tx_tail], 1'b0};
+                tx_tail <= tx_tail + 1;
+                tx_busy <= 1'b1;
+                tx_bits <= 4'd10;
+                tx_baud_cnt <= 0;
+            end
+            if (tx_push && !tx_pop)
+                tx_count <= tx_count + 1;
+            if (tx_pop && !tx_push)
+                tx_count <= tx_count - 1;
+            if (tx_busy) begin
+                if (tx_baud_cnt == 0) begin
+                    tx_line <= tx_shift[0];
+                    tx_shift <= {1'b1, tx_shift[9:1]};
+                    tx_baud_cnt <= bauddiv - 1;
+                    if (tx_bits == 0) begin
+                        tx_busy <= 1'b0;
+                        tx_line <= 1'b1;
+                    end else begin
+                        tx_bits <= tx_bits - 1;
+                    end
+                end else begin
+                    tx_baud_cnt <= tx_baud_cnt - 1;
+                end
+            end
+        end
+    end
+
+    assign tx = tx_line;
+
+    // ---- RX FIFO ----
+    reg [7:0] rx_fifo [0:7];
+    reg [2:0] rx_head;
+    reg [2:0] rx_tail;
+    reg [3:0] rx_count;
+    reg rx_overrun;
+    wire rx_avail;
+    wire rx_full;
+    assign rx_avail = (rx_count != 0);
+    assign rx_full = (rx_count == 4'd8);
+
+    // ---- RX engine ----
+    reg [1:0] rx_sync;
+    reg rx_active;
+    reg [3:0] rx_bits;
+    reg [15:0] rx_baud_cnt;
+    reg [7:0] rx_shift;
+    reg rx_push;
+
+    wire rx_pop;
+    assign rx_pop = bus_rd && (bus_raddr == 8'h04) && rx_avail;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            rx_sync <= 2'b11;
+            rx_active <= 0;
+            rx_bits <= 0;
+            rx_baud_cnt <= 0;
+            rx_shift <= 0;
+            rx_push <= 0;
+            rx_head <= 0;
+            rx_tail <= 0;
+            rx_count <= 0;
+            rx_overrun <= 0;
+        end else begin
+            rx_sync <= {rx_sync[0], rx};
+            rx_push <= 1'b0;
+            if (!rx_active) begin
+                if (rx_sync == 2'b10) begin
+                    // Falling edge: start bit. Sample mid-bit.
+                    rx_active <= 1'b1;
+                    rx_bits <= 4'd8;
+                    rx_baud_cnt <= bauddiv + (bauddiv >> 1) - 1;
+                end
+            end else begin
+                if (rx_baud_cnt == 0) begin
+                    if (rx_bits == 0) begin
+                        // Stop-bit position: commit the byte.
+                        rx_active <= 1'b0;
+                        if (!rx_full) begin
+                            rx_fifo[rx_head] <= rx_shift;
+                            rx_head <= rx_head + 1;
+                            rx_push <= 1'b1;
+                        end else begin
+                            rx_overrun <= 1'b1;
+                        end
+                    end else begin
+                        rx_shift <= {rx_sync[1], rx_shift[7:1]};
+                        rx_bits <= rx_bits - 1;
+                        rx_baud_cnt <= bauddiv - 1;
+                    end
+                end else begin
+                    rx_baud_cnt <= rx_baud_cnt - 1;
+                end
+            end
+            if (rx_pop) begin
+                rx_tail <= rx_tail + 1;
+            end
+            if (rx_push && !rx_pop)
+                rx_count <= rx_count + 1;
+            if (rx_pop && !rx_push)
+                rx_count <= rx_count - 1;
+            if (bus_wr && (bus_waddr == 8'h0C) && bus_wdata[2])
+                rx_overrun <= 1'b0;
+        end
+    end
+
+    // ---- control registers ----
+    always @(posedge clk) begin
+        if (rst) begin
+            bauddiv <= 16'd4;
+            ctrl <= 0;
+        end else if (bus_wr) begin
+            case (bus_waddr)
+                8'h0C: ctrl <= bus_wdata[2:0];
+                8'h10: begin
+                    if (bus_wdata[15:0] < 2)
+                        bauddiv <= 16'd2;
+                    else
+                        bauddiv <= bus_wdata[15:0];
+                end
+                default: begin end
+            endcase
+        end
+    end
+
+    reg [31:0] rd_data;
+    always @(*) begin
+        case (bus_raddr)
+            8'h04: rd_data = {24'h0, rx_fifo[rx_tail]};
+            8'h08: rd_data = {27'h0, tx_empty && !tx_busy, rx_overrun,
+                              rx_avail, tx_full, tx_busy};
+            8'h0C: rd_data = {29'h0, ctrl};
+            8'h10: rd_data = {16'h0, bauddiv};
+            default: rd_data = 32'h0;
+        endcase
+    end
+
+    assign irq = (rx_avail && ctrl[0]) || (tx_empty && !tx_busy && ctrl[1]);
+"""
+
+
+def verilog() -> str:
+    return axi_module(NAME, _CORE, ADDR_BITS, extra_ports=(
+        "input wire rx",
+        "output wire tx",
+        "output wire irq",
+    ))

@@ -1,0 +1,69 @@
+"""Wishbone (classic) slave scaffold.
+
+The paper stresses that HardSnap's memory-bus abstraction is modular
+("a simulated memory bus (i.e., AXI, Wishbone)"). This scaffold exposes
+the *same* core contract as :mod:`~repro.peripherals.axi_skeleton` —
+``bus_wr``/``bus_waddr``/``bus_wdata``, ``bus_rd``/``bus_raddr`` and the
+combinational ``rd_data`` mux — so any peripheral core body drops into
+either bus unchanged (see :mod:`~repro.peripherals.gpio_wb`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def wishbone_module(name: str, core_body: str, addr_bits: int = 8,
+                    extra_ports: Sequence[str] = (),
+                    params: Optional[str] = None) -> str:
+    """Assemble a Wishbone classic slave module around *core_body*."""
+    ports = [
+        "input wire clk",
+        "input wire rst",
+        "input wire wb_cyc",
+        "input wire wb_stb",
+        "input wire wb_we",
+        f"input wire [{addr_bits - 1}:0] wb_adr",
+        "input wire [31:0] wb_dat_w",
+        "output reg wb_ack",
+        "output reg [31:0] wb_dat_r",
+    ]
+    ports.extend(extra_ports)
+    port_text = ",\n    ".join(ports)
+    param_text = f" #(\n    {params}\n)" if params else ""
+    return f"""
+module {name}{param_text} (
+    {port_text}
+);
+    // ---- Wishbone handshake: single-beat, one wait state ----
+    wire bus_req;
+    assign bus_req = wb_cyc && wb_stb && !wb_ack;
+    wire bus_wr;
+    wire bus_rd;
+    wire [{addr_bits - 1}:0] bus_waddr;
+    wire [31:0] bus_wdata;
+    wire [{addr_bits - 1}:0] bus_raddr;
+    assign bus_wr = bus_req && wb_we;
+    assign bus_rd = bus_req && !wb_we;
+    assign bus_waddr = wb_adr;
+    assign bus_wdata = wb_dat_w;
+    assign bus_raddr = wb_adr;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            wb_ack <= 1'b0;
+            wb_dat_r <= 0;
+        end else begin
+            wb_ack <= 1'b0;
+            if (bus_req) begin
+                wb_ack <= 1'b1;
+                if (!wb_we)
+                    wb_dat_r <= rd_data;
+            end
+        end
+    end
+
+    // ---- peripheral core (bus-agnostic) ----
+{core_body}
+endmodule
+"""

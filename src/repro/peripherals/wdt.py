@@ -1,0 +1,121 @@
+"""Watchdog timer — the classic embedded-safety peripheral.
+
+Counts down while enabled; firmware must feed it (write the magic value
+to FEED) before it reaches zero, or the ``wdt_reset`` output fires — in a
+real SoC, a system reset. Once LOCKed, the watchdog cannot be disabled,
+only fed: the configuration is write-once, as on production parts.
+
+Register map:
+
+====== ======== ====================================================
+0x00   CTRL     bit0 EN, bit1 LOCK (write-once: sets are sticky)
+0x04   LOAD     countdown reload value
+0x08   VALUE    current count (read-only)
+0x0C   FEED     write MAGIC (0x5C) to reload; anything else is
+                recorded as a bad feed and does NOT reload
+0x10   STATUS   bit0 BARKED (reset fired, write-1-to-clear),
+                bit8-15 bad-feed count (read-only)
+====== ======== ====================================================
+
+``wdt_reset`` stays high until STATUS.BARKED is cleared.
+"""
+
+from __future__ import annotations
+
+from repro.peripherals.axi_skeleton import axi_module
+
+NAME = "wdt"
+ADDR_BITS = 8
+IRQ = False
+
+REGISTERS = {
+    "CTRL": 0x00,
+    "LOAD": 0x04,
+    "VALUE": 0x08,
+    "FEED": 0x0C,
+    "STATUS": 0x10,
+}
+
+CTRL_EN = 1 << 0
+CTRL_LOCK = 1 << 1
+FEED_MAGIC = 0x5C
+STATUS_BARKED = 1 << 0
+
+_CORE = """
+    reg enable;
+    reg locked;
+    reg [31:0] load;
+    reg [31:0] value;
+    reg barked;
+    reg [7:0] bad_feeds;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            enable <= 0;
+            locked <= 0;
+            load <= 32'hFFFF;
+            value <= 32'hFFFF;
+            barked <= 0;
+            bad_feeds <= 0;
+        end else begin
+            if (enable) begin
+                if (value == 0) begin
+                    barked <= 1'b1;
+                    value <= load;
+                end else begin
+                    value <= value - 1;
+                end
+            end
+            if (bus_wr) begin
+                case (bus_waddr)
+                    8'h00: begin
+                        // LOCK is sticky; EN can only be set while
+                        // unlocked, never cleared once locked
+                        if (!locked) begin
+                            enable <= bus_wdata[0];
+                        end else begin
+                            enable <= enable | bus_wdata[0];
+                        end
+                        locked <= locked | bus_wdata[1];
+                    end
+                    8'h04: begin
+                        if (!locked) begin
+                            load <= bus_wdata;
+                            value <= bus_wdata;
+                        end
+                    end
+                    8'h0C: begin
+                        if (bus_wdata[7:0] == 8'h5C) begin
+                            value <= load;
+                        end else begin
+                            bad_feeds <= bad_feeds + 1;
+                        end
+                    end
+                    8'h10: begin
+                        if (bus_wdata[0])
+                            barked <= 1'b0;
+                    end
+                    default: begin end
+                endcase
+            end
+        end
+    end
+
+    reg [31:0] rd_data;
+    always @(*) begin
+        case (bus_raddr)
+            8'h00: rd_data = {30'h0, locked, enable};
+            8'h04: rd_data = load;
+            8'h08: rd_data = value;
+            8'h10: rd_data = {16'h0, bad_feeds, 7'h0, barked};
+            default: rd_data = 32'h0;
+        endcase
+    end
+
+    assign wdt_reset = barked;
+"""
+
+
+def verilog() -> str:
+    return axi_module(NAME, _CORE, ADDR_BITS,
+                      extra_ports=("output wire wdt_reset",))

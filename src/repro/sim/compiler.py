@@ -1,0 +1,508 @@
+"""Compiled RTL simulator backend.
+
+The design is translated once into Python source (one ``settle`` function
+for the combinational logic in dependency order, one ``edge`` function for
+the sequential logic with buffered non-blocking commits) and ``exec``-ed.
+Dispatch, statement walking and width bookkeeping all happen at compile
+time, so the generated code runs an order of magnitude faster than the
+tree-walking :class:`~repro.sim.interpreter.Interpreter`.
+
+In HardSnap terms this backend is the *FPGA emulation target*: fast, but
+with no per-cycle tracing — the only state access paths the
+:class:`~repro.targets.fpga.FpgaTarget` exposes on top of it are the scan
+chain and the readback model, exactly like real fabric.
+
+The generated code maintains the same invariant as the interpreter: every
+stored value is already masked to its net's width.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import SimulationError
+from repro.hdl import ir
+from repro.sim.base import BaseSimulation
+from repro.sim.scheduler import clock_domain, order_comb_blocks
+
+
+class CompiledSimulation(BaseSimulation):
+    """Cycle-based simulation through generated Python code."""
+
+    def __init__(self, design: ir.Design, clock: str = "clk"):
+        gen = _CodeGen(design, clock)
+        self.source = gen.generate()
+        namespace: Dict[str, object] = {}
+        code = compile(self.source, f"<compiled:{design.name}>", "exec")
+        exec(code, namespace)  # noqa: S102 - code generated from our own IR
+        self._settle_fn = namespace["settle"]
+        self._edge_fn = namespace["edge"]
+        self._edge_neg_fn = namespace["edge_neg"]
+        self._init_fn = namespace["init"]
+        self._has_negedge = gen.has_negedge
+        super().__init__(design, clock)
+
+    def _run_init_blocks(self) -> None:
+        self._init_fn(self.values, self.memories)
+
+    def _settle(self) -> None:
+        self._settle_fn(self.values, self.memories)
+
+    def _clock_edge(self) -> None:
+        self._edge_fn(self.values, self.memories)
+
+    def _clock_negedge(self) -> None:
+        self._edge_neg_fn(self.values, self.memories)
+
+
+class _CodeGen:
+    def __init__(self, design: ir.Design, clock: str):
+        self.design = design
+        self.clock = clock
+        self.lines: List[str] = []
+        self.indent = 0
+        self.temp_count = 0
+        self.has_negedge = False
+
+    # -- emit helpers ---------------------------------------------------------
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def fresh(self, hint: str = "t") -> str:
+        self.temp_count += 1
+        return f"_{hint}{self.temp_count}"
+
+    # -- top level ----------------------------------------------------------------
+
+    def generate(self) -> str:
+        self.lines = []
+        self._gen_init()
+        self._gen_settle()
+        self._gen_edge("edge", "posedge")
+        self._gen_edge("edge_neg", "negedge")
+        return "\n".join(self.lines) + "\n"
+
+    def _gen_init(self) -> None:
+        self.emit("def init(V, M):")
+        self.indent += 1
+        body_emitted = False
+        for block in self.design.init_blocks:
+            self._gen_stmts_direct(block.stmts)
+            body_emitted = True
+        if not body_emitted:
+            self.emit("pass")
+        self.indent -= 1
+        self.emit("")
+
+    def _gen_settle(self) -> None:
+        self.emit("def settle(V, M):")
+        self.indent += 1
+        ordered = order_comb_blocks(self.design)
+        if not ordered:
+            self.emit("pass")
+        for block in ordered:
+            self._gen_stmts_direct(block.stmts)
+        self.indent -= 1
+        self.emit("")
+
+    def _gen_edge(self, fn_name: str, edge: str) -> None:
+        self._edge_fn_name = fn_name
+        self.emit(f"def {fn_name}(V, M):")
+        self.indent += 1
+        domain = clock_domain(self.design, self.clock)
+        blocks = [b for b in self.design.seq_blocks
+                  if b.clock.name in domain and b.clock_edge == edge]
+        if edge == "negedge" and blocks:
+            self.has_negedge = True
+        if not blocks:
+            self.emit("pass")
+            self.indent -= 1
+            self.emit("")
+            return
+        commits: List[str] = []
+        for i, block in enumerate(blocks):
+            self.emit(f"# seq block {block.name or i}")
+            self._gen_seq_block(block, commits)
+        self.emit("# commit non-blocking updates")
+        for line in commits:
+            self.emit(line)
+        self.indent -= 1
+        self.emit("")
+
+    # -- sequential blocks --------------------------------------------------------
+
+    def _gen_seq_block(self, block: ir.SeqBlock, commits: List[str]) -> None:
+        blocking_nets = _blocking_net_writes(block.stmts)
+        if blocking_nets:
+            # Locals shadow every blocking-written net so sibling blocks
+            # keep reading pre-edge values from V.
+            local_map = {name: self.fresh("l") for name in sorted(blocking_nets)}
+            for name, local in local_map.items():
+                self.emit(f"{local} = V[{name!r}]")
+            ctx = _SeqCtx(self, commits, local_map)
+            ctx.gen_stmts(block.stmts)
+            for name, local in local_map.items():
+                net = self.design.nets[name]
+                commits.append(f"V[{name!r}] = {local} & {net.mask}")
+        else:
+            ctx = _SeqCtx(self, commits, {})
+            ctx.gen_stmts(block.stmts)
+
+    # -- direct (combinational / initial) statements ------------------------------------
+
+    def _gen_stmts_direct(self, stmts: List[ir.Stmt]) -> None:
+        ctx = _CombCtx(self)
+        ctx.gen_stmts(stmts)
+
+    # -- expressions ---------------------------------------------------------------
+
+    def gen_expr(self, expr: ir.Expr, rd) -> str:
+        kind = type(expr)
+        mask = (1 << expr.width) - 1
+        if kind is ir.Const:
+            return str(expr.value)
+        if kind is ir.Ref:
+            return rd(expr.net.name)
+        if kind is ir.Binary:
+            return self._gen_binary(expr, rd, mask)
+        if kind is ir.Unary:
+            return self._gen_unary(expr, rd, mask)
+        if kind is ir.Ternary:
+            cond = self.gen_expr(expr.cond, rd)
+            then = self.gen_expr(expr.then, rd)
+            other = self.gen_expr(expr.other, rd)
+            return f"({then} if {cond} else {other})"
+        if kind is ir.Slice:
+            value = self.gen_expr(expr.value, rd)
+            if expr.lo == 0:
+                return f"({value} & {mask})"
+            return f"(({value} >> {expr.lo}) & {mask})"
+        if kind is ir.Concat:
+            pieces = []
+            offset = 0
+            for part in reversed(expr.parts):
+                text = self.gen_expr(part, rd)
+                pieces.append(f"({text} << {offset})" if offset else text)
+                offset += part.width
+            return "(" + " | ".join(pieces) + ")"
+        if kind is ir.MemRead:
+            index = self.gen_expr(expr.index, rd)
+            mem = expr.memory
+            return (f"(M[{mem.name!r}][{index}] "
+                    f"if {index} < {mem.depth} else 0)")
+        if kind is ir.DynBit:
+            value = self.gen_expr(expr.value, rd)
+            index = self.gen_expr(expr.index, rd)
+            return (f"((({value}) >> ({index})) & 1 "
+                    f"if ({index}) < {expr.value.width} else 0)")
+        raise SimulationError(f"codegen: unknown expression {expr!r}")
+
+    def _gen_binary(self, expr: ir.Binary, rd, mask: int) -> str:
+        a = self.gen_expr(expr.left, rd)
+        op = expr.op
+        if op == "&&":
+            b = self.gen_expr(expr.right, rd)
+            return f"(1 if ({a}) and ({b}) else 0)"
+        if op == "||":
+            b = self.gen_expr(expr.right, rd)
+            return f"(1 if ({a}) or ({b}) else 0)"
+        b = self.gen_expr(expr.right, rd)
+        if op in ("+", "-", "*"):
+            return f"((({a}) {op} ({b})) & {mask})"
+        if op == "/":
+            return f"(((({a}) // ({b})) & {mask}) if ({b}) else {mask})"
+        if op == "%":
+            return f"(((({a}) % ({b})) & {mask}) if ({b}) else (({a}) & {mask}))"
+        if op in ("&", "|", "^"):
+            return f"(({a}) {op} ({b}))"
+        if op == "<<":
+            if isinstance(expr.right, ir.Const):
+                if expr.right.value >= expr.width:
+                    return "0"
+                return f"((({a}) << {expr.right.value}) & {mask})"
+            return f"(((({a}) << ({b})) & {mask}) if ({b}) < 64 else 0)"
+        if op in (">>", ">>>"):
+            if isinstance(expr.right, ir.Const):
+                return f"(({a}) >> {expr.right.value})" if expr.right.value < 64 else "0"
+            return f"((({a}) >> ({b})) if ({b}) < 64 else 0)"
+        py_ops = {"==": "==", "!=": "!=", "<": "<", "<=": "<=",
+                  ">": ">", ">=": ">="}
+        if op in py_ops:
+            return f"(1 if ({a}) {py_ops[op]} ({b}) else 0)"
+        raise SimulationError(f"codegen: unknown binary op {op!r}")
+
+    def _gen_unary(self, expr: ir.Unary, rd, mask: int) -> str:
+        value = self.gen_expr(expr.operand, rd)
+        op = expr.op
+        operand_mask = (1 << expr.operand.width) - 1
+        if op == "~":
+            return f"(~({value}) & {mask})"
+        if op == "-":
+            return f"(-({value}) & {mask})"
+        if op == "!":
+            return f"(1 if ({value}) == 0 else 0)"
+        if op == "&":
+            return f"(1 if ({value}) == {operand_mask} else 0)"
+        if op == "|":
+            return f"(1 if ({value}) else 0)"
+        if op == "^":
+            return f"(({value}).bit_count() & 1)"
+        if op == "~&":
+            return f"(0 if ({value}) == {operand_mask} else 1)"
+        if op == "~|":
+            return f"(0 if ({value}) else 1)"
+        if op == "~^":
+            return f"((({value}).bit_count() + 1) & 1)"
+        raise SimulationError(f"codegen: unknown unary op {op!r}")
+
+
+class _StmtCtx:
+    """Shared statement-lowering logic; subclasses define write semantics."""
+
+    def __init__(self, gen: _CodeGen):
+        self.gen = gen
+
+    def rd(self, name: str) -> str:
+        raise NotImplementedError
+
+    def write(self, target: ir.LValue, value_text: str) -> None:
+        raise NotImplementedError
+
+    def gen_stmts(self, stmts: List[ir.Stmt]) -> None:
+        if not stmts:
+            self.gen.emit("pass")
+            return
+        for stmt in stmts:
+            self.gen_stmt(stmt)
+
+    def gen_stmt(self, stmt: ir.Stmt) -> None:
+        gen = self.gen
+        if isinstance(stmt, ir.SAssign):
+            self.assign(stmt)
+        elif isinstance(stmt, ir.SIf):
+            cond = gen.gen_expr(stmt.cond, self.rd)
+            gen.emit(f"if {cond}:")
+            gen.indent += 1
+            self.gen_stmts(stmt.then)
+            gen.indent -= 1
+            if stmt.other:
+                gen.emit("else:")
+                gen.indent += 1
+                self.gen_stmts(stmt.other)
+                gen.indent -= 1
+        elif isinstance(stmt, ir.SCase):
+            subj_temp = gen.fresh("cs")
+            gen.emit(f"{subj_temp} = {gen.gen_expr(stmt.subject, self.rd)}")
+            first = True
+            for item in stmt.items:
+                tests = []
+                for value, care in item.labels:
+                    full = (1 << stmt.subject.width) - 1
+                    if care == full:
+                        tests.append(f"{subj_temp} == {value}")
+                    else:
+                        tests.append(f"({subj_temp} & {care}) == {value}")
+                keyword = "if" if first else "elif"
+                gen.emit(f"{keyword} {' or '.join(tests)}:")
+                gen.indent += 1
+                self.gen_stmts(item.body)
+                gen.indent -= 1
+                first = False
+            if stmt.default or not first:
+                if first:
+                    self.gen_stmts(stmt.default)
+                else:
+                    gen.emit("else:")
+                    gen.indent += 1
+                    self.gen_stmts(stmt.default)
+                    gen.indent -= 1
+            elif first:
+                gen.emit("pass")
+        else:
+            raise SimulationError(f"codegen: unknown statement {stmt!r}")
+
+    def assign(self, stmt: ir.SAssign) -> None:
+        if isinstance(stmt.target, ir.LConcat):
+            # Evaluate once, scatter to parts.
+            temp = self.gen.fresh("cc")
+            self.gen.emit(f"{temp} = {self.gen.gen_expr(stmt.value, self.rd)}")
+            offset = 0
+            for part in reversed(stmt.target.parts):
+                part_mask = (1 << part.width) - 1
+                piece = f"(({temp} >> {offset}) & {part_mask})" if offset \
+                    else f"({temp} & {part_mask})"
+                self.write_leaf(part, piece, stmt.blocking)
+                offset += part.width
+            return
+        value_text = self.gen.gen_expr(stmt.value, self.rd)
+        self.write_leaf(stmt.target, value_text, stmt.blocking)
+
+    def write_leaf(self, target: ir.LValue, value_text: str,
+                   blocking: bool) -> None:
+        raise NotImplementedError
+
+
+class _CombCtx(_StmtCtx):
+    """Combinational / initial context: direct reads and writes on V/M."""
+
+    def rd(self, name: str) -> str:
+        return f"V[{name!r}]"
+
+    def write_leaf(self, target: ir.LValue, value_text: str,
+                   blocking: bool) -> None:
+        gen = self.gen
+        if isinstance(target, ir.LNet):
+            net = target.net
+            if target.hi is None:
+                gen.emit(f"V[{net.name!r}] = ({value_text}) & {net.mask}")
+            else:
+                width = target.hi - target.lo + 1
+                field_mask = ((1 << width) - 1) << target.lo
+                gen.emit(
+                    f"V[{net.name!r}] = ((V[{net.name!r}] & {~field_mask & net.mask}) "
+                    f"| ((({value_text}) << {target.lo}) & {field_mask}))")
+        elif isinstance(target, ir.LNetDyn):
+            net = target.net
+            idx = gen.gen_expr(target.index, self.rd)
+            temp = gen.fresh("i")
+            gen.emit(f"{temp} = {idx}")
+            gen.emit(f"if {temp} < {net.width}:")
+            gen.indent += 1
+            gen.emit(
+                f"V[{net.name!r}] = ((V[{net.name!r}] & ~(1 << {temp})) "
+                f"| ((({value_text}) & 1) << {temp}))")
+            gen.indent -= 1
+        elif isinstance(target, ir.LMem):
+            mem = target.memory
+            idx = gen.gen_expr(target.index, self.rd)
+            temp = gen.fresh("i")
+            gen.emit(f"{temp} = {idx}")
+            gen.emit(f"if {temp} < {mem.depth}:")
+            gen.indent += 1
+            gen.emit(f"M[{mem.name!r}][{temp}] = ({value_text}) & {mem.mask}")
+            gen.indent -= 1
+        else:
+            raise SimulationError(f"codegen: unknown lvalue {target!r}")
+
+
+class _SeqCtx(_StmtCtx):
+    """Sequential context: buffered non-blocking writes, local blocking."""
+
+    def __init__(self, gen: _CodeGen, commits: List[str],
+                 local_map: Dict[str, str]):
+        super().__init__(gen)
+        self.commits = commits
+        self.local_map = local_map
+
+    def rd(self, name: str) -> str:
+        local = self.local_map.get(name)
+        if local is not None:
+            return local
+        return f"V[{name!r}]"
+
+    def write_leaf(self, target: ir.LValue, value_text: str,
+                   blocking: bool) -> None:
+        gen = self.gen
+        if blocking:
+            self._write_blocking(target, value_text)
+            return
+        if isinstance(target, ir.LNet):
+            net = target.net
+            temp = gen.fresh("nb")
+            gen.lines.insert(self._prologue_index(), f"    {temp} = None")
+            gen.emit(f"{temp} = {value_text}")
+            if target.hi is None:
+                self.commits.append(
+                    f"if {temp} is not None: V[{net.name!r}] = {temp} & {net.mask}")
+            else:
+                width = target.hi - target.lo + 1
+                field_mask = ((1 << width) - 1) << target.lo
+                self.commits.append(
+                    f"if {temp} is not None: V[{net.name!r}] = "
+                    f"((V[{net.name!r}] & {~field_mask & net.mask}) "
+                    f"| (({temp} << {target.lo}) & {field_mask}))")
+        elif isinstance(target, ir.LNetDyn):
+            net = target.net
+            idx = gen.gen_expr(target.index, self.rd)
+            temp = gen.fresh("nb")
+            gen.lines.insert(self._prologue_index(), f"    {temp} = None")
+            gen.emit(f"{temp} = (({idx}), ({value_text}))")
+            self.commits.append(
+                f"if {temp} is not None and {temp}[0] < {net.width}: "
+                f"V[{net.name!r}] = ((V[{net.name!r}] & ~(1 << {temp}[0])) "
+                f"| (({temp}[1] & 1) << {temp}[0]))")
+        elif isinstance(target, ir.LMem):
+            mem = target.memory
+            idx = gen.gen_expr(target.index, self.rd)
+            temp = gen.fresh("nb")
+            gen.lines.insert(self._prologue_index(), f"    {temp} = None")
+            gen.emit(f"{temp} = (({idx}), ({value_text}))")
+            self.commits.append(
+                f"if {temp} is not None and {temp}[0] < {mem.depth}: "
+                f"M[{mem.name!r}][{temp}[0]] = {temp}[1] & {mem.mask}")
+        else:
+            raise SimulationError(f"codegen: unknown lvalue {target!r}")
+
+    def _prologue_index(self) -> int:
+        """Index right after the current edge function's header, where
+        non-blocking temporaries are initialised to None."""
+        header = f"def {self.gen._edge_fn_name}("
+        for i, line in enumerate(self.gen.lines):
+            if line.startswith(header):
+                return i + 1
+        raise SimulationError("edge function header not found")
+
+    def _write_blocking(self, target: ir.LValue, value_text: str) -> None:
+        gen = self.gen
+        if isinstance(target, ir.LNet):
+            local = self.local_map.get(target.net.name)
+            if local is None:
+                raise SimulationError(
+                    f"blocking write to {target.net.name!r} missing local")
+            net = target.net
+            if target.hi is None:
+                gen.emit(f"{local} = ({value_text}) & {net.mask}")
+            else:
+                width = target.hi - target.lo + 1
+                field_mask = ((1 << width) - 1) << target.lo
+                gen.emit(
+                    f"{local} = (({local} & {~field_mask & net.mask}) "
+                    f"| ((({value_text}) << {target.lo}) & {field_mask}))")
+        elif isinstance(target, ir.LNetDyn):
+            local = self.local_map.get(target.net.name)
+            if local is None:
+                raise SimulationError(
+                    f"blocking write to {target.net.name!r} missing local")
+            idx = gen.gen_expr(target.index, self.rd)
+            temp = gen.fresh("i")
+            gen.emit(f"{temp} = {idx}")
+            gen.emit(f"if {temp} < {target.net.width}:")
+            gen.indent += 1
+            gen.emit(f"{local} = (({local} & ~(1 << {temp})) "
+                     f"| ((({value_text}) & 1) << {temp}))")
+            gen.indent -= 1
+        elif isinstance(target, ir.LMem):
+            # Blocking memory writes in seq blocks commit immediately
+            # (matches the interpreter's documented behaviour).
+            mem = target.memory
+            idx = gen.gen_expr(target.index, self.rd)
+            temp = gen.fresh("i")
+            gen.emit(f"{temp} = {idx}")
+            gen.emit(f"if {temp} < {mem.depth}:")
+            gen.indent += 1
+            gen.emit(f"M[{mem.name!r}][{temp}] = ({value_text}) & {mem.mask}")
+            gen.indent -= 1
+        else:
+            raise SimulationError(f"codegen: unknown lvalue {target!r}")
+
+
+def _blocking_net_writes(stmts: List[ir.Stmt]) -> set:
+    """Names of nets written with blocking assignments anywhere in *stmts*."""
+    names: set = set()
+    for stmt in ir._walk_stmts(stmts):
+        if isinstance(stmt, ir.SAssign) and stmt.blocking:
+            for leaf in ir._leaf_lvalues(stmt.target):
+                if isinstance(leaf, (ir.LNet, ir.LNetDyn)):
+                    names.add(leaf.net.name)
+    return names

@@ -1,0 +1,13 @@
+"""Quantifier-free bitvector constraint solving.
+
+This package is the decision-procedure substrate for the symbolic virtual
+machine: an expression DAG (:mod:`~repro.solver.expr`), a rewriting
+simplifier (:mod:`~repro.solver.simplify`), a Tseitin bit-blaster
+(:mod:`~repro.solver.bitblast`) and a CDCL SAT solver
+(:mod:`~repro.solver.sat`), fronted by :class:`~repro.solver.solver.Solver`.
+"""
+
+from repro.solver import expr
+from repro.solver.solver import SAT, UNSAT, CheckResult, Solver, SolverStats
+
+__all__ = ["expr", "Solver", "CheckResult", "SolverStats", "SAT", "UNSAT"]

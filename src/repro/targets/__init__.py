@@ -1,0 +1,24 @@
+"""Hardware targets: the execution substrates for peripherals.
+
+* :class:`~repro.targets.simulator.SimulatorTarget` — slow, fully visible,
+  CRIU-checkpoint snapshots,
+* :class:`~repro.targets.fpga.FpgaTarget` — fast, pins-only visibility,
+  scan-chain snapshots via the on-board
+  :class:`~repro.targets.snapshot_ip.SnapshotIp` (plus vendor readback),
+* :class:`~repro.targets.orchestrator.TargetOrchestrator` — registry and
+  live state transfer between targets.
+"""
+
+from repro.targets.base import HardwareTarget, HwSnapshot, PeripheralInstance
+from repro.targets.fpga import DEFAULT_FPGA_CLOCK_HZ, FpgaTarget
+from repro.targets.orchestrator import TargetOrchestrator, TransferRecord
+from repro.targets.simulator import (DEFAULT_SIM_CLOCK_HZ, CriuModel,
+                                     SimulatorTarget)
+from repro.targets.snapshot_ip import SnapshotIp
+
+__all__ = [
+    "HardwareTarget", "HwSnapshot", "PeripheralInstance",
+    "SimulatorTarget", "CriuModel", "DEFAULT_SIM_CLOCK_HZ",
+    "FpgaTarget", "DEFAULT_FPGA_CLOCK_HZ", "SnapshotIp",
+    "TargetOrchestrator", "TransferRecord",
+]

@@ -1,0 +1,215 @@
+"""Hardware target abstraction.
+
+A *target* hosts a set of peripherals behind a memory map and exposes the
+four capabilities HardSnap's virtual machine needs:
+
+* MMIO access (``read``/``write``) — the Inception-style memory
+  forwarding path, priced by the target's transport,
+* time (``step``) — peripherals advance in lockstep on a shared clock,
+* interrupt lines (``irq_lines``),
+* hardware snapshotting (``save_snapshot``/``restore_snapshot``), each
+  target with its own method and cost model.
+
+Every operation accounts *modelled* time on the target's
+:class:`~repro.bus.transport.ModelledTimer`: executed cycles divided by
+the target's effective clock rate plus transport latencies. See
+DESIGN.md's substitution ledger for how these stand in for the paper's
+wall-clock measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bus.axi4lite import Axi4LiteMaster
+from repro.bus.memory_map import MemoryMap, Region
+from repro.bus.wishbone import WishboneMaster
+from repro.bus.transport import ModelledTimer, Transport
+from repro.errors import TargetError
+from repro.hdl.ir import Design
+from repro.peripherals.catalog import PeripheralSpec
+from repro.sim.base import BaseSimulation
+
+
+@dataclass
+class HwSnapshot:
+    """A complete hardware state image.
+
+    ``states`` maps instance name -> the canonical state dict produced by
+    :meth:`BaseSimulation.save_state` (state nets, state memories, input
+    pin levels, cycle counter). The canonical form is target-independent,
+    which is what makes multi-target state transfer possible.
+    """
+
+    states: Dict[str, dict]
+    method: str = "direct"
+    bits: int = 0
+    modelled_cost_s: float = 0.0
+    snapshot_id: Optional[int] = None
+
+    def clone(self) -> "HwSnapshot":
+        import copy
+        return HwSnapshot(copy.deepcopy(self.states), self.method, self.bits,
+                          self.modelled_cost_s, self.snapshot_id)
+
+
+@dataclass
+class PeripheralInstance:
+    """One hosted peripheral: spec + elaborated design + live simulation."""
+
+    name: str
+    spec: PeripheralSpec
+    design: Design
+    sim: BaseSimulation
+    bus: object  # Axi4LiteMaster or WishboneMaster (same read/write API)
+    region: Region
+    extra: dict = field(default_factory=dict)  # target-specific (scan map…)
+
+    @property
+    def state_bits(self) -> int:
+        return self.design.state_bit_count
+
+    def irq(self) -> bool:
+        if not self.spec.has_irq:
+            return False
+        return bool(self.sim.peek("irq"))
+
+
+class HardwareTarget:
+    """Base class for the simulator and FPGA targets."""
+
+    #: "full" (every net inspectable) or "pins" (ports only).
+    visibility = "full"
+
+    def __init__(self, name: str, clock_hz: float, transport: Transport):
+        self.name = name
+        self.clock_hz = clock_hz
+        self.transport = transport
+        self.timer = ModelledTimer()
+        self.memory_map = MemoryMap()
+        self.instances: Dict[str, PeripheralInstance] = {}
+        self.cycles = 0
+
+    # -- construction ------------------------------------------------------
+
+    def add_peripheral(self, spec: PeripheralSpec, base: int,
+                       instance_name: Optional[str] = None) -> PeripheralInstance:
+        name = instance_name or spec.name
+        if name in self.instances:
+            raise TargetError(f"duplicate instance name {name!r}")
+        region = self.memory_map.add(name, base, spec.window_size)
+        design, extra = self._prepare_design(spec)
+        sim = self._make_sim(design)
+        # The memory-bus abstraction is modular (paper §IV-A): pick the
+        # BFM matching the peripheral's interface.
+        if spec.bus == "wishbone":
+            bus = WishboneMaster(sim)
+        else:
+            bus = Axi4LiteMaster(sim)
+        instance = PeripheralInstance(name, spec, design, sim, bus, region,
+                                      extra)
+        self.instances[name] = instance
+        return instance
+
+    def _prepare_design(self, spec: PeripheralSpec) -> Tuple[Design, dict]:
+        """Elaborate (and possibly instrument) the peripheral design."""
+        return spec.elaborate(), {}
+
+    def _make_sim(self, design: Design) -> BaseSimulation:
+        raise NotImplementedError
+
+    # -- reset / time ------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Power-on reset of every hosted peripheral (a 'reboot')."""
+        for instance in self.instances.values():
+            instance.sim.reset_state()
+            instance.sim.poke("rst", 1)
+            instance.sim.step(2)
+            instance.sim.poke("rst", 0)
+            instance.sim.step(1)
+        self.cycles += 3
+        self.timer.add_cycles(3, self.clock_hz)
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance all peripherals by *cycles* clock cycles."""
+        for instance in self.instances.values():
+            instance.sim.step(cycles)
+        self.cycles += cycles
+        self.timer.add_cycles(cycles, self.clock_hz)
+
+    # -- MMIO ----------------------------------------------------------------------
+
+    def _route(self, addr: int) -> Tuple[PeripheralInstance, int]:
+        hit = self.memory_map.resolve(addr)
+        if hit is None:
+            raise TargetError(f"unmapped MMIO address 0x{addr:08x}")
+        region, offset = hit
+        return self.instances[region.name], offset
+
+    def read(self, addr: int) -> int:
+        """MMIO read, forwarded over the target's transport."""
+        instance, offset = self._route(addr)
+        value, cycles = instance.bus.read(offset)
+        self._after_access(instance, cycles)
+        return value
+
+    def write(self, addr: int, value: int) -> None:
+        """MMIO write, forwarded over the target's transport."""
+        instance, offset = self._route(addr)
+        cycles = instance.bus.write(offset, value)
+        self._after_access(instance, cycles)
+
+    def _after_access(self, accessed: PeripheralInstance, cycles: int) -> None:
+        # Keep all peripherals in lockstep: the bus transaction consumed
+        # `cycles` on the accessed peripheral; advance the others too.
+        for instance in self.instances.values():
+            if instance is not accessed:
+                instance.sim.step(cycles)
+        self.cycles += cycles
+        self.timer.add_cycles(cycles, self.clock_hz)
+        self.timer.add_transport(self.transport.access_latency_s(1))
+
+    # -- interrupts -------------------------------------------------------------------
+
+    def irq_lines(self) -> Dict[str, bool]:
+        """Current level of each peripheral's irq output pin."""
+        return {name: inst.irq() for name, inst in self.instances.items()}
+
+    # -- introspection ------------------------------------------------------------------
+
+    def peek(self, instance_name: str, net: str) -> int:
+        """Inspect a net; targets restrict this to their visibility level."""
+        instance = self._instance(instance_name)
+        self._check_visibility(instance, net)
+        return instance.sim.peek(net)
+
+    def _instance(self, name: str) -> PeripheralInstance:
+        instance = self.instances.get(name)
+        if instance is None:
+            raise TargetError(f"unknown instance {name!r}")
+        return instance
+
+    def _check_visibility(self, instance: PeripheralInstance, net: str) -> None:
+        if self.visibility == "full":
+            return
+        design = instance.design
+        port_names = {n.name for n in design.inputs}
+        port_names |= {n.name for n in design.outputs}
+        if net not in port_names:
+            raise TargetError(
+                f"{self.name}: net {net!r} is internal; the FPGA target "
+                f"only exposes pins — use the scan chain or readback")
+
+    # -- snapshotting ------------------------------------------------------------------
+
+    def save_snapshot(self) -> HwSnapshot:
+        raise NotImplementedError
+
+    def restore_snapshot(self, snapshot: HwSnapshot) -> None:
+        raise NotImplementedError
+
+    @property
+    def total_state_bits(self) -> int:
+        return sum(inst.state_bits for inst in self.instances.values())

@@ -1,0 +1,146 @@
+"""Multi-target orchestration (paper §III-B "Multi-target orchestration").
+
+    "It supports state transfer from one target to another one at any
+    time during the analysis... the target orchestration enables to
+    start the analysis on the FPGA target and once a particular point is
+    reached the FPGA state is transferred to the Verilator target."
+
+The orchestrator keeps a registry of targets hosting the *same* set of
+peripherals and moves live hardware states between them: capture on the
+source (scan chain / CRIU), convert through the canonical state form,
+load on the destination. It also tracks which target is *active* so a
+virtual machine can route MMIO to the current one transparently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import TargetError
+from repro.targets.base import HardwareTarget, HwSnapshot
+
+
+@dataclass
+class TransferRecord:
+    source: str
+    destination: str
+    bits: int
+    modelled_cost_s: float
+
+
+class TargetOrchestrator:
+    """Registry + state-transfer engine over interchangeable targets."""
+
+    def __init__(self) -> None:
+        self._targets: Dict[str, HardwareTarget] = {}
+        self._active: Optional[str] = None
+        self.transfers: List[TransferRecord] = []
+
+    # -- registry -----------------------------------------------------------
+
+    def register(self, target: HardwareTarget, active: bool = False) -> None:
+        if target.name in self._targets:
+            raise TargetError(f"target {target.name!r} already registered")
+        if self._targets:
+            reference = next(iter(self._targets.values()))
+            if set(reference.instances) != set(target.instances):
+                raise TargetError(
+                    "all registered targets must host the same instances; "
+                    f"{target.name!r} differs from {reference.name!r}")
+        self._targets[target.name] = target
+        if active or self._active is None:
+            self._active = target.name
+
+    def target(self, name: str) -> HardwareTarget:
+        target = self._targets.get(name)
+        if target is None:
+            raise TargetError(f"unknown target {name!r}; "
+                              f"registered: {sorted(self._targets)}")
+        return target
+
+    @property
+    def active(self) -> HardwareTarget:
+        if self._active is None:
+            raise TargetError("no target registered")
+        return self._targets[self._active]
+
+    @property
+    def names(self) -> List[str]:
+        return sorted(self._targets)
+
+    # -- state transfer -------------------------------------------------------------
+
+    def transfer(self, source: str, destination: str,
+                 switch_active: bool = True) -> HwSnapshot:
+        """Move the live hardware state from *source* to *destination*.
+
+        Captures with the source's snapshot method, loads with the
+        destination's, and (by default) makes the destination the active
+        target. Returns the canonical snapshot that travelled.
+        """
+        src = self.target(source)
+        dst = self.target(destination)
+        if src is dst:
+            raise TargetError("source and destination are the same target")
+        snapshot = src.save_snapshot()
+        # The state leaves the source's domain: a cross-target transfer
+        # always streams the image over the slower of the two transports.
+        link = max(src.transport, dst.transport,
+                   key=lambda t: t.per_access_s)
+        link_cost = link.bulk_latency_s(max(snapshot.bits, 1))
+        dst.timer.add_transport(link_cost)
+        dst.restore_snapshot(snapshot)
+        total = snapshot.modelled_cost_s + link_cost
+        self.transfers.append(TransferRecord(source, destination,
+                                             snapshot.bits, total))
+        if switch_active:
+            self._active = destination
+        return snapshot
+
+    def modelled_time_s(self) -> float:
+        """Total modelled time across all registered targets."""
+        return sum(t.timer.total_s for t in self._targets.values())
+
+    def active_view(self) -> "ActiveTargetView":
+        """A HardwareTarget-shaped proxy that always follows the active
+        target — lets an analysis engine run over the orchestrator and
+        keep working across mid-analysis target switches."""
+        return ActiveTargetView(self)
+
+
+class ActiveTargetView:
+    """Delegates the HardwareTarget surface to the orchestrator's active
+    target. Attribute access (``timer``, ``instances``, ``visibility``…)
+    follows the active target dynamically."""
+
+    def __init__(self, orchestrator: TargetOrchestrator):
+        object.__setattr__(self, "_orch", orchestrator)
+
+    @property
+    def _target(self) -> HardwareTarget:
+        return self._orch.active
+
+    def __getattr__(self, name: str):
+        return getattr(self._target, name)
+
+    def read(self, addr: int) -> int:
+        return self._target.read(addr)
+
+    def write(self, addr: int, value: int) -> None:
+        self._target.write(addr, value)
+
+    def step(self, cycles: int = 1) -> None:
+        self._target.step(cycles)
+
+    def irq_lines(self):
+        return self._target.irq_lines()
+
+    def reset(self) -> None:
+        self._target.reset()
+
+    def save_snapshot(self) -> HwSnapshot:
+        return self._target.save_snapshot()
+
+    def restore_snapshot(self, snapshot: HwSnapshot) -> None:
+        self._target.restore_snapshot(snapshot)

@@ -1,0 +1,112 @@
+"""The on-FPGA snapshot controller IP (paper §III-C).
+
+    "On the FPGA-based hardware platform, an internal hardware block
+    ('IP') manages hardware snapshots... It saves and restores the
+    peripherals state, by driving the scan chain previously inserted...
+    For performance reasons, the scanning IP saves peripherals snapshots
+    in an SRAM memory."
+
+This class models that block: it owns the scan-chain shift operation
+(cycle cost = chain length, plus a small command overhead) and an SRAM
+snapshot store with finite capacity. Snapshots that fit stay on-board
+(cheap to restore); once the SRAM is full the oldest snapshots are
+evicted to the host over the debugger link and must be streamed back
+before a restore (priced at the transport's bulk bandwidth).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.bus.transport import Transport
+
+#: On-board snapshot SRAM (a typical BRAM budget carved out for the IP).
+DEFAULT_SRAM_BITS = 4 * 1024 * 1024
+#: Fixed command overhead per save/restore operation, cycles.
+COMMAND_OVERHEAD_CYCLES = 12
+
+
+@dataclass
+class IpStats:
+    saves: int = 0
+    restores: int = 0
+    sram_hits: int = 0
+    host_round_trips: int = 0
+    evictions: int = 0
+
+
+class SnapshotIp:
+    """SRAM-backed scan-chain snapshot controller."""
+
+    def __init__(self, clock_hz: float, transport: Transport,
+                 sram_bits: int = DEFAULT_SRAM_BITS):
+        self.clock_hz = clock_hz
+        self.transport = transport
+        self.sram_bits = sram_bits
+        self._next_slot = 1
+        # slot id -> bits, insertion-ordered for FIFO eviction.
+        self._resident: "OrderedDict[int, int]" = OrderedDict()
+        self._evicted: Dict[int, int] = {}
+        self.stats = IpStats()
+
+    # -- cost helpers -----------------------------------------------------------
+
+    def shift_cost_s(self, chain_bits: int) -> float:
+        """Modelled time of one full scan rotation at the FPGA clock."""
+        return (chain_bits + COMMAND_OVERHEAD_CYCLES) / self.clock_hz
+
+    # -- save --------------------------------------------------------------------
+
+    def save(self, chain_bits: int) -> Tuple[int, float]:
+        """Account one snapshot save; returns ``(slot_id, modelled_s)``.
+
+        The scan shift streams the state into SRAM; if the SRAM is full,
+        the oldest resident snapshot is evicted to the host first.
+        """
+        self.stats.saves += 1
+        cost = self.shift_cost_s(chain_bits)
+        while self._resident_bits() + chain_bits > self.sram_bits and self._resident:
+            old_slot, old_bits = self._resident.popitem(last=False)
+            self._evicted[old_slot] = old_bits
+            self.stats.evictions += 1
+            cost += self.transport.bulk_latency_s(old_bits)
+        slot = self._next_slot
+        self._next_slot += 1
+        if chain_bits <= self.sram_bits:
+            self._resident[slot] = chain_bits
+        else:
+            # Pathological: one snapshot larger than the SRAM goes straight
+            # to the host.
+            self._evicted[slot] = chain_bits
+            cost += self.transport.bulk_latency_s(chain_bits)
+            self.stats.host_round_trips += 1
+        return slot, cost
+
+    # -- restore ------------------------------------------------------------------
+
+    def restore(self, slot: Optional[int], chain_bits: int) -> float:
+        """Account one snapshot restore; returns the modelled time."""
+        self.stats.restores += 1
+        cost = self.shift_cost_s(chain_bits)
+        if slot is not None and slot in self._resident:
+            self.stats.sram_hits += 1
+            self._resident.move_to_end(slot)
+        else:
+            # Stream the image back from the host before shifting it in.
+            self.stats.host_round_trips += 1
+            cost += self.transport.bulk_latency_s(chain_bits)
+        return cost
+
+    def forget(self, slot: int) -> None:
+        """Free a slot (snapshot no longer needed)."""
+        self._resident.pop(slot, None)
+        self._evicted.pop(slot, None)
+
+    def _resident_bits(self) -> int:
+        return sum(self._resident.values())
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._resident)

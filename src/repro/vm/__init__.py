@@ -1,0 +1,34 @@
+"""The Selective Symbolic Virtual Machine.
+
+KLEE/Inception-style symbolic execution of HS32 firmware with MMIO
+forwarding into the hardware domain:
+
+* :class:`~repro.vm.state.ExecState` — the combined HW/SW state S,
+* :class:`~repro.vm.executor.SymbolicExecutor` — instruction semantics,
+  forking, detectors,
+* :class:`~repro.vm.forwarding.MmioBridge` — boundary concretization
+  policy (performance vs completeness),
+* :mod:`~repro.vm.searchers` — SelectNextState heuristics,
+* :mod:`~repro.vm.detectors` — bug records with full HW/SW context.
+"""
+
+from repro.vm.detectors import Bug
+from repro.vm.executor import StepOutcome, SymbolicExecutor
+from repro.vm.forwarding import (COMPLETENESS, PERFORMANCE,
+                                 ConcretizationPolicy, MmioBridge)
+from repro.vm.memory import SymbolicMemory
+from repro.vm.searchers import (SEARCHERS, BfsSearcher, CoverageSearcher,
+                                DfsSearcher, RandomSearcher, RoundRobinSearcher,
+                                Searcher, SnapshotAffinitySearcher,
+                                make_searcher)
+from repro.vm.state import (STATUS_ACTIVE, STATUS_ERROR, STATUS_HALTED,
+                            STATUS_TERMINATED, ExecState)
+
+__all__ = [
+    "ExecState", "SymbolicExecutor", "StepOutcome", "SymbolicMemory",
+    "MmioBridge", "ConcretizationPolicy", "PERFORMANCE", "COMPLETENESS",
+    "Bug", "Searcher", "DfsSearcher", "BfsSearcher", "RandomSearcher",
+    "CoverageSearcher", "RoundRobinSearcher", "SnapshotAffinitySearcher", "make_searcher",
+    "SEARCHERS", "STATUS_ACTIVE", "STATUS_HALTED", "STATUS_ERROR",
+    "STATUS_TERMINATED",
+]

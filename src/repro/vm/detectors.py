@@ -1,0 +1,60 @@
+"""Runtime detectors and bug records.
+
+HardSnap "inherits from KLEE the runtime detection mechanism for memory
+corruptions, and it offers an interface to write assertions that are
+especially relevant for the detection of peripherals misuse" (§III).
+
+Every confirmed bug carries:
+
+* the software side: pc, instruction, recent control flow, a *concrete
+  test case* (solver model of the path condition — KLEE's .ktest),
+* the hardware side: the state's hardware snapshot, giving the complete
+  peripheral register view at the detection point — the paper's
+  "complete view of the peripheral state" for root-cause analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.solver import expr as E
+from repro.targets.base import HwSnapshot
+
+KIND_OOB_READ = "out-of-bounds-read"
+KIND_OOB_WRITE = "out-of-bounds-write"
+KIND_ASSERTION = "assertion-failure"
+KIND_ILLEGAL_INSTR = "illegal-instruction"
+KIND_UNALIGNED = "unaligned-access"
+KIND_STACK_OVERFLOW = "stack-overflow"
+KIND_UNMAPPED_MMIO = "unmapped-mmio-access"
+
+
+@dataclass
+class Bug:
+    """One confirmed security finding."""
+
+    kind: str
+    pc: int
+    state_id: int
+    detail: str
+    #: Concrete witness: symbolic variable name -> value.
+    test_case: Dict[str, int] = field(default_factory=dict)
+    #: Complete hardware state at detection (peripheral registers).
+    hw_snapshot: Optional[HwSnapshot] = None
+    #: Recent program counters (control-flow tail).
+    backtrace: List[int] = field(default_factory=list)
+    steps: int = 0
+
+    def summary(self) -> str:
+        tc = ", ".join(f"{k}=0x{v:x}" for k, v in sorted(self.test_case.items()))
+        return (f"{self.kind} at pc=0x{self.pc:x} (state {self.state_id}, "
+                f"step {self.steps})"
+                + (f" with {tc}" if tc else ""))
+
+
+def model_to_test_case(model: Dict[E.BitVec, int]) -> Dict[str, int]:
+    """Solver model -> named test vector."""
+    return {v.name or f"v{i}": value
+            for i, (v, value) in enumerate(sorted(
+                model.items(), key=lambda kv: kv[0].name or ""))}

@@ -1,0 +1,524 @@
+"""The selective symbolic executor for HS32 firmware.
+
+Executes firmware symbolically (KLEE-style: fork on feasible symbolic
+branches, path conditions checked by the bitvector solver) while
+*concretely* forwarding every access that crosses the VM boundary into
+the hardware domain — HardSnap's selective symbolic execution (§III-B).
+
+Forking discipline at the hardware boundary: when a state must fork
+because a symbolic address/value reaches MMIO under the completeness
+policy, the siblings are forked *before* the access executes — they
+re-execute the access against their own hardware snapshot when
+scheduled. Only the currently scheduled state ever touches live
+hardware, which is what keeps Algorithm 1's per-state hardware ownership
+sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple, Union
+
+from repro.errors import VmError
+from repro.isa import encoding as enc
+from repro.isa.assembler import Program
+from repro.solver import Solver
+from repro.solver import expr as E
+from repro.vm import detectors as D
+from repro.vm.forwarding import MmioBridge
+from repro.vm.memory import SymbolicMemory, Value
+from repro.vm.state import (STATUS_ERROR, STATUS_HALTED, STATUS_TERMINATED,
+                            ExecState)
+
+MASK32 = 0xFFFFFFFF
+
+
+@dataclass
+class StepOutcome:
+    """Result of executing one instruction on one state."""
+
+    forks: List[ExecState] = field(default_factory=list)
+    bug: Optional[D.Bug] = None
+
+
+class SymbolicExecutor:
+    """Instruction-level symbolic execution engine."""
+
+    def __init__(self, program: Program, bridge: Optional[MmioBridge],
+                 solver: Optional[Solver] = None,
+                 ram_size: int = 64 * 1024,
+                 mmio_base: int = 0x4000_0000,
+                 max_forks_per_branch: int = 2):
+        self.program = program
+        self.bridge = bridge
+        self.solver = solver or (bridge.solver if bridge else Solver())
+        self.ram_size = ram_size
+        self.mmio_base = mmio_base
+        self.bugs: List[D.Bug] = []
+        self.coverage: Set[int] = set()
+        self._sym_counter = 0
+        self.instructions_executed = 0
+        self.sat_forks = 0
+
+    # -- state construction ---------------------------------------------------
+
+    def make_initial_state(self) -> ExecState:
+        memory = SymbolicMemory(self.ram_size)
+        memory.load_image(self.program.as_bytes())
+        state = ExecState(memory=memory, pc=self.program.entry)
+        state.set_reg(enc.REG_SP, self.ram_size - 16)
+        return state
+
+    # -- interrupts (called by the engine loop) -----------------------------------
+
+    def maybe_interrupt(self, state: ExecState, pending: bool) -> bool:
+        """Vector into the handler if an IRQ is pending and deliverable.
+
+        Interrupt service is atomic at the engine level (Inception's
+        timing-violation avoidance): the engine keeps scheduling this
+        state until ``in_irq`` drops.
+        """
+        if not (pending and state.irq_enabled and not state.in_irq
+                and state.irq_handler is not None):
+            return False
+        state.irq_return_pc = state.pc
+        state.in_irq = True
+        state.pc = state.irq_handler
+        return True
+
+    # -- stepping -------------------------------------------------------------------
+
+    def step(self, state: ExecState) -> StepOutcome:
+        """Execute one instruction; may fork, halt, or record a bug."""
+        outcome = StepOutcome()
+        word = self._fetch(state, outcome)
+        if word is None:
+            return outcome
+        instr = enc.decode(word)
+        if not enc.is_valid_opcode(instr.opcode):
+            self._bug(state, outcome, D.KIND_ILLEGAL_INSTR,
+                      f"opcode 0x{instr.opcode:02x}")
+            return outcome
+        self.coverage.add(state.pc)
+        state.recent_pcs.append(state.pc)
+        state.steps += 1
+        self.instructions_executed += 1
+        self._execute(state, instr, outcome)
+        return outcome
+
+    def _fetch(self, state: ExecState, outcome: StepOutcome) -> Optional[int]:
+        if state.pc % 4 or state.pc + 4 > self.ram_size or state.pc < 0:
+            self._bug(state, outcome, D.KIND_OOB_READ,
+                      f"instruction fetch at 0x{state.pc:x}")
+            return None
+        word = state.memory.read(state.pc, 4)
+        if not isinstance(word, int):
+            self._bug(state, outcome, D.KIND_ILLEGAL_INSTR,
+                      "symbolic instruction word (self-modifying code?)")
+            return None
+        return word
+
+    # -- dispatch ----------------------------------------------------------------------
+
+    def _execute(self, state: ExecState, instr: enc.Instruction,
+                 outcome: StepOutcome) -> None:
+        op = instr.opcode
+        next_pc = state.pc + 4
+        if op in enc.R_TYPE:
+            state.set_reg(instr.rd, self._alu_r(state, op, instr.rs1,
+                                                instr.rs2))
+        elif op in enc.I_ALU:
+            state.set_reg(instr.rd, self._alu_i(state, op, instr.rs1,
+                                                instr.imm))
+        elif op in enc.LOADS:
+            if not self._load(state, instr, outcome):
+                return
+        elif op in enc.STORES:
+            if not self._store(state, instr, outcome):
+                return
+        elif op in enc.BRANCHES:
+            taken_pc = (state.pc + instr.imm) & MASK32
+            self._branch(state, instr, taken_pc, next_pc, outcome)
+            return
+        elif op == enc.JAL:
+            if instr.rd:
+                state.set_reg(instr.rd, next_pc)
+            state.pc = (state.pc + instr.imm) & MASK32
+            return
+        elif op == enc.JALR:
+            target = self._jalr_target(state, instr, outcome)
+            if target is None:
+                return
+            if instr.rd:
+                state.set_reg(instr.rd, next_pc)
+            state.pc = target
+            return
+        elif op == enc.HALT:
+            code = state.reg(instr.rs1)
+            if not isinstance(code, int):
+                code = self.solver.eval_one(code, state.constraints) or 0
+            state.status = STATUS_HALTED
+            state.halt_code = code
+            return
+        elif op == enc.IRET:
+            if not state.in_irq:
+                self._bug(state, outcome, D.KIND_ILLEGAL_INSTR,
+                          "iret outside interrupt")
+                return
+            state.in_irq = False
+            state.pc = state.irq_return_pc
+            return
+        elif op == enc.HS:
+            if not self._intrinsic(state, instr, outcome):
+                return
+        else:  # pragma: no cover - guarded by is_valid_opcode
+            raise VmError(f"unhandled opcode {op:#x}")
+        state.pc = next_pc
+
+    # -- ALU -------------------------------------------------------------------------------
+
+    def _alu_r(self, state: ExecState, op: int, rs1: int, rs2: int) -> Value:
+        a, b = state.reg(rs1), state.reg(rs2)
+        if isinstance(a, int) and isinstance(b, int):
+            return _concrete_alu_r(op, a, b)
+        ea, eb = state.reg_expr(rs1), state.reg_expr(rs2)
+        return _symbolic_alu_r(op, ea, eb)
+
+    def _alu_i(self, state: ExecState, op: int, rs1: int, imm: int) -> Value:
+        a = state.reg(rs1)
+        if isinstance(a, int):
+            return _concrete_alu_i(op, a, imm)
+        return _symbolic_alu_i(op, state.reg_expr(rs1), imm)
+
+    # -- branches ------------------------------------------------------------------------------
+
+    def _branch(self, state: ExecState, instr: enc.Instruction,
+                taken_pc: int, fall_pc: int, outcome: StepOutcome) -> None:
+        a, b = state.reg(instr.rd), state.reg(instr.rs1)
+        if isinstance(a, int) and isinstance(b, int):
+            state.pc = taken_pc if _concrete_branch(instr.opcode, a, b) \
+                else fall_pc
+            return
+        cond = _symbolic_branch(instr.opcode, state.reg_expr(instr.rd),
+                                state.reg_expr(instr.rs1))
+        can_take = self.solver.may_be_true(cond, state.constraints)
+        can_fall = self.solver.may_be_true(E.not_(cond), state.constraints)
+        if can_take and can_fall:
+            # Fork: the scheduled state takes the branch, the fork falls
+            # through. Per Algorithm 1, the fork owns a cloned snapshot.
+            fork = state.fork()
+            fork.add_constraint(E.not_(cond))
+            fork.pc = fall_pc
+            state.add_constraint(cond)
+            state.pc = taken_pc
+            outcome.forks.append(fork)
+            self.sat_forks += 1
+        elif can_take:
+            state.add_constraint(cond)
+            state.pc = taken_pc
+        elif can_fall:
+            state.add_constraint(E.not_(cond))
+            state.pc = fall_pc
+        else:
+            state.status = STATUS_TERMINATED
+            state.error = "infeasible path condition"
+
+    def _jalr_target(self, state: ExecState, instr: enc.Instruction,
+                     outcome: StepOutcome) -> Optional[int]:
+        base = state.reg(instr.rs1)
+        if isinstance(base, int):
+            return (base + instr.imm) & MASK32
+        expr = E.add(state.reg_expr(instr.rs1), E.const(instr.imm, 32))
+        pairs = self.bridge.concretize(state, expr, "jump target") \
+            if self.bridge else [(state, self.solver.eval_one(
+                expr, state.constraints) or 0)]
+        # Siblings (completeness mode) re-execute the jalr when scheduled.
+        outcome.forks.extend(s for s, _ in pairs[1:])
+        return pairs[0][1]
+
+    # -- memory ----------------------------------------------------------------------------------
+
+    def _resolve_addr(self, state: ExecState, instr: enc.Instruction,
+                      outcome: StepOutcome) -> Optional[int]:
+        base = state.reg(instr.rs1)
+        if isinstance(base, int):
+            return (base + instr.imm) & MASK32
+        expr = E.add(state.reg_expr(instr.rs1), E.const(instr.imm, 32))
+        if self.bridge is not None:
+            pairs = self.bridge.concretize(state, expr, "memory address")
+        else:
+            got = self.solver.eval_one(expr, state.constraints)
+            if got is None:
+                state.status = STATUS_TERMINATED
+                return None
+            state.add_constraint(E.eq(expr, E.const(got, 32)))
+            pairs = [(state, got)]
+        outcome.forks.extend(s for s, _ in pairs[1:])
+        return pairs[0][1]
+
+    def _load(self, state: ExecState, instr: enc.Instruction,
+              outcome: StepOutcome) -> bool:
+        addr = self._resolve_addr(state, instr, outcome)
+        if addr is None:
+            return False
+        size = 4 if instr.opcode == enc.LW else 1
+        if addr >= self.mmio_base:
+            if self.bridge is None:
+                self._bug(state, outcome, D.KIND_UNMAPPED_MMIO,
+                          f"MMIO load at 0x{addr:x} without hardware")
+                return False
+            word = self.bridge.read(addr & ~3)
+            if size == 1:
+                word = (word >> ((addr & 3) * 8)) & 0xFF
+            value: Value = word
+        else:
+            if addr + size > self.ram_size:
+                self._bug(state, outcome, D.KIND_OOB_READ,
+                          f"load at 0x{addr:x}")
+                return False
+            value = state.memory.read(addr, size)
+        if instr.opcode == enc.LB:
+            value = _sign_extend_byte(value)
+        elif instr.opcode == enc.LBU and isinstance(value, E.BitVec):
+            value = E.zext(value, 32)
+        state.set_reg(instr.rd, value)
+        return True
+
+    def _store(self, state: ExecState, instr: enc.Instruction,
+               outcome: StepOutcome) -> bool:
+        addr = self._resolve_addr(state, instr, outcome)
+        if addr is None:
+            return False
+        size = 4 if instr.opcode == enc.SW else 1
+        value = state.reg(instr.rd)
+        if addr >= self.mmio_base:
+            if self.bridge is None:
+                self._bug(state, outcome, D.KIND_UNMAPPED_MMIO,
+                          f"MMIO store at 0x{addr:x} without hardware")
+                return False
+            pairs = self.bridge.concretize(state, value, "MMIO store value")
+            outcome.forks.extend(s for s, _ in pairs[1:])
+            state, concrete = pairs[0]
+            if size == 1:
+                # Read-modify-write for byte stores into 32-bit registers.
+                word = self.bridge.read(addr & ~3)
+                shift = (addr & 3) * 8
+                word = (word & ~(0xFF << shift)) | ((concrete & 0xFF) << shift)
+                self.bridge.write(addr & ~3, word)
+            else:
+                self.bridge.write(addr & ~3, concrete)
+            return True
+        if addr + size > self.ram_size:
+            self._bug(state, outcome, D.KIND_OOB_WRITE,
+                      f"store at 0x{addr:x}")
+            return False
+        state.memory.write(addr, value, size)
+        return True
+
+    # -- intrinsics ----------------------------------------------------------------------------------
+
+    def _intrinsic(self, state: ExecState, instr: enc.Instruction,
+                   outcome: StepOutcome) -> bool:
+        func = instr.imm & 0xFF
+        if func == enc.HS_SYMBOLIC:
+            self._sym_counter += 1
+            state.set_reg(instr.rd,
+                          E.var(f"sym_{self._sym_counter}", 32))
+            return True
+        if func == enc.HS_SYMBOLIC_BYTES:
+            # symbuf rptr(rs1), rlen(rd): make the buffer symbolic.
+            ptr = state.reg(instr.rs1)
+            length = state.reg(instr.rd)
+            if not isinstance(ptr, int) or not isinstance(length, int):
+                self._bug(state, outcome, D.KIND_ILLEGAL_INSTR,
+                          "symbuf needs concrete pointer and length")
+                return False
+            if ptr + length > self.ram_size:
+                self._bug(state, outcome, D.KIND_OOB_WRITE,
+                          f"symbuf range 0x{ptr:x}+{length}")
+                return False
+            self._sym_counter += 1
+            base = self._sym_counter
+            for i in range(length):
+                state.memory.write_byte(
+                    ptr + i, E.var(f"buf_{base}_{i}", 8))
+            return True
+        if func == enc.HS_ASSUME:
+            cond = _truthy(state, instr.rs1)
+            if isinstance(cond, bool):
+                if not cond:
+                    state.status = STATUS_TERMINATED
+                    state.error = "assume failed (concrete)"
+                    return False
+                return True
+            if not self.solver.may_be_true(cond, state.constraints):
+                state.status = STATUS_TERMINATED
+                state.error = "assume infeasible"
+                return False
+            state.add_constraint(cond)
+            return True
+        if func == enc.HS_ASSERT:
+            cond = _truthy(state, instr.rs1)
+            if isinstance(cond, bool):
+                if not cond:
+                    self._bug(state, outcome, D.KIND_ASSERTION,
+                              "concrete assertion failed")
+                    return False
+                return True
+            neg = E.not_(cond)
+            counterexample = self.solver.check(
+                list(state.constraints) + [neg])
+            if counterexample.is_sat:
+                self._bug(state, outcome, D.KIND_ASSERTION,
+                          "assertion can fail",
+                          model=counterexample.model)
+                return False
+            state.add_constraint(cond)
+            return True
+        if func == enc.HS_SET_IVT:
+            handler = state.reg(instr.rs1)
+            if not isinstance(handler, int):
+                handler = self.solver.eval_one(handler, state.constraints) or 0
+            state.irq_handler = handler
+            return True
+        if func == enc.HS_EI:
+            state.irq_enabled = True
+            return True
+        if func == enc.HS_DI:
+            state.irq_enabled = False
+            return True
+        if func == enc.HS_TRACE:
+            mark = state.reg(instr.rs1)
+            if not isinstance(mark, int):
+                mark = self.solver.eval_one(mark, state.constraints) or 0
+            state.trace_marks.append(mark)
+            return True
+        self._bug(state, outcome, D.KIND_ILLEGAL_INSTR,
+                  f"unknown intrinsic {func}")
+        return False
+
+    # -- bug reporting ------------------------------------------------------------------------------------
+
+    def _bug(self, state: ExecState, outcome: StepOutcome, kind: str,
+             detail: str, model=None) -> None:
+        if model is None:
+            result = self.solver.check(state.constraints)
+            model = result.model if result.is_sat else {}
+        bug = D.Bug(
+            kind=kind,
+            pc=state.pc,
+            state_id=state.state_id,
+            detail=detail,
+            test_case=D.model_to_test_case(model),
+            hw_snapshot=state.hw_snapshot,
+            backtrace=list(state.recent_pcs),
+            steps=state.steps,
+        )
+        self.bugs.append(bug)
+        outcome.bug = bug
+        state.status = STATUS_ERROR
+        state.error = f"{kind}: {detail}"
+
+
+# ---------------------------------------------------------------------------
+# ALU helpers
+# ---------------------------------------------------------------------------
+
+def _concrete_alu_r(op: int, a: int, b: int) -> int:
+    from repro.isa.cpu import _alu_r
+    return _alu_r(op, a, b, 0)
+
+
+def _concrete_alu_i(op: int, a: int, imm: int) -> int:
+    from repro.isa.cpu import _alu_i
+    return _alu_i(op, a, imm, 0)
+
+
+def _concrete_branch(op: int, a: int, b: int) -> bool:
+    from repro.isa.cpu import _branch_taken
+    return _branch_taken(op, a, b)
+
+
+def _symbolic_alu_r(op: int, a: E.BitVec, b: E.BitVec) -> E.BitVec:
+    amount = E.and_(b, E.const(31, 32))
+    if op == enc.ADD:
+        return E.add(a, b)
+    if op == enc.SUB:
+        return E.sub(a, b)
+    if op == enc.AND:
+        return E.and_(a, b)
+    if op == enc.OR:
+        return E.or_(a, b)
+    if op == enc.XOR:
+        return E.xor(a, b)
+    if op == enc.SLL:
+        return E.shl(a, amount)
+    if op == enc.SRL:
+        return E.lshr(a, amount)
+    if op == enc.SRA:
+        return E.ashr(a, amount)
+    if op == enc.MUL:
+        return E.mul(a, b)
+    if op == enc.DIVU:
+        return E.ite(E.eq(b, E.const(0, 32)), E.const(MASK32, 32),
+                     E.udiv(a, b))
+    if op == enc.REMU:
+        return E.ite(E.eq(b, E.const(0, 32)), a, E.urem(a, b))
+    if op == enc.SLT:
+        return E.zext(E.slt(a, b), 32)
+    if op == enc.SLTU:
+        return E.zext(E.ult(a, b), 32)
+    raise VmError(f"not an R-type op {op:#x}")
+
+
+def _symbolic_alu_i(op: int, a: E.BitVec, imm: int) -> E.BitVec:
+    c = E.const(imm, 32)
+    if op == enc.ADDI:
+        return E.add(a, c)
+    if op == enc.ANDI:
+        return E.and_(a, c)
+    if op == enc.ORI:
+        return E.or_(a, c)
+    if op == enc.XORI:
+        return E.xor(a, c)
+    if op == enc.SLLI:
+        return E.shl(a, E.const(imm & 31, 32))
+    if op == enc.SRLI:
+        return E.lshr(a, E.const(imm & 31, 32))
+    if op == enc.SRAI:
+        return E.ashr(a, E.const(imm & 31, 32))
+    if op == enc.LUI:
+        return E.const((imm & 0xFFFF) << 16, 32)
+    raise VmError(f"not an I-type op {op:#x}")
+
+
+def _symbolic_branch(op: int, a: E.BitVec, b: E.BitVec) -> E.BitVec:
+    if op == enc.BEQ:
+        return E.eq(a, b)
+    if op == enc.BNE:
+        return E.ne(a, b)
+    if op == enc.BLT:
+        return E.slt(a, b)
+    if op == enc.BGE:
+        return E.sge(a, b)
+    if op == enc.BLTU:
+        return E.ult(a, b)
+    if op == enc.BGEU:
+        return E.uge(a, b)
+    raise VmError(f"not a branch op {op:#x}")
+
+
+def _sign_extend_byte(value: Value) -> Value:
+    if isinstance(value, int):
+        return (value - 256 if value & 0x80 else value) & MASK32
+    if value.width > 8:
+        value = E.extract(value, 7, 0)
+    return E.sext(value, 32)
+
+
+def _truthy(state: ExecState, reg: int):
+    """Register as a boolean: Python bool if concrete, else a 1-bit expr."""
+    value = state.reg(reg)
+    if isinstance(value, int):
+        return value != 0
+    return E.ne(value, E.const(0, 32))

@@ -1,0 +1,115 @@
+"""MMIO forwarding and the concretization policy (paper §III-B).
+
+    "When the symbolic domain requests access to the concrete domain
+    (i.e., hardware peripherals), our system needs to concretize the
+    symbolic expression to a set of possible concrete values. This step
+    is automatically done by HardSnap, and it is user-customizable to
+    choose between completeness (all possible values are tested) or
+    performance (only one possible value is tested)."
+
+:class:`MmioBridge` sits between the symbolic executor and the hardware
+(a target or an orchestrator's active target). Addresses and written
+values crossing the VM boundary are concretized per the policy:
+
+* ``PERFORMANCE`` — one feasible value, pinned with a constraint,
+* ``COMPLETENESS`` — up to ``limit`` feasible values; the executor forks
+  one state per value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import ConcretizationError
+from repro.solver import Solver
+from repro.solver import expr as E
+from repro.vm.state import ExecState
+
+PERFORMANCE = "performance"
+COMPLETENESS = "completeness"
+
+
+@dataclass
+class ConcretizationPolicy:
+    mode: str = PERFORMANCE
+    #: Maximum enumerated values in completeness mode.
+    limit: int = 8
+
+    def __post_init__(self):
+        if self.mode not in (PERFORMANCE, COMPLETENESS):
+            raise ConcretizationError(f"unknown policy mode {self.mode!r}")
+
+
+class MmioBridge:
+    """Routes VM memory accesses into the hardware domain."""
+
+    def __init__(self, hardware, solver: Solver,
+                 policy: Optional[ConcretizationPolicy] = None):
+        """*hardware* is anything with read/write/irq_lines/step — a
+        :class:`~repro.targets.base.HardwareTarget` or a live view of an
+        orchestrator's active target."""
+        self.hardware = hardware
+        self.solver = solver
+        self.policy = policy or ConcretizationPolicy()
+        self.accesses = 0
+        self.concretizations = 0
+        self.forks_induced = 0
+
+    # -- concretization ------------------------------------------------------
+
+    def concretize(self, state: ExecState,
+                   value: Union[int, E.BitVec],
+                   what: str) -> List[Tuple[ExecState, int]]:
+        """Concretize *value* under the state's path condition.
+
+        Returns ``[(state, concrete)]`` in performance mode; in
+        completeness mode one entry per feasible value, where the first
+        entry reuses *state* and the rest are forks. Raises
+        :class:`ConcretizationError` when no value is feasible (the state
+        is infeasible and should have been killed earlier).
+        """
+        if isinstance(value, int):
+            return [(state, value & 0xFFFFFFFF)]
+        if value.is_const:
+            return [(state, value.value)]
+        self.concretizations += 1
+        if self.policy.mode == PERFORMANCE:
+            got = self.solver.eval_one(value, state.constraints)
+            if got is None:
+                raise ConcretizationError(
+                    f"no feasible value for {what} at pc=0x{state.pc:x}")
+            state.add_constraint(E.eq(value, E.const(got, value.width)))
+            return [(state, got)]
+        values = self.solver.eval_upto(value, state.constraints,
+                                       self.policy.limit)
+        if not values:
+            raise ConcretizationError(
+                f"no feasible value for {what} at pc=0x{state.pc:x}")
+        # Fork every sibling from the unpinned state FIRST; only then pin
+        # each copy to its value (forking after pinning would leak the
+        # primary's constraint into the siblings).
+        targets = [state] + [state.fork() for _ in values[1:]]
+        self.forks_induced += len(targets) - 1
+        out: List[Tuple[ExecState, int]] = []
+        for target_state, got in zip(targets, values):
+            target_state.add_constraint(
+                E.eq(value, E.const(got, value.width)))
+            out.append((target_state, got))
+        return out
+
+    # -- hardware access --------------------------------------------------------
+
+    def read(self, addr: int) -> int:
+        self.accesses += 1
+        return self.hardware.read(addr)
+
+    def write(self, addr: int, value: int) -> None:
+        self.accesses += 1
+        self.hardware.write(addr, value)
+
+    def irq_lines(self):
+        return self.hardware.irq_lines()
+
+    def step_hardware(self, cycles: int) -> None:
+        self.hardware.step(cycles)

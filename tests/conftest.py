@@ -1,0 +1,75 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hdl import elaborate
+from repro.peripherals import catalog
+
+# A compact design exercising most RTL features: registers, memory,
+# partial writes, case, concat lvalue, hierarchical instance, dynamic
+# bit select, for-unrolled logic.
+RICH_DESIGN = r"""
+module child #(parameter W = 8) (
+    input wire clk, input wire rst, input wire en,
+    input wire [W-1:0] d, output reg [W-1:0] q
+);
+    always @(posedge clk) begin
+        if (rst) q <= 0;
+        else if (en) q <= d;
+    end
+endmodule
+
+module rich (
+    input wire clk, input wire rst,
+    input wire [7:0] a, input wire [7:0] b, input wire [2:0] sel,
+    output wire [7:0] y, output wire carry, output wire parity
+);
+    reg [7:0] acc;
+    reg [8:0] wide;
+    reg [7:0] mem [0:7];
+    reg [2:0] wptr;
+    reg [7:0] flags;
+    wire [7:0] chained;
+    child #(.W(8)) c0 (.clk(clk), .rst(rst), .en(1'b1), .d(a ^ b), .q(chained));
+
+    integer i;
+    reg [7:0] folded;
+    always @(*) begin
+        folded = 0;
+        for (i = 0; i < 8; i = i + 1)
+            folded = folded ^ (a >> i);
+    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            acc <= 0; wide <= 0; wptr <= 0; flags <= 8'hff;
+        end else begin
+            {wide[8], acc} <= {1'b0, a} + {1'b0, b};
+            wide[7:0] <= a - b;
+            mem[wptr] <= acc;
+            wptr <= wptr + 1;
+            flags[sel] <= a[0];
+            case (sel)
+                3'd0: flags[7:4] <= 4'h5;
+                3'd1, 3'd2: flags[7:4] <= b[3:0];
+                default: begin end
+            endcase
+        end
+    end
+    assign y = mem[sel] ^ chained ^ folded;
+    assign carry = wide[8];
+    assign parity = ^acc;
+endmodule
+"""
+
+
+@pytest.fixture(scope="session")
+def rich_design():
+    return elaborate(RICH_DESIGN, "rich")
+
+
+@pytest.fixture(scope="session")
+def corpus_designs():
+    return {spec.name: spec.elaborate() for spec in catalog.EXTENDED_CORPUS}

@@ -1,0 +1,69 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import main
+from repro.firmware import dispatcher, fuzz_packet_parser
+from repro.peripherals import gpio
+
+
+@pytest.fixture
+def firmware_file(tmp_path):
+    path = tmp_path / "fw.s"
+    path.write_text(dispatcher(3, work_cycles=6))
+    return str(path)
+
+
+class TestCli:
+    def test_corpus_listing(self, capsys):
+        assert main(["corpus"]) == 0
+        out = capsys.readouterr().out
+        assert "aes128" in out and "wishbone" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "HardSnap" in capsys.readouterr().out
+
+    def test_disasm(self, firmware_file, capsys):
+        assert main(["disasm", firmware_file]) == 0
+        assert "lui" in capsys.readouterr().out
+
+    def test_run_session(self, firmware_file, capsys):
+        code = main(["run", firmware_file,
+                     "--peripheral", "timer@0x40000000",
+                     "--max-instructions", "100000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "paths=3" in out
+
+    def test_run_reports_bugs_nonzero_exit(self, tmp_path, capsys):
+        from repro.firmware import vuln_buffer_overflow
+        path = tmp_path / "vuln.s"
+        path.write_text(vuln_buffer_overflow())
+        code = main(["run", str(path),
+                     "--peripheral", "uart@0x40010000",
+                     "--max-instructions", "300000",
+                     "--stop-after-bugs", "1"])
+        assert code == 1
+        assert "BUG" in capsys.readouterr().out
+
+    def test_instrument_writes_verilog(self, tmp_path, capsys):
+        design_path = tmp_path / "gpio.v"
+        design_path.write_text(gpio.verilog())
+        out_path = tmp_path / "gpio_scan.v"
+        code = main(["instrument", str(design_path), "--top", "gpio",
+                     "-o", str(out_path)])
+        assert code == 0
+        text = out_path.read_text()
+        assert "scan_enable" in text and "module gpio_scan" in text
+
+    def test_fuzz_finds_crash(self, tmp_path, capsys):
+        path = tmp_path / "fuzz.s"
+        path.write_text(fuzz_packet_parser())
+        code = main(["fuzz", str(path),
+                     "--peripheral", "timer@0x40000000",
+                     "-n", "300", "--seed", "010441424344",
+                     "--seed", "0207"])
+        assert code == 1  # crashes found
+        out = capsys.readouterr().out
+        assert "crash" in out

@@ -1,0 +1,151 @@
+"""Engine edge cases: replay with read side effects, budgets, interrupt
+atomicity at engine level, state caps."""
+
+import pytest
+
+from repro.core import HardSnapSession
+from repro.firmware import TIMER_BASE, UART_BASE, dispatcher
+from repro.peripherals import catalog
+
+UART = [(catalog.UART, UART_BASE)]
+TIMER = [(catalog.TIMER, TIMER_BASE)]
+
+# Firmware whose path prefix performs a *side-effecting read*: popping the
+# UART RX FIFO. Replay must re-trigger the pop to rebuild hardware state.
+SIDE_EFFECT_READ = f"""
+.equ UART, 0x{UART_BASE:x}
+start:
+    movi r1, UART
+    movi r2, 4
+    sw   r2, 16(r1)         ; BAUDDIV = 4
+    movi r2, 0x5A
+    sw   r2, 0(r1)          ; TX a byte (loopback wired in the test)
+rx_wait:
+    lw   r3, 8(r1)
+    andi r3, r3, 4          ; RX_AVAIL
+    beq  r3, r0, rx_wait
+    lw   r4, 4(r1)          ; POP the fifo — side-effecting read
+    ; fork AFTER the pop: both paths' replays must reproduce the pop
+    sym  r5
+    andi r5, r5, 1
+    beq  r5, r0, path_a
+path_b:
+    lw   r6, 8(r1)
+    andi r6, r6, 4          ; fifo must now be EMPTY
+    movi r8, 1
+    beq  r6, r0, ok_b
+    movi r8, 0
+ok_b:
+    assert r8
+    movi r2, 0xB
+    halt r2
+path_a:
+    lw   r6, 8(r1)
+    andi r6, r6, 4
+    movi r8, 1
+    beq  r6, r0, ok_a
+    movi r8, 0
+ok_a:
+    assert r8
+    movi r2, 0xA
+    halt r2
+"""
+
+
+def _loopback(target):
+    instance = target.instances["uart"]
+    sim = instance.sim
+    original_step = sim.step
+
+    def looped(cycles=1):
+        for _ in range(cycles):
+            sim.poke("rx", sim.peek("tx"))
+            original_step(1)
+
+    sim.step = looped
+
+
+class TestReplayWithSideEffects:
+    @pytest.mark.parametrize("strategy", ["hardsnap", "naive-consistent"])
+    def test_fifo_pop_reproduced(self, strategy):
+        """Both consistency mechanisms must reproduce the RX-FIFO pop for
+        every path: the status read after the fork sees an empty FIFO."""
+        from repro.core import SessionConfig, make_target
+        config = SessionConfig(strategy=strategy, searcher="round-robin",
+                               scan_mode="functional")
+        target = make_target(config)
+        target.add_peripheral(catalog.UART, UART_BASE)
+        _loopback(target)
+        session = HardSnapSession(SIDE_EFFECT_READ, [], config=config,
+                                  target=target)
+        report = session.run(max_instructions=60_000)
+        assert sorted(report.halt_codes()) == [0xA, 0xB], report.summary()
+        assert not report.bugs
+
+
+class TestBudgets:
+    def test_max_states_caps_frontier(self):
+        session = HardSnapSession(dispatcher(16, work_cycles=6), TIMER,
+                                  scan_mode="functional")
+        report = session.run(max_instructions=100_000, max_states=4)
+        assert report.max_live_states <= 4
+
+    def test_host_time_limit(self):
+        # An unbounded-looking workload with a tiny wall-clock budget.
+        session = HardSnapSession(dispatcher(16, work_cycles=200), TIMER,
+                                  scan_mode="functional")
+        report = session.run(max_instructions=10_000_000,
+                             host_time_limit_s=0.2)
+        assert report.stop_reason in ("host-timeout", "exhausted")
+
+    def test_zero_instruction_budget(self):
+        session = HardSnapSession(dispatcher(2, work_cycles=6), TIMER,
+                                  scan_mode="functional")
+        report = session.run(max_instructions=0)
+        assert report.instructions == 0
+        assert report.stop_reason == "instruction-budget"
+
+
+class TestEngineInterrupts:
+    def test_handler_not_preempted_by_searcher(self):
+        """Once a state enters its IRQ handler, the engine keeps
+        scheduling it to completion (Inception's atomic interrupts) even
+        under round-robin scheduling with a competing state."""
+        src = f"""
+        .equ TIMER, 0x{TIMER_BASE:x}
+        start:
+            movi r1, TIMER
+            movi r2, handler
+            setivt r2
+            movi r9, 0
+            ei
+            movi r2, 6
+            sw   r2, 4(r1)
+            movi r2, 3
+            sw   r2, 0(r1)
+            ; fork into two states competing for scheduling
+            sym  r4
+            andi r4, r4, 1
+            beq  r4, r0, second
+        first:
+            beq  r9, r0, first
+            movi r2, 1
+            halt r2
+        second:
+            beq  r9, r0, second
+            movi r2, 2
+            halt r2
+        handler:
+            push r2
+            ; multi-instruction handler: must run atomically
+            movi r9, 1
+            movi r2, 1
+            sw   r2, 12(r1)
+            pop  r2
+            iret
+        """
+        session = HardSnapSession(src, TIMER, searcher="round-robin",
+                                  scan_mode="functional")
+        report = session.run(max_instructions=100_000)
+        assert sorted(report.halt_codes()) == [1, 2]
+        assert not report.bugs

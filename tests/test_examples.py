@@ -1,0 +1,27 @@
+"""The examples are part of the public contract: run each as a script
+and check it exits cleanly (their internal asserts check the behaviour).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_every_example_is_covered():
+    assert len(EXAMPLES) >= 7
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_clean(name, tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=300,
+        cwd=tmp_path,  # artifacts (e.g. VCD files) land in a sandbox
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr[-2000:]}"
+    assert result.stdout  # every example narrates what it shows

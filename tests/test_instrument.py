@@ -1,0 +1,268 @@
+"""Scan-chain insertion, readback model, Verilog emission tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InstrumentationError
+from repro.hdl import elaborate
+from repro.instrument import (ReadbackModel, emit_verilog, insert_scan_chain,
+                              overhead_row)
+from repro.instrument.scan_chain import SCAN_ENABLE, SCAN_IN, SCAN_OUT
+from repro.peripherals import catalog
+from repro.sim import CompiledSimulation, Interpreter
+
+SMALL = r"""
+module small (input wire clk, input wire rst, input wire [7:0] d,
+              input wire we, output wire [7:0] q);
+    reg [7:0] r1;
+    reg [3:0] r2;
+    reg flag;
+    reg [7:0] ram [0:3];
+    always @(posedge clk) begin
+        if (rst) begin r1 <= 0; r2 <= 0; flag <= 0; end
+        else if (we) begin
+            r1 <= d;
+            r2 <= r2 + 1;
+            flag <= ~flag;
+            ram[r2[1:0]] <= d ^ r1;
+        end
+    end
+    assign q = r1 ^ ram[0];
+endmodule
+"""
+
+
+def _scan_pass(sim, stream_in, length):
+    """Pre-edge-read scan protocol; returns the captured stream."""
+    out = 0
+    sim.poke(SCAN_ENABLE, 1)
+    for k in range(length):
+        out |= sim.peek(SCAN_OUT) << k
+        sim.poke(SCAN_IN, (stream_in >> k) & 1)
+        sim.step()
+    sim.poke(SCAN_ENABLE, 0)
+    return out
+
+
+@pytest.fixture(scope="module")
+def small_scan():
+    design = elaborate(SMALL, "small")
+    return design, insert_scan_chain(design)
+
+
+class TestChainConstruction:
+    def test_chain_covers_all_state(self, small_scan):
+        design, result = small_scan
+        assert result.chain_length == design.state_bit_count == 45
+
+    def test_ports_added(self, small_scan):
+        _, result = small_scan
+        names = {n.name for n in result.design.inputs}
+        assert {SCAN_ENABLE, SCAN_IN} <= names
+        assert SCAN_OUT in {n.name for n in result.design.outputs}
+
+    def test_reserved_name_collision_rejected(self):
+        src = ("module m (input wire clk, input wire scan_in); "
+               "reg r; always @(posedge clk) r <= scan_in; endmodule")
+        with pytest.raises(InstrumentationError):
+            insert_scan_chain(elaborate(src, "m"))
+
+    def test_no_state_rejected(self):
+        src = ("module m (input wire clk, input wire a, output wire o); "
+               "assign o = ~a; endmodule")
+        with pytest.raises(InstrumentationError):
+            insert_scan_chain(elaborate(src, "m"))
+
+    def test_original_design_untouched(self):
+        design = elaborate(SMALL, "small")
+        before = design.stats()
+        insert_scan_chain(design)
+        assert design.stats() == before
+        assert SCAN_ENABLE not in design.nets
+
+    def test_include_filter_limits_chain(self):
+        src = """
+        module leaf (input wire clk, input wire [3:0] d, output reg [3:0] q);
+            always @(posedge clk) q <= d;
+        endmodule
+        module top (input wire clk, input wire [3:0] d, output wire [3:0] o);
+            wire [3:0] mid;
+            reg [7:0] local_reg;
+            leaf a (.clk(clk), .d(d), .q(mid));
+            leaf b (.clk(clk), .d(mid), .q(o));
+            always @(posedge clk) local_reg <= {d, d};
+        endmodule
+        """
+        design = elaborate(src, "top")
+        result = insert_scan_chain(design, include=["a"])
+        assert result.chain_length == 4
+        assert all(e.name.startswith("a.") for e in result.elements)
+
+    def test_memory_limit_exclusion(self):
+        design = catalog.DMA.elaborate()  # 8192-bit RAM
+        result = insert_scan_chain(design, memory_limit_bits=1024)
+        assert "ram" in result.excluded_memories
+        assert result.chain_length == design.state_bit_count - 8192
+
+
+class TestPackUnpack:
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_pack_unpack_roundtrip(self, small_scan, data):
+        _, result = small_scan
+        nets = {}
+        mems = {}
+        for element in result.elements:
+            value = data.draw(st.integers(0, (1 << element.width) - 1))
+            if element.kind == "net":
+                nets[element.name] = value
+            else:
+                mems.setdefault(element.name, [0] * 4)[element.word] = value
+        stream = result.pack(nets, mems)
+        got_nets, got_mems = result.unpack(stream)
+        assert got_nets == nets
+        for name, words in mems.items():
+            for i, w in enumerate(words):
+                assert got_mems[name][i] == w
+
+    def test_stream_width_bounded(self, small_scan):
+        _, result = small_scan
+        nets = {e.name: (1 << e.width) - 1 for e in result.elements
+                if e.kind == "net"}
+        mems = {"ram": [0xFF] * 4}
+        stream = result.pack(nets, mems)
+        assert stream < (1 << result.chain_length)
+
+
+class TestShiftProtocol:
+    @pytest.mark.parametrize("backend", [Interpreter, CompiledSimulation],
+                             ids=["interp", "compiled"])
+    def test_save_restore_by_shifting(self, backend, small_scan):
+        _, result = small_scan
+        sim = backend(result.design)
+        rng = random.Random(9)
+        sim.poke("rst", 1); sim.step(); sim.poke("rst", 0)
+        for _ in range(8):
+            sim.poke_many({"d": rng.randrange(256), "we": 1})
+            sim.step()
+        sim.poke("we", 0)
+        current_nets = {e.name: sim.peek(e.name)
+                        for e in result.elements if e.kind == "net"}
+        current_mems = {"ram": [sim.peek_memory("ram", i) for i in range(4)]}
+        expect_out = result.pack(current_nets, current_mems)
+        target_nets = {e.name: rng.randrange(1 << e.width)
+                       for e in result.elements if e.kind == "net"}
+        target_mems = {"ram": [rng.randrange(256) for _ in range(4)]}
+        stream_in = result.pack(target_nets, target_mems)
+        out = _scan_pass(sim, stream_in, result.chain_length)
+        assert out == expect_out
+        for name, value in target_nets.items():
+            assert sim.peek(name) == value
+        for i, value in enumerate(target_mems["ram"]):
+            assert sim.peek_memory("ram", i) == value
+
+    def test_circular_rotation_preserves_state(self, small_scan):
+        _, result = small_scan
+        sim = Interpreter(result.design)
+        sim.poke("rst", 1); sim.step(); sim.poke("rst", 0)
+        sim.poke_many({"d": 0x5A, "we": 1}); sim.step(); sim.poke("we", 0)
+        before = {e.name: sim.peek(e.name) for e in result.elements
+                  if e.kind == "net"}
+        # Rotate: feed each outgoing bit straight back in.
+        sim.poke(SCAN_ENABLE, 1)
+        for _ in range(result.chain_length):
+            sim.poke(SCAN_IN, sim.peek(SCAN_OUT))
+            sim.step()
+        sim.poke(SCAN_ENABLE, 0)
+        after = {e.name: sim.peek(e.name) for e in result.elements
+                 if e.kind == "net"}
+        assert before == after
+
+    def test_functional_logic_gated_while_scanning(self, small_scan):
+        _, result = small_scan
+        sim = Interpreter(result.design)
+        sim.poke("rst", 1); sim.step(); sim.poke("rst", 0)
+        sim.poke_many({"d": 0x11, "we": 1})
+        r2_before = sim.peek("r2")
+        sim.poke(SCAN_ENABLE, 1)
+        sim.poke(SCAN_IN, sim.peek(SCAN_OUT))
+        sim.step()  # would increment r2 if not gated... but shifts it
+        sim.poke(SCAN_ENABLE, 0)
+        # r2 was shifted (scan), not incremented (function): shifting one
+        # bit means r2 != r2_before + 1 in general; specifically the
+        # functional increment path must not have fired. Undo by shifting
+        # the rest of the chain and compare.
+        sim.poke(SCAN_ENABLE, 1)
+        for _ in range(result.chain_length - 1):
+            sim.poke(SCAN_IN, sim.peek(SCAN_OUT))
+            sim.step()
+        sim.poke(SCAN_ENABLE, 0)
+        assert sim.peek("r2") == r2_before
+
+    @pytest.mark.parametrize("spec", catalog.CORPUS, ids=lambda s: s.name)
+    def test_corpus_chain_lengths(self, spec, corpus_designs):
+        design = corpus_designs[spec.name]
+        result = insert_scan_chain(design)
+        assert result.chain_length == design.state_bit_count
+        assert result.chain_length > 100
+
+
+class TestEmitVerilog:
+    @pytest.mark.parametrize("name", ["gpio", "timer", "uart", "intc",
+                                      "aes128", "sha256", "dma"])
+    def test_corpus_roundtrip_equivalence(self, name, corpus_designs):
+        """emit -> reparse -> elaborate -> random co-simulation."""
+        design = corpus_designs[name]
+        text = emit_verilog(design)
+        design2 = elaborate(text, name)
+        s1, s2 = Interpreter(design), Interpreter(design2)
+        rng = random.Random(13)
+        inputs = [n.name for n in design.inputs if n.name != "clk"]
+        for s in (s1, s2):
+            s.poke("rst", 1); s.step(2); s.poke("rst", 0)
+        for _ in range(60):
+            pokes = {n: rng.randrange(1 << min(design.nets[n].width, 30))
+                     for n in inputs if rng.random() < 0.3}
+            for s in (s1, s2):
+                if pokes:
+                    s.poke_many(pokes)
+                s.step()
+            for out in design.outputs:
+                assert s1.peek(out.name) == s2.peek(out.name), (name, out.name)
+
+    def test_instrumented_design_emits(self, small_scan):
+        _, result = small_scan
+        text = emit_verilog(result.design)
+        assert "scan_enable" in text
+        design2 = elaborate(text, "small_scan")
+        assert design2.state_bit_count >= result.chain_length
+
+
+class TestOverheadAndReadback:
+    def test_overhead_row_fields(self, small_scan):
+        design, result = small_scan
+        row = overhead_row(design, result=result)
+        assert row.chain_length == 45
+        assert row.added_muxes == 45
+        assert row.verilog_lines_after > row.verilog_lines_before
+        assert row.mux_overhead_pct == 100.0  # one mux per state bit
+
+    def test_readback_latency_monotone_in_state(self):
+        model = ReadbackModel()
+        small = model.capture_latency_s(100)
+        large = model.capture_latency_s(100_000)
+        assert large > small > model.setup_s
+
+    def test_readback_frames(self):
+        model = ReadbackModel(frame_bits=1000, state_density=0.1)
+        assert model.frames_for(100) == 1
+        assert model.frames_for(101) == 2
+        assert model.frames_for(1000) == 10
+
+    def test_readback_design_summary(self, corpus_designs):
+        model = ReadbackModel()
+        out = model.capture_design(corpus_designs["aes128"])
+        assert out["state_bits"] == corpus_designs["aes128"].state_bit_count
+        assert out["latency_s"] > 0

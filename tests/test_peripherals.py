@@ -1,0 +1,380 @@
+"""Behavioural tests for every corpus peripheral, over AXI4-Lite."""
+
+import hashlib
+import struct
+
+import pytest
+
+from repro.bus import Axi4LiteMaster
+from repro.hdl import elaborate
+from repro.peripherals import (aes128, catalog, dma, gpio, intc, sha256,
+                               timer, uart)
+from repro.sim import CompiledSimulation
+
+
+def _boot(design):
+    sim = CompiledSimulation(design)
+    sim.poke("rst", 1); sim.step(2); sim.poke("rst", 0); sim.step()
+    return sim, Axi4LiteMaster(sim)
+
+
+@pytest.fixture(scope="module")
+def designs(request):
+    return {spec.name: spec.elaborate() for spec in catalog.EXTENDED_CORPUS}
+
+
+class TestGpio:
+    def test_output_gated_by_direction(self, designs):
+        sim, bus = _boot(designs["gpio"])
+        bus.write(gpio.REGISTERS["OUT"], 0xFF)
+        assert sim.peek("gpio_out") == 0  # DIR = 0
+        bus.write(gpio.REGISTERS["DIR"], 0x0F)
+        assert sim.peek("gpio_out") == 0x0F
+
+    def test_input_synchroniser(self, designs):
+        sim, bus = _boot(designs["gpio"])
+        sim.poke("gpio_in", 0x3C)
+        sim.step(2)
+        data, _ = bus.read(gpio.REGISTERS["IN"])
+        assert data == 0x3C
+
+    def test_edge_irq_and_clear(self, designs):
+        sim, bus = _boot(designs["gpio"])
+        bus.write(gpio.REGISTERS["IRQ_EN"], 0x1)
+        sim.poke("gpio_in", 1); sim.step(3)
+        assert sim.peek("irq") == 1
+        sim.poke("gpio_in", 0); sim.step(3)
+        assert sim.peek("irq") == 1  # latched
+        bus.write(gpio.REGISTERS["IRQ_ST"], 0x1)
+        assert sim.peek("irq") == 0
+
+    def test_masked_edge_no_irq(self, designs):
+        sim, bus = _boot(designs["gpio"])
+        sim.poke("gpio_in", 2); sim.step(3)
+        assert sim.peek("irq") == 0
+
+
+class TestTimer:
+    def test_oneshot_expiry(self, designs):
+        sim, bus = _boot(designs["timer"])
+        bus.write(timer.REGISTERS["LOAD"], 5)
+        bus.write(timer.REGISTERS["CTRL"], timer.CTRL_EN | timer.CTRL_IRQ_EN)
+        sim.step(8)
+        assert sim.peek("irq") == 1
+        data, _ = bus.read(timer.REGISTERS["CTRL"])
+        assert data & timer.CTRL_EN == 0  # one-shot disables itself
+
+    def test_auto_reload(self, designs):
+        sim, bus = _boot(designs["timer"])
+        bus.write(timer.REGISTERS["LOAD"], 3)
+        bus.write(timer.REGISTERS["CTRL"],
+                  timer.CTRL_EN | timer.CTRL_AUTO_RELOAD)
+        sim.step(5)
+        st1, _ = bus.read(timer.REGISTERS["STATUS"])
+        assert st1 & 1
+        data, _ = bus.read(timer.REGISTERS["CTRL"])
+        assert data & timer.CTRL_EN  # still enabled
+
+    def test_prescaler_slows_count(self, designs):
+        fast, fbus = _boot(designs["timer"])
+        slow, sbus = _boot(designs["timer"])
+        for b in (fbus, sbus):
+            b.write(timer.REGISTERS["LOAD"], 6)
+        sbus.write(timer.REGISTERS["PRESCALE"], 3)
+        fbus.write(timer.REGISTERS["CTRL"], timer.CTRL_EN)
+        sbus.write(timer.REGISTERS["CTRL"], timer.CTRL_EN)
+        fast.step(10); slow.step(10)
+        fst, _ = fbus.read(timer.REGISTERS["STATUS"])
+        sst, _ = sbus.read(timer.REGISTERS["STATUS"])
+        assert fst & 1 and not (sst & 1)
+
+    def test_status_write_one_clear(self, designs):
+        sim, bus = _boot(designs["timer"])
+        bus.write(timer.REGISTERS["LOAD"], 2)
+        bus.write(timer.REGISTERS["CTRL"], timer.CTRL_EN | timer.CTRL_IRQ_EN)
+        sim.step(6)
+        assert sim.peek("irq") == 1
+        bus.write(timer.REGISTERS["STATUS"], 1)
+        assert sim.peek("irq") == 0
+
+    def test_value_readback_counts_down(self, designs):
+        sim, bus = _boot(designs["timer"])
+        bus.write(timer.REGISTERS["LOAD"], 100)
+        bus.write(timer.REGISTERS["CTRL"], timer.CTRL_EN)
+        v1, _ = bus.read(timer.REGISTERS["VALUE"])
+        sim.step(10)
+        v2, _ = bus.read(timer.REGISTERS["VALUE"])
+        assert v2 < v1 <= 100
+
+
+LOOP_WRAPPER = r"""
+module uart_loop (
+    input wire clk, input wire rst,
+    input wire s_axi_awvalid, output wire s_axi_awready, input wire [7:0] s_axi_awaddr,
+    input wire s_axi_wvalid, output wire s_axi_wready, input wire [31:0] s_axi_wdata,
+    output wire s_axi_bvalid, input wire s_axi_bready,
+    input wire s_axi_arvalid, output wire s_axi_arready, input wire [7:0] s_axi_araddr,
+    output wire s_axi_rvalid, input wire s_axi_rready, output wire [31:0] s_axi_rdata,
+    output wire irq
+);
+    wire serial;
+    uart u (
+        .clk(clk), .rst(rst),
+        .s_axi_awvalid(s_axi_awvalid), .s_axi_awready(s_axi_awready), .s_axi_awaddr(s_axi_awaddr),
+        .s_axi_wvalid(s_axi_wvalid), .s_axi_wready(s_axi_wready), .s_axi_wdata(s_axi_wdata),
+        .s_axi_bvalid(s_axi_bvalid), .s_axi_bready(s_axi_bready),
+        .s_axi_arvalid(s_axi_arvalid), .s_axi_arready(s_axi_arready), .s_axi_araddr(s_axi_araddr),
+        .s_axi_rvalid(s_axi_rvalid), .s_axi_rready(s_axi_rready), .s_axi_rdata(s_axi_rdata),
+        .rx(serial), .tx(serial), .irq(irq)
+    );
+endmodule
+"""
+
+
+@pytest.fixture(scope="module")
+def uart_loop_design():
+    return elaborate(uart.verilog() + LOOP_WRAPPER, "uart_loop")
+
+
+class TestUart:
+    def test_loopback_byte_sequence(self, uart_loop_design):
+        sim, bus = _boot(uart_loop_design)
+        bus.write(uart.REGISTERS["BAUDDIV"], 4)
+        payload = [0x00, 0xFF, 0x5A, 0xA5]
+        for b in payload:
+            bus.write(uart.REGISTERS["TXDATA"], b)
+        sim.step(4 * 10 * 4 + 80)
+        got = []
+        for _ in payload:
+            data, _ = bus.read(uart.REGISTERS["RXDATA"])
+            got.append(data & 0xFF)
+        assert got == payload
+
+    def test_status_flags_lifecycle(self, uart_loop_design):
+        sim, bus = _boot(uart_loop_design)
+        bus.write(uart.REGISTERS["BAUDDIV"], 4)
+        st, _ = bus.read(uart.REGISTERS["STATUS"])
+        assert st & uart.STATUS_TX_EMPTY
+        assert not (st & uart.STATUS_RX_AVAIL)
+        bus.write(uart.REGISTERS["TXDATA"], 0x42)
+        st, _ = bus.read(uart.REGISTERS["STATUS"])
+        assert st & uart.STATUS_TX_BUSY
+        sim.step(120)
+        st, _ = bus.read(uart.REGISTERS["STATUS"])
+        assert st & uart.STATUS_RX_AVAIL
+
+    def test_tx_fifo_fills(self, uart_loop_design):
+        sim, bus = _boot(uart_loop_design)
+        bus.write(uart.REGISTERS["BAUDDIV"], 16)  # slow: fifo backs up
+        for i in range(9):
+            bus.write(uart.REGISTERS["TXDATA"], i)
+        st, _ = bus.read(uart.REGISTERS["STATUS"])
+        assert st & uart.STATUS_TX_FULL
+
+    def test_rx_irq(self, uart_loop_design):
+        sim, bus = _boot(uart_loop_design)
+        bus.write(uart.REGISTERS["BAUDDIV"], 4)
+        bus.write(uart.REGISTERS["CTRL"], 1)  # RX irq enable
+        assert sim.peek("irq") == 0
+        bus.write(uart.REGISTERS["TXDATA"], 0x7E)
+        sim.step(120)
+        assert sim.peek("irq") == 1
+        bus.read(uart.REGISTERS["RXDATA"])
+        assert sim.peek("irq") == 0
+
+    def test_minimum_bauddiv_enforced(self, uart_loop_design):
+        sim, bus = _boot(uart_loop_design)
+        bus.write(uart.REGISTERS["BAUDDIV"], 0)
+        data, _ = bus.read(uart.REGISTERS["BAUDDIV"])
+        assert data == 2
+
+
+def _sha_pad(msg: bytes):
+    ml = len(msg) * 8
+    msg = msg + b"\x80"
+    while (len(msg) % 64) != 56:
+        msg += b"\x00"
+    msg += struct.pack(">Q", ml)
+    return [msg[i:i + 64] for i in range(0, len(msg), 64)]
+
+
+class TestSha256:
+    def _digest(self, sim, bus, msg: bytes) -> bytes:
+        bus.write(sha256.REGISTERS["CTRL"], sha256.CTRL_INIT)
+        for block in _sha_pad(msg):
+            for i, word in enumerate(struct.unpack(">16I", block)):
+                bus.write(sha256.REGISTERS["BLOCK"] + 4 * i, word)
+            bus.write(sha256.REGISTERS["CTRL"], sha256.CTRL_NEXT)
+            for _ in range(100):
+                st, _ = bus.read(sha256.REGISTERS["STATUS"])
+                if not (st & sha256.STATUS_BUSY):
+                    break
+        out = b""
+        for i in range(8):
+            w, _ = bus.read(sha256.REGISTERS["DIGEST"] + 4 * i)
+            out += struct.pack(">I", w)
+        return out
+
+    @pytest.mark.parametrize("msg", [b"abc", b"", b"x" * 64, b"y" * 119])
+    def test_against_hashlib(self, designs, msg):
+        sim, bus = _boot(designs["sha256"])
+        assert self._digest(sim, bus, msg) == hashlib.sha256(msg).digest()
+
+    def test_done_flag_and_irq(self, designs):
+        sim, bus = _boot(designs["sha256"])
+        bus.write(sha256.REGISTERS["CTRL"],
+                  sha256.CTRL_INIT | sha256.CTRL_IRQ_EN)
+        for i, word in enumerate(struct.unpack(">16I", _sha_pad(b"abc")[0])):
+            bus.write(sha256.REGISTERS["BLOCK"] + 4 * i, word)
+        bus.write(sha256.REGISTERS["CTRL"],
+                  sha256.CTRL_NEXT | sha256.CTRL_IRQ_EN)
+        sim.step(70)
+        assert sim.peek("irq") == 1
+        bus.write(sha256.REGISTERS["STATUS"], sha256.STATUS_DONE)
+        assert sim.peek("irq") == 0
+
+    def test_busy_while_compressing(self, designs):
+        sim, bus = _boot(designs["sha256"])
+        bus.write(sha256.REGISTERS["CTRL"], sha256.CTRL_INIT)
+        bus.write(sha256.REGISTERS["CTRL"], sha256.CTRL_NEXT)
+        st, _ = bus.read(sha256.REGISTERS["STATUS"])
+        assert st & sha256.STATUS_BUSY
+
+
+class TestAes128:
+    def _encrypt(self, bus, key: bytes, block: bytes) -> bytes:
+        for i, w in enumerate(struct.unpack(">4I", key)):
+            bus.write(aes128.REGISTERS["KEY"] + 4 * i, w)
+        for i, w in enumerate(struct.unpack(">4I", block)):
+            bus.write(aes128.REGISTERS["BLOCK"] + 4 * i, w)
+        bus.write(aes128.REGISTERS["CTRL"], aes128.CTRL_START)
+        for _ in range(40):
+            st, _ = bus.read(aes128.REGISTERS["STATUS"])
+            if not (st & aes128.STATUS_BUSY):
+                break
+        out = b""
+        for i in range(4):
+            w, _ = bus.read(aes128.REGISTERS["RESULT"] + 4 * i)
+            out += struct.pack(">I", w)
+        return out
+
+    def test_fips197_appendix_b(self, designs):
+        sim, bus = _boot(designs["aes128"])
+        ct = self._encrypt(bus,
+                           bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"),
+                           bytes.fromhex("3243f6a8885a308d313198a2e0370734"))
+        assert ct == bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+
+    def test_fips197_appendix_c1(self, designs):
+        sim, bus = _boot(designs["aes128"])
+        ct = self._encrypt(bus,
+                           bytes.fromhex("000102030405060708090a0b0c0d0e0f"),
+                           bytes.fromhex("00112233445566778899aabbccddeeff"))
+        assert ct == bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+    def test_sbox_table_known_entries(self):
+        table = aes128.sbox_table()
+        assert table[0x00] == 0x63
+        assert table[0x01] == 0x7C
+        assert table[0x53] == 0xED
+        assert table[0xFF] == 0x16
+        assert len(set(table)) == 256  # a permutation
+
+    def test_rekey_changes_ciphertext(self, designs):
+        sim, bus = _boot(designs["aes128"])
+        pt = bytes(16)
+        c1 = self._encrypt(bus, bytes(16), pt)
+        c2 = self._encrypt(bus, bytes([1] * 16), pt)
+        assert c1 != c2
+
+
+class TestIntc:
+    def test_priority_claim_order(self, designs):
+        sim, bus = _boot(designs["intc"])
+        bus.write(intc.REGISTERS["ENABLE"], 0xFF)
+        sim.poke("lines", 0b10100000); sim.step(3); sim.poke("lines", 0)
+        got = []
+        for _ in range(3):
+            data, _ = bus.read(intc.REGISTERS["CLAIM"])
+            got.append(data)
+        assert got == [5, 7, 0xFF]
+
+    def test_masked_lines_dont_claim(self, designs):
+        sim, bus = _boot(designs["intc"])
+        bus.write(intc.REGISTERS["ENABLE"], 0x01)
+        sim.poke("lines", 0b10); sim.step(3); sim.poke("lines", 0)
+        assert sim.peek("irq") == 0
+        data, _ = bus.read(intc.REGISTERS["CLAIM"])
+        assert data == 0xFF
+        pend, _ = bus.read(intc.REGISTERS["PENDING"])
+        assert pend == 0b10  # latched but masked
+
+    def test_software_pend(self, designs):
+        sim, bus = _boot(designs["intc"])
+        bus.write(intc.REGISTERS["ENABLE"], 0xFF)
+        bus.write(intc.REGISTERS["SWPEND"], 0x10)
+        assert sim.peek("irq") == 1
+        data, _ = bus.read(intc.REGISTERS["CLAIM"])
+        assert data == 4
+
+    def test_write_one_clear(self, designs):
+        sim, bus = _boot(designs["intc"])
+        bus.write(intc.REGISTERS["ENABLE"], 0xFF)
+        bus.write(intc.REGISTERS["SWPEND"], 0b11)
+        bus.write(intc.REGISTERS["PENDING"], 0b01)
+        pend, _ = bus.read(intc.REGISTERS["PENDING"])
+        assert pend == 0b10
+
+
+class TestDma:
+    def test_copy_within_scratchpad(self, designs):
+        sim, bus = _boot(designs["dma"])
+        for i in range(16):
+            bus.write(dma.RAM_BASE + 4 * i, 0xA0 + i)
+        bus.write(dma.REGISTERS["SRC"], 0)
+        bus.write(dma.REGISTERS["DST"], 100)
+        bus.write(dma.REGISTERS["LEN"], 16)
+        bus.write(dma.REGISTERS["CTRL"], dma.CTRL_START)
+        for _ in range(40):
+            st, _ = bus.read(dma.REGISTERS["STATUS"])
+            if not (st & dma.STATUS_BUSY):
+                break
+        assert st & dma.STATUS_DONE
+        for i in range(16):
+            data, _ = bus.read(dma.RAM_BASE + 4 * (100 + i))
+            assert data == 0xA0 + i
+
+    def test_zero_length_ignored(self, designs):
+        sim, bus = _boot(designs["dma"])
+        bus.write(dma.REGISTERS["LEN"], 0)
+        bus.write(dma.REGISTERS["CTRL"], dma.CTRL_START)
+        st, _ = bus.read(dma.REGISTERS["STATUS"])
+        assert not (st & dma.STATUS_BUSY)
+
+    def test_completion_irq(self, designs):
+        sim, bus = _boot(designs["dma"])
+        bus.write(dma.REGISTERS["SRC"], 0)
+        bus.write(dma.REGISTERS["DST"], 8)
+        bus.write(dma.REGISTERS["LEN"], 4)
+        bus.write(dma.REGISTERS["CTRL"], dma.CTRL_START | dma.CTRL_IRQ_EN)
+        sim.step(20)
+        assert sim.peek("irq") == 1
+        bus.write(dma.REGISTERS["STATUS"], dma.STATUS_DONE)
+        assert sim.peek("irq") == 0
+
+
+class TestCatalog:
+    def test_corpus_is_the_papers_four(self):
+        assert [s.name for s in catalog.CORPUS] == ["timer", "uart",
+                                                    "aes128", "sha256"]
+
+    def test_lookup(self):
+        assert catalog.get("uart").addr_bits == 8
+        with pytest.raises(KeyError):
+            catalog.get("nonexistent")
+
+    def test_complexity_spread(self, designs):
+        """The corpus spans ~an order of magnitude in state bits."""
+        bits = {name: d.state_bit_count for name, d in designs.items()}
+        assert bits["sha256"] > 5 * bits["timer"]
+        assert max(bits.values()) / min(bits.values()) > 8

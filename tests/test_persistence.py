@@ -1,0 +1,93 @@
+"""Snapshot persistence and crash-pack export/replay."""
+
+import json
+
+import pytest
+
+from repro import HardSnapSession
+from repro.core.persistence import (export_crash_pack, load_snapshot,
+                                    replay_crash, save_snapshot,
+                                    snapshot_from_dict)
+from repro.errors import FirmwarePanic, SnapshotError
+from repro.firmware import TIMER_BASE, UART_BASE, vuln_buffer_overflow
+from repro.peripherals import catalog, timer
+from repro.targets import FpgaTarget
+
+
+class TestSnapshotFiles:
+    def test_json_roundtrip_restores_hardware(self, tmp_path):
+        target = FpgaTarget(scan_mode="functional")
+        target.add_peripheral(catalog.TIMER, TIMER_BASE)
+        target.reset()
+        target.write(TIMER_BASE + timer.REGISTERS["LOAD"], 123)
+        snap = target.save_snapshot()
+        path = tmp_path / "state.json"
+        save_snapshot(snap, path)
+        # Fresh process simulation: a new target loads the file.
+        other = FpgaTarget(scan_mode="functional")
+        other.add_peripheral(catalog.TIMER, TIMER_BASE)
+        other.reset()
+        loaded = load_snapshot(path)
+        other.restore_snapshot(loaded)
+        assert other.read(TIMER_BASE + timer.REGISTERS["LOAD"]) == 123
+
+    def test_file_is_human_readable_json(self, tmp_path):
+        target = FpgaTarget(scan_mode="functional")
+        target.add_peripheral(catalog.TIMER, TIMER_BASE)
+        target.reset()
+        path = tmp_path / "state.json"
+        save_snapshot(target.save_snapshot(), path)
+        data = json.loads(path.read_text())
+        assert "timer" in data["states"]
+        assert "load" in data["states"]["timer"]["nets"]
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(SnapshotError):
+            snapshot_from_dict({"format": 99, "states": {}})
+
+
+class TestCrashPacks:
+    @pytest.fixture(scope="class")
+    def hunted(self):
+        session = HardSnapSession(vuln_buffer_overflow(),
+                                  [(catalog.UART, UART_BASE)],
+                                  scan_mode="functional")
+        report = session.run(max_instructions=300_000, stop_after_bugs=2)
+        return session, report
+
+    def test_export_layout(self, hunted, tmp_path):
+        session, report = hunted
+        dirs = export_crash_pack(report, tmp_path / "pack",
+                                 program=session.program)
+        assert len(dirs) == len(report.bugs)
+        manifest = json.loads((tmp_path / "pack" / "manifest.json").read_text())
+        assert manifest["findings"] == len(report.bugs)
+        finding = json.loads((dirs[0] / "report.json").read_text())
+        assert finding["kind"] == "assertion-failure"
+        assert finding["test_case"]
+        # Disassembly included in the backtrace.
+        assert any("asm" in entry for entry in finding["backtrace"])
+        assert (dirs[0] / "hardware.json").exists()
+
+    def test_replay_reproduces_the_crash(self, hunted, tmp_path):
+        session, report = hunted
+        dirs = export_crash_pack(report, tmp_path / "pack2",
+                                 program=session.program)
+        target = FpgaTarget(scan_mode="functional")
+        target.add_peripheral(catalog.UART, UART_BASE)
+        with pytest.raises(FirmwarePanic):
+            replay_crash(dirs[0], session.program, target)
+
+    def test_safe_input_does_not_crash(self, hunted, tmp_path):
+        """Control: replaying a PASSING path's test case exits cleanly."""
+        session, report = hunted
+        good = next(p for p in report.halted_paths if p.test_case)
+        from repro.isa.cpu import Cpu
+        target = FpgaTarget(scan_mode="functional")
+        target.add_peripheral(catalog.UART, UART_BASE)
+        target.reset()
+        values = [v for _, v in sorted(good.test_case.items())]
+        cpu = Cpu(session.program, mmio_read=target.read,
+                  mmio_write=target.write, sym_values=values)
+        exit_ = cpu.run(max_steps=200_000)
+        assert exit_.reason == "halt"

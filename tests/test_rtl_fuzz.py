@@ -1,0 +1,100 @@
+"""Differential fuzzing of the whole RTL pipeline on random designs.
+
+For each generated design (see :mod:`tests.rtl_fuzz`):
+
+1. interpreter vs compiled backend — identical values after identical
+   random stimulus,
+2. emit -> reparse -> elaborate — behaviour preserved,
+3. scan-chain instrumentation with scan_enable low — behaviour
+   preserved, and a scan save/restore round trip reproduces the state.
+"""
+
+import random
+
+import pytest
+
+from repro.hdl import elaborate
+from repro.instrument import emit_verilog, insert_scan_chain
+from repro.instrument.scan_chain import SCAN_ENABLE, SCAN_IN, SCAN_OUT
+from repro.errors import InstrumentationError
+from repro.sim import CompiledSimulation, Interpreter
+from tests.rtl_fuzz import DesignGen
+
+SEEDS = list(range(14))
+
+
+def _stimulate(sims, inputs, outputs, seed, cycles=25):
+    rng = random.Random(seed ^ 0x5EED)
+    for sim in sims:
+        sim.poke("rst", 1)
+        sim.step(2)
+        sim.poke("rst", 0)
+    for _ in range(cycles):
+        pokes = {}
+        for name, width in inputs:
+            if name == "rst":
+                if rng.random() < 0.05:
+                    pokes[name] = rng.randrange(2)
+                continue
+            if rng.random() < 0.5:
+                pokes[name] = rng.randrange(1 << min(width, 16))
+        for sim in sims:
+            if pokes:
+                sim.poke_many(pokes)
+            sim.step()
+        head = sims[0]
+        for other in sims[1:]:
+            for out in outputs:
+                assert head.peek(out) == other.peek(out), out
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_backend_equivalence_on_random_design(seed):
+    source, inputs, outputs = DesignGen(seed).generate()
+    design = elaborate(source, "fuzzed")
+    sims = [Interpreter(design), CompiledSimulation(design)]
+    _stimulate(sims, inputs, outputs, seed)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_emit_roundtrip_on_random_design(seed):
+    source, inputs, outputs = DesignGen(seed).generate()
+    design = elaborate(source, "fuzzed")
+    redesign = elaborate(emit_verilog(design), "fuzzed")
+    sims = [Interpreter(design), Interpreter(redesign)]
+    _stimulate(sims, inputs, outputs, seed)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_scan_insertion_preserves_function(seed):
+    source, inputs, outputs = DesignGen(seed).generate()
+    design = elaborate(source, "fuzzed")
+    try:
+        scan = insert_scan_chain(design)
+    except InstrumentationError:
+        pytest.skip("generated design has no state elements")
+    original = Interpreter(design)
+    instrumented = Interpreter(scan.design)
+    instrumented.poke(SCAN_ENABLE, 0)
+    _stimulate([original, instrumented], inputs, outputs, seed)
+    # Scan round trip on the instrumented design: capture, clobber via
+    # shifting zeros, then restore and compare chain element values.
+    sim = instrumented
+    length = scan.chain_length
+    stream = 0
+    sim.poke(SCAN_ENABLE, 1)
+    for k in range(length):
+        stream |= sim.peek(SCAN_OUT) << k
+        sim.poke(SCAN_IN, 0)
+        sim.step()
+    # State now zeroed along the chain; shift the captured stream back.
+    for k in range(length):
+        sim.poke(SCAN_IN, (stream >> k) & 1)
+        sim.step()
+    sim.poke(SCAN_ENABLE, 0)
+    nets, mems = scan.unpack(stream)
+    for name, value in nets.items():
+        assert sim.peek(name) == value, name
+    for name, words in mems.items():
+        for i, value in words.items():
+            assert sim.peek_memory(name, i) == value, (name, i)

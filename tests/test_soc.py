@@ -1,0 +1,198 @@
+"""SoC composition tests: the AXI interconnect, whole-design
+snapshotting, and subsystem-scoped instrumentation."""
+
+import pytest
+
+from repro import HardSnapSession
+from repro.errors import ElaborationError
+from repro.instrument import insert_scan_chain
+from repro.peripherals import catalog
+from repro.peripherals.soc import WINDOW_SIZE, SocSpec, build_soc
+from repro.targets import FpgaTarget, SimulatorTarget
+
+BASE = 0x4000_0000
+
+
+@pytest.fixture(scope="module")
+def soc_spec():
+    return SocSpec([catalog.TIMER, catalog.GPIO, catalog.UART], name="soc3")
+
+
+def _hosted(soc_spec, cls=FpgaTarget):
+    target = cls(scan_mode="functional") if cls is FpgaTarget else cls()
+    instance = target.add_peripheral(soc_spec, BASE)
+    target.reset()
+    return target, instance
+
+
+class TestInterconnect:
+    def test_register_map_aggregated(self, soc_spec):
+        assert soc_spec.registers["p0_CTRL"] == 0x00000
+        assert soc_spec.registers["p1_DIR"] == 0x10000
+        assert soc_spec.registers["p2_BAUDDIV"] == 0x20010
+
+    @pytest.mark.parametrize("cls", [FpgaTarget, SimulatorTarget])
+    def test_window_routing(self, soc_spec, cls):
+        target, _ = _hosted(soc_spec, cls)
+        target.write(BASE + 0x00004, 77)     # timer LOAD
+        target.write(BASE + 0x10004, 0xA5)   # gpio OUT
+        target.write(BASE + 0x20010, 9)      # uart BAUDDIV
+        assert target.read(BASE + 0x00004) == 77
+        assert target.read(BASE + 0x10004) == 0xA5
+        assert target.read(BASE + 0x20010) == 9
+
+    def test_interleaved_cross_window_traffic(self, soc_spec):
+        target, _ = _hosted(soc_spec)
+        for i in range(12):
+            target.write(BASE + (i % 3) * WINDOW_SIZE + 4, i)
+        # Last writes per window survive.
+        assert target.read(BASE + 0x00004) == 9
+        assert target.read(BASE + 0x10004) == 10
+        # UART window register 4 is RXDATA (read-only); no crash expected.
+        target.read(BASE + 0x20004)
+
+    def test_irq_vector_and_aggregate(self, soc_spec):
+        target, instance = _hosted(soc_spec)
+        target.write(BASE + 0x00004, 8)       # timer LOAD
+        target.write(BASE + 0x00000, 0b11)    # EN | IRQ_EN
+        target.step(12)
+        assert target.irq_lines()["soc3"] is True
+        assert instance.sim.peek("irqs") & 0b001
+        target.write(BASE + 0x0000C, 1)       # clear
+        assert target.irq_lines()["soc3"] is False
+
+    def test_unknown_window_reads_zero(self, soc_spec):
+        target, _ = _hosted(soc_spec)
+        # Window 3+ has no slave; decoder falls through to zero data.
+        assert target.read(BASE + 3 * WINDOW_SIZE + 0) == 0
+
+    def test_build_rejects_wishbone_and_overflow(self):
+        with pytest.raises(ElaborationError):
+            build_soc([catalog.GPIO_WB])
+        with pytest.raises(ElaborationError):
+            build_soc([catalog.TIMER] * 9)
+        with pytest.raises(ElaborationError):
+            build_soc([])
+
+    def test_duplicate_peripheral_instances(self):
+        soc = SocSpec([catalog.TIMER, catalog.TIMER], name="twin")
+        target = FpgaTarget(scan_mode="functional")
+        target.add_peripheral(soc, BASE)
+        target.reset()
+        target.write(BASE + 0x00004, 5)
+        target.write(BASE + 0x10004, 9)
+        assert target.read(BASE + 0x00004) == 5
+        assert target.read(BASE + 0x10004) == 9
+
+
+class TestIntcRouting:
+    """An on-SoC interrupt controller gets sibling irq lines wired in RTL."""
+
+    @pytest.fixture(scope="class")
+    def intc_soc(self):
+        spec = SocSpec([catalog.TIMER, catalog.GPIO, catalog.INTC],
+                       name="soci")
+        target = FpgaTarget(scan_mode="functional")
+        instance = target.add_peripheral(spec, BASE)
+        target.reset()
+        return target, instance
+
+    def test_timer_irq_routes_through_intc(self, intc_soc):
+        target, instance = intc_soc
+        target.write(BASE + 0x20000, 0xFF)    # INTC.ENABLE all
+        target.write(BASE + 0x00004, 8)       # TIMER.LOAD
+        target.write(BASE + 0x00000, 0b11)    # EN | IRQ_EN
+        target.step(15)
+        # The SoC-level irq is the controller's output.
+        assert target.irq_lines()["soci"] is True
+        claim = target.read(BASE + 0x20008)   # INTC.CLAIM
+        assert claim == 0                     # line 0 = slave 0 = timer
+        # Level semantics: the line is still high, so pending relatches —
+        # clear the SOURCE first, then re-claim.
+        target.write(BASE + 0x0000C, 1)       # clear TIMER.STATUS
+        target.read(BASE + 0x20008)           # claim the relatched line
+        assert target.irq_lines()["soci"] is False
+
+    def test_intc_lines_pin_not_exposed(self, intc_soc):
+        _, instance = intc_soc
+        # `lines` is wired internally, not a top-level port.
+        top_inputs = {n.name for n in instance.design.inputs}
+        assert not any("lines" in name for name in top_inputs)
+
+
+class TestWholeDesignSnapshots:
+    def test_single_chain_covers_all_peripherals(self, soc_spec):
+        design = soc_spec.elaborate()
+        scan = insert_scan_chain(design)
+        names = {e.name.split(".")[0] for e in scan.elements}
+        assert {"p0", "p1", "p2"} <= names
+
+    def test_soc_snapshot_roundtrip(self, soc_spec):
+        target, _ = _hosted(soc_spec)
+        target.write(BASE + 0x10000, 0xFF)   # gpio DIR
+        target.write(BASE + 0x10004, 0x3C)   # gpio OUT
+        target.write(BASE + 0x00004, 40)     # timer LOAD
+        target.write(BASE + 0x00000, 1)      # EN
+        target.step(10)
+        snap = target.save_snapshot()
+        mid_value = target.read(BASE + 0x00008)
+        target.step(50)
+        target.write(BASE + 0x10004, 0)
+        target.restore_snapshot(snap)
+        assert target.read(BASE + 0x10004) == 0x3C
+        restored = target.read(BASE + 0x00008)
+        # VALUE resumes near the snapshot point (bus reads cost cycles).
+        assert abs(restored - mid_value) <= 8
+
+    def test_subsystem_instrumentation(self, soc_spec):
+        """§IV-A: 'User-defined parameters allow to limit the
+        instrumentation to a sub-component of the entire design.'"""
+        design = soc_spec.elaborate()
+        whole = insert_scan_chain(design)
+        subsystem = insert_scan_chain(design, include=["p0"])
+        assert subsystem.chain_length < whole.chain_length / 2
+        assert all(e.name.startswith("p0.")
+                   for e in subsystem.elements)
+        # The subsystem chain is exactly the timer's own state size.
+        timer_alone = catalog.TIMER.elaborate()
+        assert subsystem.chain_length == timer_alone.state_bit_count
+
+
+class TestSocUnderVm:
+    def test_firmware_drives_two_peripherals_through_one_port(self, soc_spec):
+        src = f"""
+        .equ SOC, 0x{BASE:x}
+        start:
+            movi r1, SOC
+            movi r2, 0xFF
+            sw r2, 0x10000(r1)      ; gpio DIR (window 1)
+            sym r3
+            andi r3, r3, 1
+            beq r3, r0, low
+            movi r4, 0x80
+            j drive
+        low:
+            movi r4, 0x01
+        drive:
+            sw r4, 0x10004(r1)      ; gpio OUT
+            movi r5, 6
+            sw r5, 4(r1)            ; timer LOAD (window 0)
+            movi r5, 1
+            sw r5, 0(r1)            ; timer EN
+        poll:
+            lw r6, 12(r1)
+            beq r6, r0, poll
+            lw r7, 0x10004(r1)      ; read gpio back
+            sub r8, r7, r4
+            movi r9, 1
+            beq r8, r0, ok
+            movi r9, 0
+        ok:
+            assert r9
+            halt r4
+        """
+        session = HardSnapSession(src, [(soc_spec, BASE)],
+                                  scan_mode="functional")
+        report = session.run(max_instructions=100_000)
+        assert not report.bugs
+        assert sorted(report.halt_codes()) == [0x01, 0x80]

@@ -1,0 +1,211 @@
+"""Unit tests for the bitvector expression DAG."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SolverError
+from repro.solver import expr as E
+
+U8 = st.integers(min_value=0, max_value=255)
+U32 = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestConstruction:
+    def test_const_masks_value(self):
+        assert E.const(0x1FF, 8).value == 0xFF
+
+    def test_const_negative_wraps(self):
+        assert E.const(-1, 8).value == 0xFF
+
+    def test_const_invalid_width(self):
+        with pytest.raises(SolverError):
+            E.const(1, 0)
+
+    def test_var_identity_by_name_and_width(self):
+        assert E.var("x", 8) is E.var("x", 8)
+        assert E.var("x", 8) is not E.var("x", 16)
+        assert E.var("x", 8) is not E.var("y", 8)
+
+    def test_hash_consing_structural(self):
+        x = E.var("hc", 8)
+        a = E.add(x, E.const(3, 8))
+        b = E.add(x, E.const(3, 8))
+        assert a is b
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(SolverError):
+            E.add(E.var("w1", 8), E.var("w2", 16))
+
+    def test_bool_helpers(self):
+        assert E.true().value == 1
+        assert E.false().value == 0
+        assert E.true().width == 1
+
+
+class TestConstantFolding:
+    def test_add_fold(self):
+        assert E.add(E.const(250, 8), E.const(10, 8)).value == 4
+
+    def test_sub_self_is_zero(self):
+        x = E.var("s", 8)
+        assert E.sub(x, x).value == 0
+
+    def test_add_zero_identity(self):
+        x = E.var("z", 8)
+        assert E.add(x, E.const(0, 8)) is x
+        assert E.add(E.const(0, 8), x) is x
+
+    def test_mul_identities(self):
+        x = E.var("m", 8)
+        assert E.mul(x, E.const(1, 8)) is x
+        assert E.mul(x, E.const(0, 8)).value == 0
+
+    def test_and_identities(self):
+        x = E.var("a8", 8)
+        assert E.and_(x, E.const(0xFF, 8)) is x
+        assert E.and_(x, E.const(0, 8)).value == 0
+        assert E.and_(x, x) is x
+
+    def test_or_identities(self):
+        x = E.var("o8", 8)
+        assert E.or_(x, E.const(0, 8)) is x
+        assert E.or_(x, E.const(0xFF, 8)).value == 0xFF
+
+    def test_xor_self_zero(self):
+        x = E.var("x8", 8)
+        assert E.xor(x, x).value == 0
+
+    def test_double_not(self):
+        x = E.var("n", 8)
+        assert E.not_(E.not_(x)) is x
+
+    def test_shift_by_zero(self):
+        x = E.var("sh", 8)
+        assert E.shl(x, E.const(0, 8)) is x
+        assert E.lshr(x, E.const(0, 8)) is x
+
+    def test_eq_same_node(self):
+        x = E.var("e", 8)
+        assert E.eq(x, x).value == 1
+
+    def test_comparison_folds(self):
+        assert E.ult(E.const(3, 8), E.const(5, 8)).value == 1
+        assert E.slt(E.const(0xFF, 8), E.const(0, 8)).value == 1  # -1 < 0
+        assert E.sle(E.const(0x7F, 8), E.const(0x7F, 8)).value == 1
+
+    def test_ite_folds(self):
+        x, y = E.var("it1", 8), E.var("it2", 8)
+        assert E.ite(E.true(), x, y) is x
+        assert E.ite(E.false(), x, y) is y
+        assert E.ite(E.var("c", 1), x, x) is x
+
+    def test_ite_boolean_collapse(self):
+        c = E.var("cb", 1)
+        assert E.ite(c, E.const(1, 1), E.const(0, 1)) is c
+        assert E.ite(c, E.const(0, 1), E.const(1, 1)) is E.not_(c)
+
+    def test_udiv_by_zero_convention(self):
+        assert E.udiv(E.const(7, 8), E.const(0, 8)).value == 0xFF
+        assert E.urem(E.const(7, 8), E.const(0, 8)).value == 7
+
+
+class TestConcatExtract:
+    def test_concat_width(self):
+        c = E.concat(E.var("hi", 8), E.var("lo", 8))
+        assert c.width == 16
+
+    def test_concat_constants_merge(self):
+        c = E.concat(E.const(0xAB, 8), E.const(0xCD, 8))
+        assert c.is_const and c.value == 0xABCD
+
+    def test_concat_flattens(self):
+        a, b, c = E.var("f1", 4), E.var("f2", 4), E.var("f3", 4)
+        nested = E.concat(E.concat(a, b), c)
+        assert len(nested.args) == 3
+
+    def test_extract_of_const(self):
+        assert E.extract(E.const(0xABCD, 16), 15, 8).value == 0xAB
+
+    def test_extract_full_width_identity(self):
+        x = E.var("ef", 8)
+        assert E.extract(x, 7, 0) is x
+
+    def test_extract_out_of_range(self):
+        with pytest.raises(SolverError):
+            E.extract(E.var("eo", 8), 8, 0)
+        with pytest.raises(SolverError):
+            E.extract(E.var("eo", 8), 3, 5)
+
+    def test_extract_through_concat(self):
+        hi, lo = E.var("tc_h", 8), E.var("tc_l", 8)
+        c = E.concat(hi, lo)
+        assert E.extract(c, 15, 8) is hi
+        assert E.extract(c, 7, 0) is lo
+
+    def test_extract_through_zext(self):
+        x = E.var("tz", 8)
+        z = E.zext(x, 32)
+        assert E.extract(z, 7, 0) is x
+        assert E.extract(z, 31, 8).value == 0
+
+    def test_nested_extract_composes(self):
+        x = E.var("ne", 32)
+        inner = E.extract(x, 23, 8)
+        outer = E.extract(inner, 7, 0)
+        direct = E.extract(x, 15, 8)
+        assert outer is direct
+
+    def test_zext_sext(self):
+        assert E.zext(E.const(0x80, 8), 16).value == 0x0080
+        assert E.sext(E.const(0x80, 8), 16).value == 0xFF80
+        with pytest.raises(SolverError):
+            E.zext(E.var("zx", 16), 8)
+
+
+class TestEvaluate:
+    def test_evaluate_requires_assignment(self):
+        x = E.var("ev", 8)
+        with pytest.raises(SolverError):
+            E.add(x, E.const(1, 8)).evaluate({})
+
+    @given(a=U8, b=U8)
+    def test_evaluate_matches_python(self, a, b):
+        x, y = E.var("eva", 8), E.var("evb", 8)
+        env = {x: a, y: b}
+        assert E.add(x, y).evaluate(env) == (a + b) & 0xFF
+        assert E.sub(x, y).evaluate(env) == (a - b) & 0xFF
+        assert E.mul(x, y).evaluate(env) == (a * b) & 0xFF
+        assert E.and_(x, y).evaluate(env) == a & b
+        assert E.xor(x, y).evaluate(env) == a ^ b
+        assert E.ult(x, y).evaluate(env) == int(a < b)
+
+    @given(a=U8, s=st.integers(min_value=0, max_value=15))
+    def test_evaluate_shifts(self, a, s):
+        x, y = E.var("shx", 8), E.var("shy", 8)
+        env = {x: a, y: s}
+        assert E.shl(x, y).evaluate(env) == ((a << s) & 0xFF if s < 8 else 0)
+        assert E.lshr(x, y).evaluate(env) == (a >> s if s < 8 else 0)
+
+    @given(a=U8)
+    def test_evaluate_ashr_sign_fill(self, a):
+        x = E.var("asx", 8)
+        signed = a - 256 if a & 0x80 else a
+        got = E.ashr(x, E.const(3, 8)).evaluate({x: a})
+        assert got == (signed >> 3) & 0xFF
+
+    @given(a=U32)
+    def test_evaluate_extract_concat_roundtrip(self, a):
+        x = E.var("rt", 32)
+        parts = [E.extract(x, 8 * i + 7, 8 * i) for i in range(3, -1, -1)]
+        assert E.concat(*parts).evaluate({x: a}) == a
+
+    def test_variables_collection(self):
+        x, y = E.var("vc1", 8), E.var("vc2", 8)
+        node = E.add(E.mul(x, y), x)
+        assert node.variables() == frozenset((x, y))
+
+    def test_size_counts_dag_nodes(self):
+        x = E.var("sz", 8)
+        shared = E.add(x, E.const(1, 8))
+        node = E.mul(shared, shared)
+        assert node.size() == 4  # x, 1, add, mul

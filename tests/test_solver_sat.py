@@ -1,0 +1,150 @@
+"""Unit tests for the CDCL SAT solver."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.solver.sat import SAT, UNSAT, SatSolver, lit, _luby
+
+
+def _make(n_vars: int) -> SatSolver:
+    s = SatSolver()
+    s.ensure_vars(n_vars)
+    return s
+
+
+class TestBasics:
+    def test_empty_formula_is_sat(self):
+        assert _make(1).solve() == SAT
+
+    def test_unit_clause(self):
+        s = _make(1)
+        s.add_clause([lit(1, True)])
+        assert s.solve() == SAT
+        assert s.model_value(1) is True
+
+    def test_contradictory_units(self):
+        s = _make(1)
+        s.add_clause([lit(1, True)])
+        ok = s.add_clause([lit(1, False)])
+        assert not ok or s.solve() == UNSAT
+
+    def test_tautology_ignored(self):
+        s = _make(1)
+        s.add_clause([lit(1, True), lit(1, False)])
+        assert s.solve() == SAT
+
+    def test_simple_implication_chain(self):
+        s = _make(4)
+        s.add_clause([lit(1, False), lit(2, True)])   # 1 -> 2
+        s.add_clause([lit(2, False), lit(3, True)])   # 2 -> 3
+        s.add_clause([lit(3, False), lit(4, True)])   # 3 -> 4
+        s.add_clause([lit(1, True)])
+        assert s.solve() == SAT
+        assert all(s.model_value(v) for v in (1, 2, 3, 4))
+
+    def test_xor_chain_unsat(self):
+        # x1 xor x2, x2 xor x3, x1 xor x3, with odd parity forced: UNSAT.
+        s = _make(3)
+        for a, b in ((1, 2), (2, 3), (1, 3)):
+            s.add_clause([lit(a, True), lit(b, True)])
+            s.add_clause([lit(a, False), lit(b, False)])
+        assert s.solve() == UNSAT
+
+
+class TestPigeonhole:
+    @pytest.mark.parametrize("holes", [2, 3])
+    def test_pigeonhole_unsat(self, holes):
+        """holes+1 pigeons into `holes` holes is UNSAT — a classic
+        resolution-hard family that exercises clause learning."""
+        pigeons = holes + 1
+        def v(p, h):
+            return p * holes + h + 1
+        s = _make(pigeons * holes)
+        for p in range(pigeons):
+            s.add_clause([lit(v(p, h), True) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    s.add_clause([lit(v(p1, h), False), lit(v(p2, h), False)])
+        assert s.solve() == UNSAT
+
+    def test_pigeonhole_equal_sat(self):
+        holes = 3
+        def v(p, h):
+            return p * holes + h + 1
+        s = _make(holes * holes)
+        for p in range(holes):
+            s.add_clause([lit(v(p, h), True) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(holes):
+                for p2 in range(p1 + 1, holes):
+                    s.add_clause([lit(v(p1, h), False), lit(v(p2, h), False)])
+        assert s.solve() == SAT
+
+
+class TestRandomDifferential:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_3sat_vs_bruteforce(self, seed):
+        rng = random.Random(seed)
+        n_vars, n_clauses = 8, rng.randint(20, 40)
+        clauses = []
+        for _ in range(n_clauses):
+            vs = rng.sample(range(1, n_vars + 1), 3)
+            clauses.append([(v, rng.random() < 0.5) for v in vs])
+        # brute force
+        expected = UNSAT
+        for bits in itertools.product([False, True], repeat=n_vars):
+            assignment = dict(zip(range(1, n_vars + 1), bits))
+            if all(any(assignment[v] == pos for v, pos in cl)
+                   for cl in clauses):
+                expected = SAT
+                break
+        s = _make(n_vars)
+        for cl in clauses:
+            s.add_clause([lit(v, pos) for v, pos in cl])
+        got = s.solve()
+        assert got == expected
+        if got == SAT:
+            model = {v: s.model_value(v) for v in range(1, n_vars + 1)}
+            assert all(any(model[v] == pos for v, pos in cl)
+                       for cl in clauses)
+
+
+class TestAssumptions:
+    def test_assumptions_restrict(self):
+        s = _make(2)
+        s.add_clause([lit(1, True), lit(2, True)])
+        assert s.solve([lit(1, False)]) == SAT
+        assert s.model_value(2) is True
+
+    def test_assumption_conflict_not_permanent(self):
+        s = _make(2)
+        s.add_clause([lit(1, True)])
+        assert s.solve([lit(1, False)]) == UNSAT
+        # The base formula stays satisfiable.
+        assert s.solve() == SAT
+        assert s.solve([lit(1, True)]) == SAT
+
+    def test_incremental_reuse(self):
+        s = _make(3)
+        s.add_clause([lit(1, False), lit(2, True)])
+        s.add_clause([lit(2, False), lit(3, True)])
+        for _ in range(3):
+            assert s.solve([lit(1, True)]) == SAT
+            assert s.model_value(3) is True
+            assert s.solve([lit(1, True), lit(3, False)]) == UNSAT
+
+    def test_many_assumptions(self):
+        s = _make(10)
+        for v in range(1, 10):
+            s.add_clause([lit(v, False), lit(v + 1, True)])
+        assert s.solve([lit(1, True), lit(10, False)]) == UNSAT
+        assert s.solve([lit(1, True), lit(10, True)]) == SAT
+
+
+class TestLuby:
+    def test_luby_prefix(self):
+        got = [_luby(i) for i in range(15)]
+        assert got == [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]

@@ -1,0 +1,92 @@
+"""Tests for substitution and the rewrite simplifier."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SolverError
+from repro.solver import expr as E
+from repro.solver.simplify import concretize, simplify, substitute
+
+U8 = st.integers(min_value=0, max_value=255)
+
+
+class TestSubstitute:
+    def test_full_substitution_folds_to_const(self):
+        x, y = E.var("ss_x", 8), E.var("ss_y", 8)
+        node = E.add(E.mul(x, y), E.const(1, 8))
+        got = substitute(node, {x: E.const(3, 8), y: E.const(4, 8)})
+        assert got.is_const and got.value == 13
+
+    def test_partial_substitution(self):
+        x, y = E.var("sp_x", 8), E.var("sp_y", 8)
+        node = E.add(x, y)
+        got = substitute(node, {x: E.const(0, 8)})
+        assert got is y  # add identity kicks in
+
+    def test_substitute_expression_for_var(self):
+        x, y = E.var("se_x", 8), E.var("se_y", 8)
+        node = E.not_(x)
+        got = substitute(node, {x: E.not_(y)})
+        assert got is y  # double negation folds
+
+    def test_width_mismatch_rejected(self):
+        x = E.var("sw_x", 8)
+        with pytest.raises(SolverError):
+            substitute(x, {x: E.const(1, 16)})
+
+    @given(a=U8, b=U8)
+    def test_concretize_equals_evaluate(self, a, b):
+        x, y = E.var("sc_x", 8), E.var("sc_y", 8)
+        node = E.xor(E.add(x, y), E.lshr(x, E.const(2, 8)))
+        folded = concretize(node, {x: a, y: b})
+        assert folded.is_const
+        assert folded.value == node.evaluate({x: a, y: b})
+
+
+class TestSimplifyRules:
+    def test_not_comparison_canonicalised(self):
+        x, y = E.var("sr_x", 8), E.var("sr_y", 8)
+        node = E.not_(E.ult(x, y))
+        got = simplify(node)
+        assert got.op == "ule"
+        assert got.args == (y, x)
+
+    def test_eq_ite_const_arms(self):
+        c = E.var("sr_c", 1)
+        node = E.eq(E.ite(c, E.const(5, 8), E.const(9, 8)), E.const(5, 8))
+        assert simplify(node) is c
+
+    def test_eq_ite_neither_arm(self):
+        c = E.var("sr_c2", 1)
+        node = E.eq(E.ite(c, E.const(5, 8), E.const(9, 8)), E.const(7, 8))
+        got = simplify(node)
+        assert got.is_const and got.value == 0
+
+    def test_eq_concat_splits(self):
+        hi, lo = E.var("sr_h", 8), E.var("sr_l", 8)
+        node = E.eq(E.concat(hi, lo), E.const(0xAB12, 16))
+        got = simplify(node)
+        # Becomes a conjunction of two byte equalities.
+        assert got.op == "and"
+        assert got.evaluate({hi: 0xAB, lo: 0x12}) == 1
+        assert got.evaluate({hi: 0xAB, lo: 0x13}) == 0
+
+    def test_eq_zext_high_bits_impossible(self):
+        x = E.var("sr_z", 8)
+        node = E.eq(E.zext(x, 16), E.const(0x0100, 16))
+        got = simplify(node)
+        assert got.is_const and got.value == 0
+
+    def test_eq_zext_reduces_width(self):
+        x = E.var("sr_z2", 8)
+        node = E.eq(E.zext(x, 16), E.const(0x0042, 16))
+        got = simplify(node)
+        assert got.evaluate({x: 0x42}) == 1
+        assert got.evaluate({x: 0x43}) == 0
+
+    @given(a=U8, b=U8)
+    def test_simplify_preserves_semantics(self, a, b):
+        x, y = E.var("sr_p1", 8), E.var("sr_p2", 8)
+        node = E.not_(E.ule(E.add(x, y), E.const(100, 8)))
+        env = {x: a, y: b}
+        assert simplify(node).evaluate(env) == node.evaluate(env)
