@@ -3,6 +3,8 @@
 ::
 
     python -m repro.cli instrument design.v --top periph [-o out.v]
+    python -m repro.cli lint design.v --top periph [--format json]
+    python -m repro.cli lint --catalog
     python -m repro.cli run firmware.s --peripheral timer@0x40000000 ...
     python -m repro.cli fuzz firmware.s --peripheral timer@0x40000000 -n 500
     python -m repro.cli disasm firmware.s
@@ -13,13 +15,16 @@
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Tuple
 
 from repro.analysis import format_table
 from repro.core import HardSnapSession, SnapshotFuzzer
+from repro.errors import InstrumentationError
 from repro.hdl import elaborate
-from repro.instrument import emit_verilog, insert_scan_chain, overhead_row
+from repro.instrument import (emit_verilog, insert_scan_chain, machine_report,
+                              overhead_row)
 from repro.isa import assemble
 from repro.isa.disassembler import disassemble_program
 from repro.peripherals import catalog
@@ -37,9 +42,14 @@ def _parse_peripherals(items: List[str]) -> List[Tuple]:
 
 def cmd_instrument(args) -> int:
     source = open(args.design).read()
-    design = elaborate(source, args.top)
-    result = insert_scan_chain(design, clock=args.clock,
-                               include=args.include or None)
+    design = elaborate(source, args.top, source_file=args.design)
+    try:
+        result = insert_scan_chain(design, clock=args.clock,
+                                   include=args.include or None,
+                                   preflight=not args.no_lint)
+    except InstrumentationError as exc:
+        print(f"instrument: {exc}", file=sys.stderr)
+        return 1
     text = emit_verilog(result.design)
     if args.output:
         open(args.output, "w").write(text)
@@ -50,7 +60,56 @@ def cmd_instrument(args) -> int:
     print(f"// chain length: {row.chain_length} bits "
           f"({row.flip_flops} FFs + {row.memory_bits} memory bits), "
           f"{row.added_muxes} scan muxes added", file=sys.stderr)
+    if args.report:
+        payload = machine_report(design, result=result, clock=args.clock)
+        with open(args.report, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"machine-readable report written to {args.report}",
+              file=sys.stderr)
     return 0
+
+
+def _lint_config(args):
+    from repro.lint import LintConfig
+
+    overrides = {}
+    for item in args.severity or []:
+        rule_id, _, level = item.partition("=")
+        if level not in ("error", "warning", "info"):
+            raise SystemExit(f"bad --severity {item!r}: expected "
+                             f"RULE=error|warning|info")
+        overrides[rule_id] = level
+    return LintConfig(
+        disabled=frozenset(args.disable or []),
+        severity_overrides=overrides,
+        clock=args.clock,
+        include=tuple(args.include) if args.include else None,
+        memory_limit_bits=args.memory_limit_bits,
+        readback=not args.no_readback)
+
+
+def cmd_lint(args) -> int:
+    from repro.lint import lint_catalog, lint_source, render_json
+
+    config = _lint_config(args)
+    if args.catalog:
+        reports = lint_catalog(config=config)
+    else:
+        if not args.design or not args.top:
+            raise SystemExit("lint: provide DESIGN and --top, or --catalog")
+        source = open(args.design).read()
+        reports = [lint_source(source, args.top, config,
+                               source_file=args.design)]
+    if args.format == "json":
+        text = render_json(reports)
+    else:
+        text = "\n".join(r.render_text() for r in reports)
+    if args.output:
+        open(args.output, "w").write(text + "\n")
+        print(f"lint report written to {args.output}")
+    else:
+        print(text)
+    return 0 if all(r.ok for r in reports) else 1
 
 
 def cmd_run(args) -> int:
@@ -127,7 +186,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--include", action="append",
                    help="restrict to sub-component prefix (repeatable)")
     p.add_argument("-o", "--output")
+    p.add_argument("--no-lint", action="store_true",
+                   help="skip the pre-flight static analysis")
+    p.add_argument("--report",
+                   help="write a machine-readable JSON report here")
     p.set_defaults(func=cmd_instrument)
+
+    p = sub.add_parser(
+        "lint", help="statically analyze a design (RTL defects + "
+                     "snapshot-consistency)")
+    p.add_argument("design", nargs="?", help="Verilog source file")
+    p.add_argument("--top", help="top module name")
+    p.add_argument("--catalog", action="store_true",
+                   help="lint every peripheral of the corpus instead")
+    p.add_argument("--clock", default="clk")
+    p.add_argument("--include", action="append",
+                   help="scan-coverage sub-component prefix (repeatable)")
+    p.add_argument("--memory-limit-bits", type=int, default=16384)
+    p.add_argument("--no-readback", action="store_true",
+                   help="target has no configuration readback: memories "
+                        "over the limit become errors")
+    p.add_argument("--disable", action="append", metavar="RULE",
+                   help="disable a rule id (repeatable)")
+    p.add_argument("--severity", action="append", metavar="RULE=LEVEL",
+                   help="override a rule's severity (repeatable)")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("-o", "--output", help="write the report to a file")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("run", help="symbolically co-test firmware")
     p.add_argument("firmware", help="HS32 assembly file")

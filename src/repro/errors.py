@@ -47,7 +47,37 @@ class CombinationalLoopError(SimulationError):
 
 
 class InstrumentationError(ReproError):
-    """Raised when the scan-chain insertion pass cannot transform a design."""
+    """Raised when the scan-chain insertion pass cannot transform a design.
+
+    ``diagnostics`` carries the :class:`repro.lint.Diagnostic` findings
+    when the failure came from the pre-flight lint, so callers (and the
+    CLI) can render rule ids and source locations, not just a message.
+    """
+
+    def __init__(self, message: str, diagnostics=()):
+        self.diagnostics = list(diagnostics)
+        if self.diagnostics:
+            details = "\n".join("  " + d.format() for d in self.diagnostics)
+            message = f"{message}\n{details}"
+        super().__init__(message)
+
+
+class ScanCoverageError(InstrumentationError):
+    """Raised when requested instrumentation would leave state uncovered.
+
+    ``elements`` lists the offending state elements as
+    ``(kind, name, bits, reason)`` tuples, one per register or memory the
+    chain cannot thread.
+    """
+
+    def __init__(self, message: str, elements=(), diagnostics=()):
+        self.elements = list(elements)
+        if self.elements:
+            details = "\n".join(
+                f"  {kind} {name!r}: {bits} bits ({reason})"
+                for kind, name, bits, reason in self.elements)
+            message = f"{message}\n{details}"
+        super().__init__(message, diagnostics)
 
 
 class BusError(ReproError):

@@ -27,11 +27,16 @@ Symbol = Union[ir.Net, ir.Memory, int]  # int for parameters / loop constants
 
 
 def elaborate(source: Union[str, A.SourceFile], top: str,
-              params: Optional[Dict[str, int]] = None) -> ir.Design:
-    """Elaborate module *top* of *source* (text or parsed AST) to IR."""
+              params: Optional[Dict[str, int]] = None,
+              source_file: Optional[str] = None) -> ir.Design:
+    """Elaborate module *top* of *source* (text or parsed AST) to IR.
+
+    *source_file* is recorded on the design for diagnostics (lint reports
+    point at ``file:line`` instead of bare IR names when it is given).
+    """
     if isinstance(source, str):
         source = parse(source)
-    design = ir.Design(name=top)
+    design = ir.Design(name=top, source_file=source_file)
     Elaborator(source, design).instantiate(top, params or {}, prefix="",
                                            port_map=None)
     design.finalize()
@@ -89,12 +94,13 @@ class _ModuleCtx:
     def qualify(self, name: str) -> str:
         return self.prefix + name
 
-    def _new_net(self, name: str, width: int, kind: str) -> ir.Net:
+    def _new_net(self, name: str, width: int, kind: str,
+                 line: int = 0) -> ir.Net:
         qname = self.qualify(name)
         if qname in self.design.nets or qname in self.design.memories:
             raise ElaborationError(f"duplicate declaration of {qname!r}",
                                    self.module.line)
-        net = ir.Net(qname, width, kind)
+        net = ir.Net(qname, width, kind, line=line)
         self.design.nets[qname] = net
         self.symbols[name] = net
         return net
@@ -130,7 +136,7 @@ class _ModuleCtx:
             kind = port.kind
             if top:
                 kind = "input" if port.direction == "input" else "output"
-            net = self._new_net(port.name, width, kind)
+            net = self._new_net(port.name, width, kind, line=port.line)
             if top:
                 if port.direction == "input":
                     self.design.inputs.append(net)
@@ -156,6 +162,7 @@ class _ModuleCtx:
             if isinstance(sym, ir.Net) and decl.name in self._port_names:
                 if decl.init is not None:
                     sym.initial = self.const_eval(decl.init) & sym.mask
+                    sym.explicit_init = True
                 return
             raise ElaborationError(f"{decl.name!r} already declared", decl.line)
         if decl.kind == "integer":
@@ -167,14 +174,16 @@ class _ModuleCtx:
             lsb = self.const_eval(decl.array.lsb)
             depth = abs(msb - lsb) + 1
             qname = self.qualify(decl.name)
-            mem = ir.Memory(qname, width, depth)
+            mem = ir.Memory(qname, width, depth, line=decl.line)
             self.design.memories[qname] = mem
             self.symbols[decl.name] = mem
             return
         net = self._new_net(decl.name, width,
-                            "reg" if decl.kind in ("reg", "integer") else "wire")
+                            "reg" if decl.kind in ("reg", "integer") else "wire",
+                            line=decl.line)
         if decl.init is not None:
             net.initial = self.const_eval(decl.init) & net.mask
+            net.explicit_init = True
 
     def range_width(self, rng: Optional[A.Range]) -> int:
         if rng is None:
@@ -208,11 +217,11 @@ class _ModuleCtx:
         target = self.lower_lvalue(item.target, {})
         value = self.lower_expr(item.value, {})
         value = _widen(value, max(value.width, target.width))
-        stmt = ir.SAssign(target, value, blocking=True)
+        stmt = ir.SAssign(target, value, blocking=True, line=item.line)
         reads, writes = ir.stmt_reads_writes([stmt])
         self.design.comb_blocks.append(ir.CombBlock(
             [stmt], frozenset(reads), frozenset(writes),
-            name=f"{self.prefix}assign@{item.line}"))
+            name=f"{self.prefix}assign@{item.line}", line=item.line))
 
     def _lower_always(self, item: A.AlwaysBlock) -> None:
         if item.is_combinational:
@@ -220,7 +229,7 @@ class _ModuleCtx:
             reads, writes = ir.stmt_reads_writes(stmts)
             self.design.comb_blocks.append(ir.CombBlock(
                 stmts, frozenset(reads), frozenset(writes),
-                name=f"{self.prefix}always@{item.line}"))
+                name=f"{self.prefix}always@{item.line}", line=item.line))
             return
         edges = [e for e in item.sensitivity if e.edge is not None]
         if len(edges) != len(item.sensitivity):
@@ -238,7 +247,7 @@ class _ModuleCtx:
         stmts = self.lower_stmts(item.body, {})
         self.design.seq_blocks.append(ir.SeqBlock(
             clock, edges[0].edge or "posedge", stmts, areset, areset_edge,
-            name=f"{self.prefix}always@{item.line}"))
+            name=f"{self.prefix}always@{item.line}", line=item.line))
 
     def _edge_net(self, event: A.EdgeEvent) -> ir.Net:
         sym = self.symbols.get(event.signal)
@@ -268,7 +277,7 @@ class _ModuleCtx:
         for port in child.ports:
             width = child_ctx.range_width(port.range)
             qname = child_prefix + port.name
-            net = ir.Net(qname, width, port.kind)
+            net = ir.Net(qname, width, port.kind, line=inst.line)
             self.design.nets[qname] = net
             port_map[port.name] = net
         # Glue logic for connections.
@@ -290,18 +299,19 @@ class _ModuleCtx:
             if directions[cname] == "input":
                 value = self.lower_expr(cexpr, {})
                 value = _widen(value, max(value.width, boundary.width))
-                stmt = ir.SAssign(ir.LNet(boundary), value)
+                stmt = ir.SAssign(ir.LNet(boundary), value, line=inst.line)
                 reads, writes = ir.stmt_reads_writes([stmt])
                 self.design.comb_blocks.append(ir.CombBlock(
                     [stmt], frozenset(reads), frozenset(writes),
-                    name=f"{child_prefix}{cname}.in"))
+                    name=f"{child_prefix}{cname}.in", line=inst.line))
             else:
                 target = self.lower_lvalue(cexpr, {})
-                stmt = ir.SAssign(target, ir.Ref(boundary, width=boundary.width))
+                stmt = ir.SAssign(target, ir.Ref(boundary, width=boundary.width),
+                                  line=inst.line)
                 reads, writes = ir.stmt_reads_writes([stmt])
                 self.design.comb_blocks.append(ir.CombBlock(
                     [stmt], frozenset(reads), frozenset(writes),
-                    name=f"{child_prefix}{cname}.out"))
+                    name=f"{child_prefix}{cname}.out", line=inst.line))
         # Recurse into the child body, adopting the boundary nets.
         child_ctx.declare_ports(port_map, top=False)
         child_ctx.declare_items()
@@ -321,7 +331,7 @@ class _ModuleCtx:
             target = self.lower_lvalue(stmt.target, env)
             value = self.lower_expr(stmt.value, env)
             value = _widen(value, max(value.width, target.width))
-            return [ir.SAssign(target, value, stmt.blocking)]
+            return [ir.SAssign(target, value, stmt.blocking, line=stmt.line)]
         if isinstance(stmt, A.If):
             cond = self.lower_expr(stmt.cond, env)
             if isinstance(cond, ir.Const):

@@ -40,6 +40,10 @@ class Net:
     width: int
     kind: str = "wire"  # wire | reg | input | output
     initial: int = 0
+    #: Source line of the declaration (0 when synthesised by a pass).
+    line: int = 0
+    #: True when the declaration carried an explicit initialiser.
+    explicit_init: bool = False
 
     def __repr__(self) -> str:
         return f"Net({self.name}:{self.width})"
@@ -57,6 +61,7 @@ class Memory:
     width: int
     depth: int
     initial: Optional[List[int]] = None
+    line: int = 0
 
     def __repr__(self) -> str:
         return f"Memory({self.name}:{self.width}x{self.depth})"
@@ -214,6 +219,7 @@ class SAssign(Stmt):
     target: LValue
     value: Expr
     blocking: bool = True
+    line: int = 0
 
 
 @dataclass
@@ -248,6 +254,7 @@ class CombBlock:
     reads: frozenset = frozenset()   # net names read
     writes: frozenset = frozenset()  # net names written
     name: str = ""
+    line: int = 0
 
 
 @dataclass
@@ -260,6 +267,7 @@ class SeqBlock:
     areset: Optional[Net] = None
     areset_edge: str = "posedge"
     name: str = ""
+    line: int = 0
 
 
 @dataclass
@@ -288,6 +296,10 @@ class Design:
     # memories written sequentially.
     state_nets: List[Net] = field(default_factory=list)
     state_memories: List[Memory] = field(default_factory=list)
+
+    #: Path of the Verilog source this design was elaborated from, when
+    #: known — threaded into lint diagnostics alongside declaration lines.
+    source_file: Optional[str] = None
 
     def finalize(self) -> None:
         """Infer state elements from sequential write sets."""

@@ -13,14 +13,18 @@ toolchain that makes hardware state observable and controllable.
 from repro.instrument.emit_verilog import emit_verilog
 from repro.instrument.readback import ReadbackModel
 from repro.instrument.report import (OverheadRow, format_overhead_table,
-                                     overhead_row, overhead_table)
+                                     machine_report, overhead_row,
+                                     overhead_table)
 from repro.instrument.scan_chain import (SCAN_ENABLE, SCAN_IN, SCAN_OUT,
-                                         ChainElement, ScanChainResult,
-                                         insert_scan_chain)
+                                         ChainElement, ExcludedElement,
+                                         ScanChainResult, insert_scan_chain,
+                                         preflight_lint)
 
 __all__ = [
-    "insert_scan_chain", "ScanChainResult", "ChainElement",
+    "insert_scan_chain", "preflight_lint",
+    "ScanChainResult", "ChainElement", "ExcludedElement",
     "SCAN_ENABLE", "SCAN_IN", "SCAN_OUT",
     "ReadbackModel", "emit_verilog",
     "OverheadRow", "overhead_row", "overhead_table", "format_overhead_table",
+    "machine_report",
 ]

@@ -1,12 +1,15 @@
-"""Instrumentation overhead accounting (experiment E6).
+"""Instrumentation overhead accounting (experiment E6) and the
+machine-readable instrumentation report.
 
-Builds the per-peripheral table the paper's §IV-A implies: how much logic
-the scan-chain pass adds to each design in the corpus.
+Builds the per-peripheral table the paper's §IV-A implies — how much
+logic the scan-chain pass adds to each design in the corpus — and
+:func:`machine_report`, the JSON-ready record combining overhead, chain
+coverage and lint findings that the CLI and the benchmark artifacts use.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.hdl.ir import Design
@@ -31,6 +34,11 @@ class OverheadRow:
             return 0.0
         return 100.0 * self.added_muxes / (self.flip_flops + self.memory_bits)
 
+    def to_dict(self) -> dict:
+        out = asdict(self)
+        out["mux_overhead_pct"] = round(self.mux_overhead_pct, 2)
+        return out
+
 
 def overhead_row(design: Design, clock: str = "clk",
                  result: Optional[ScanChainResult] = None) -> OverheadRow:
@@ -53,6 +61,42 @@ def overhead_row(design: Design, clock: str = "clk",
 
 def overhead_table(designs: Sequence[Design], clock: str = "clk") -> List[OverheadRow]:
     return [overhead_row(d, clock) for d in designs]
+
+
+def machine_report(design: Design, result: Optional[ScanChainResult] = None,
+                   clock: str = "clk", lint_report=None) -> dict:
+    """One JSON-ready record describing the instrumentation of *design*.
+
+    Combines the overhead accounting, the chain coverage map (threaded
+    and excluded elements), and — when a
+    :class:`repro.lint.LintReport` is passed — the lint findings, so one
+    artifact answers both "what did instrumentation cost" and "is the
+    snapshot provably consistent".
+    """
+    if result is None:
+        result = insert_scan_chain(design, clock)
+    row = overhead_row(design, clock=clock, result=result)
+    report = {
+        "design": design.name,
+        "source_file": design.source_file,
+        "overhead": row.to_dict(),
+        "chain": {
+            "length_bits": result.chain_length,
+            "elements": [
+                {"kind": e.kind, "name": e.name, "width": e.width,
+                 "word": e.word}
+                for e in result.elements
+            ],
+            "excluded": [
+                {"kind": e.kind, "name": e.name, "bits": e.bits,
+                 "reason": e.reason}
+                for e in result.excluded
+            ],
+        },
+    }
+    if lint_report is not None:
+        report["lint"] = lint_report.to_dict()
+    return report
 
 
 def format_overhead_table(rows: Sequence[OverheadRow]) -> str:

@@ -22,15 +22,20 @@ Verilog, simulated by either backend, or "synthesised" to the FPGA target.
 from __future__ import annotations
 
 import copy
+import re
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-from repro.errors import InstrumentationError
+from repro.errors import InstrumentationError, ScanCoverageError
 from repro.hdl import ir
 
 SCAN_ENABLE = "scan_enable"
 SCAN_IN = "scan_in"
 SCAN_OUT = "scan_out"
+
+#: Internal nets the pass synthesises; user nets with these names would
+#: be clobbered, so insertion rejects them up front.
+_RESERVED_INTERNAL = re.compile(r"^(scan_p|scan_tap|scan_t\d+)$")
 
 #: Memories larger than this many bits are left out of the chain by
 #: default (real scan insertion excludes SRAM macros; they are captured
@@ -53,12 +58,36 @@ class ChainElement:
 
 
 @dataclass
+class ExcludedElement:
+    """A state element the chain does not thread, and why.
+
+    ``reason`` is ``"memory-limit"`` (bigger than *memory_limit_bits*;
+    captured via readback instead) or ``"include-filter"`` (outside the
+    user's sub-component selection).
+    """
+
+    kind: str  # "net" | "mem"
+    name: str
+    bits: int
+    reason: str
+
+    def as_tuple(self) -> Tuple[str, str, int, str]:
+        return (self.kind, self.name, self.bits, self.reason)
+
+
+@dataclass
 class ScanChainResult:
     """Instrumented design plus the chain map needed to (de)serialise state."""
 
     design: ir.Design
     elements: List[ChainElement] = field(default_factory=list)
-    excluded_memories: List[str] = field(default_factory=list)
+    excluded: List[ExcludedElement] = field(default_factory=list)
+
+    @property
+    def excluded_memories(self) -> List[str]:
+        """Memories left off the chain by the size limit (readback path)."""
+        return [e.name for e in self.excluded
+                if e.kind == "mem" and e.reason == "memory-limit"]
 
     @property
     def chain_length(self) -> int:
@@ -119,9 +148,38 @@ class ScanChainResult:
         }
 
 
+def preflight_lint(design: ir.Design, clock: str = "clk",
+                   memory_limit_bits: int = DEFAULT_MEMORY_LIMIT_BITS,
+                   include: Optional[Sequence[str]] = None,
+                   readback: bool = True) -> None:
+    """Run the static analyzer before instrumenting *design*.
+
+    Raises :class:`InstrumentationError` with the lint diagnostics
+    attached when any error-severity finding (combinational loop,
+    multiple driver, uncovered state, scan-name collision, ...) would
+    make the instrumented design wrong or the snapshot inconsistent.
+    """
+    from repro.lint import LintConfig, lint_design  # local: avoid cycle
+
+    config = LintConfig(
+        clock=clock,
+        include=tuple(include) if include is not None else None,
+        memory_limit_bits=memory_limit_bits,
+        readback=readback)
+    report = lint_design(design, config)
+    if not report.ok:
+        errors = [d for d in report.diagnostics if d.severity == "error"]
+        raise InstrumentationError(
+            f"design {design.name!r} failed pre-flight lint with "
+            f"{len(errors)} error(s); refusing to instrument",
+            diagnostics=errors)
+
+
 def insert_scan_chain(design: ir.Design, clock: str = "clk",
                       memory_limit_bits: int = DEFAULT_MEMORY_LIMIT_BITS,
-                      include: Optional[Sequence[str]] = None) -> ScanChainResult:
+                      include: Optional[Sequence[str]] = None,
+                      on_excluded: str = "record",
+                      preflight: bool = False) -> ScanChainResult:
     """Return a scan-instrumented deep copy of *design*.
 
     ``include`` optionally restricts instrumentation to a sub-component:
@@ -129,13 +187,37 @@ def insert_scan_chain(design: ir.Design, clock: str = "clk",
     are placed on the chain (paper §IV-A: "User-defined parameters allow
     to limit the instrumentation to a sub-component of the entire
     design"). Others keep functioning but are not snapshottable.
+
+    Every element left off the chain — whether by the ``include`` filter
+    or by the memory size limit — is recorded in the result's
+    ``excluded`` list with its reason. With ``on_excluded="error"`` the
+    pass instead raises :class:`ScanCoverageError` naming each offending
+    element, for callers that need the full-coverage guarantee.
+
+    ``preflight=True`` runs the static analyzer first and refuses to
+    instrument a design with error-severity lint findings (see
+    :func:`preflight_lint`). An explicit ``include`` filter is treated
+    as deliberate scoping here: coverage gaps it creates are governed by
+    ``on_excluded``, not the completeness rule — call
+    :func:`preflight_lint` directly with ``include`` for the strict
+    full-coverage proof.
     """
+    if on_excluded not in ("record", "error"):
+        raise ValueError(f"on_excluded must be 'record' or 'error', "
+                         f"got {on_excluded!r}")
+    if preflight:
+        preflight_lint(design, clock, memory_limit_bits, include=None)
     if clock not in design.nets:
         raise InstrumentationError(f"design has no clock net {clock!r}")
     for reserved in (SCAN_ENABLE, SCAN_IN, SCAN_OUT):
         if reserved in design.nets:
             raise InstrumentationError(
                 f"design already has a net named {reserved!r}")
+    for name in list(design.nets) + list(design.memories):
+        if _RESERVED_INTERNAL.match(name.split(".")[-1]):
+            raise InstrumentationError(
+                f"design already has a net named {name!r}, which collides "
+                f"with a scan-chain internal net")
     new_design = copy.deepcopy(design)
     new_design.name = design.name + "_scan"
 
@@ -158,23 +240,36 @@ def insert_scan_chain(design: ir.Design, clock: str = "clk",
     for block in new_design.seq_blocks:
         block.stmts = [ir.SIf(not_scan, block.stmts, [])]
 
-    # Build the chain in deterministic order.
+    # Build the chain in deterministic order, recording every element the
+    # chain does not thread (and why) instead of silently skipping it.
     elements: List[ChainElement] = []
-    excluded: List[str] = []
+    excluded: List[ExcludedElement] = []
     for net in new_design.state_nets:
         if _selected(net.name):
             elements.append(ChainElement("net", net.name, net.width))
+        else:
+            excluded.append(ExcludedElement(
+                "net", net.name, net.width, "include-filter"))
     for mem in new_design.state_memories:
         if not _selected(mem.name):
+            excluded.append(ExcludedElement(
+                "mem", mem.name, mem.state_bits, "include-filter"))
             continue
         if mem.state_bits > memory_limit_bits:
-            excluded.append(mem.name)
+            excluded.append(ExcludedElement(
+                "mem", mem.name, mem.state_bits, "memory-limit"))
             continue
         for word in range(mem.depth):
             elements.append(ChainElement("mem", mem.name, mem.width, word))
     if not elements:
-        raise InstrumentationError(
-            f"design {design.name!r} has no state elements to scan")
+        raise ScanCoverageError(
+            f"design {design.name!r} has no state elements to scan",
+            elements=[e.as_tuple() for e in excluded])
+    if on_excluded == "error" and excluded:
+        raise ScanCoverageError(
+            f"scan chain for {design.name!r} cannot thread "
+            f"{len(excluded)} state element(s)",
+            elements=[e.as_tuple() for e in excluded])
 
     # Shift statements. A 1-bit blocking temporary `scan_p` carries the bit
     # travelling between adjacent elements on one edge; per-memory blocking

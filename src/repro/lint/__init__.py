@@ -1,0 +1,30 @@
+"""`repro.lint` — RTL lint and snapshot-consistency static analysis.
+
+A rule-based static analyzer over the elaborated
+:class:`~repro.hdl.ir.Design`. Structural rules catch classic RTL defects
+(combinational loops, multiple drivers, latch inference, truncation, dead
+logic, unresettable state); HardSnap-specific rules statically prove the
+paper's consistency guarantee — that every inferred state element (S_hw)
+is covered by the scan chain or the readback path.
+
+Entry points:
+
+* :func:`~repro.lint.runner.lint_design` / :func:`lint_source` /
+  :func:`lint_catalog` — run all rules, return a
+  :class:`~repro.lint.framework.LintReport`,
+* ``repro lint`` — the CLI front end (text and JSON renderers),
+* the scan-chain pass runs the analyzer as a pre-flight check (see
+  :func:`repro.instrument.scan_chain.insert_scan_chain`).
+"""
+
+from repro.lint.framework import (ERROR, INFO, WARNING, Diagnostic,
+                                  LintConfig, LintReport, Rule, all_rules,
+                                  render_json, rule)
+from repro.lint.runner import lint_catalog, lint_design, lint_source
+
+__all__ = [
+    "Diagnostic", "LintConfig", "LintReport", "Rule",
+    "ERROR", "WARNING", "INFO",
+    "all_rules", "rule", "render_json",
+    "lint_design", "lint_source", "lint_catalog",
+]

@@ -1,0 +1,226 @@
+"""Lint framework: diagnostics, the rule registry and severity policy.
+
+A *rule* is a pure function over a :class:`~repro.lint.analysis.LintContext`
+that yields :class:`Diagnostic` objects. Rules register themselves with the
+:func:`rule` decorator under a stable id (``comb-loop``, ``multi-driver``,
+...) and a default severity; a :class:`LintConfig` can disable rules or
+override severities without touching the rule code.
+
+Severities follow the usual compiler convention:
+
+* ``error``   — the design is wrong or un-snapshottable; ``repro lint``
+  exits non-zero and the scan-chain pre-flight refuses to instrument,
+* ``warning`` — suspicious but simulatable (latches, truncation, ...),
+* ``info``    — accounting the user should know about (e.g. a memory that
+  will be captured by configuration readback rather than the scan chain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+#: Sort/filter order; lower rank is more severe.
+SEVERITY_RANK: Dict[str, int] = {ERROR: 0, WARNING: 1, INFO: 2}
+
+
+# ---------------------------------------------------------------------------
+# Diagnostics
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding, tied to a rule and (when known) a source line."""
+
+    rule: str
+    severity: str
+    message: str
+    subject: str = ""          # net / memory / process the finding is about
+    design: str = ""
+    source_file: Optional[str] = None
+    line: Optional[int] = None
+
+    @property
+    def location(self) -> str:
+        base = self.source_file or f"<{self.design or 'design'}>"
+        if self.line:
+            return f"{base}:{self.line}"
+        return base
+
+    def format(self) -> str:
+        subject = f" [{self.subject}]" if self.subject else ""
+        return (f"{self.location}: {self.severity}: "
+                f"{self.rule}: {self.message}{subject}")
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "subject": self.subject,
+            "design": self.design,
+            "file": self.source_file,
+            "line": self.line,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Rule registry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered lint rule."""
+
+    id: str
+    severity: str          # default severity of its diagnostics
+    title: str
+    rationale: str
+    check: Callable        # LintContext -> Iterable[Diagnostic]
+
+
+REGISTRY: Dict[str, Rule] = {}
+
+
+def rule(rule_id: str, severity: str, title: str,
+         rationale: str) -> Callable:
+    """Decorator registering a check function under *rule_id*."""
+    if severity not in SEVERITY_RANK:
+        raise ValueError(f"unknown severity {severity!r}")
+
+    def wrap(fn: Callable) -> Callable:
+        if rule_id in REGISTRY:
+            raise ValueError(f"duplicate lint rule id {rule_id!r}")
+        REGISTRY[rule_id] = Rule(rule_id, severity, title, rationale, fn)
+        return fn
+
+    return wrap
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, in stable (id-sorted) order."""
+    return [REGISTRY[k] for k in sorted(REGISTRY)]
+
+
+# ---------------------------------------------------------------------------
+# Configuration
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Lint policy plus the snapshot-coverage parameters.
+
+    The coverage parameters mirror :func:`insert_scan_chain`'s signature so
+    the ``snapshot-completeness`` rule checks exactly the instrumentation
+    the user is about to perform.
+    """
+
+    disabled: frozenset = frozenset()
+    severity_overrides: Dict[str, str] = field(default_factory=dict)
+
+    # -- snapshot coverage model ------------------------------------------------
+    clock: str = "clk"
+    include: Optional[Tuple[str, ...]] = None
+    memory_limit_bits: int = 16384  # DEFAULT_MEMORY_LIMIT_BITS
+    #: Whether the target offers configuration readback for memories that
+    #: are too large to thread on the chain (capture-only).
+    readback: bool = True
+
+    def severity_for(self, rule_id: str, default: str) -> str:
+        return self.severity_overrides.get(rule_id, default)
+
+
+def apply_policy(diags: Iterable[Diagnostic],
+                 config: LintConfig) -> List[Diagnostic]:
+    """Apply severity overrides and sort by severity, then location."""
+    out: List[Diagnostic] = []
+    for diag in diags:
+        sev = config.severity_for(diag.rule, diag.severity)
+        if sev != diag.severity:
+            diag = replace(diag, severity=sev)
+        out.append(diag)
+    out.sort(key=lambda d: (SEVERITY_RANK.get(d.severity, 3),
+                            d.source_file or "", d.line or 0,
+                            d.rule, d.subject))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Report
+# ---------------------------------------------------------------------------
+
+@dataclass
+class LintReport:
+    """All diagnostics for one design plus render helpers."""
+
+    design: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    source_file: Optional[str] = None
+
+    def count(self, severity: str) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == severity)
+
+    @property
+    def errors(self) -> int:
+        return self.count(ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return self.count(WARNING)
+
+    @property
+    def infos(self) -> int:
+        return self.count(INFO)
+
+    @property
+    def ok(self) -> bool:
+        """True when the design has no error-severity findings."""
+        return self.errors == 0
+
+    @property
+    def clean(self) -> bool:
+        """True when the design has no findings at all."""
+        return not self.diagnostics
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for diag in self.diagnostics:
+            counts[diag.rule] = counts.get(diag.rule, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        return (f"{self.design}: {self.errors} error(s), "
+                f"{self.warnings} warning(s), {self.infos} info(s)")
+
+    def render_text(self) -> str:
+        lines = [d.format() for d in self.diagnostics]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "design": self.design,
+            "file": self.source_file,
+            "errors": self.errors,
+            "warnings": self.warnings,
+            "infos": self.infos,
+            "by_rule": self.by_rule(),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+
+def render_json(reports: Sequence[LintReport]) -> str:
+    """Machine-readable rendering of one or more lint reports."""
+    import json
+
+    payload = {
+        "reports": [r.to_dict() for r in reports],
+        "total_errors": sum(r.errors for r in reports),
+        "total_warnings": sum(r.warnings for r in reports),
+        "total_infos": sum(r.infos for r in reports),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -55,11 +55,10 @@ module {name}{param_text} (
             wb_dat_r <= 0;
         end else begin
             wb_ack <= 1'b0;
-            if (bus_req) begin
+            if (bus_req)
                 wb_ack <= 1'b1;
-                if (!wb_we)
-                    wb_dat_r <= rd_data;
-            end
+            if (bus_rd)
+                wb_dat_r <= rd_data;
         end
     end
 

@@ -1,0 +1,461 @@
+"""Lint framework, structural rules and snapshot-consistency rules.
+
+Every registered rule has one intentionally broken fixture asserting its
+rule id fires, and the whole peripheral catalog must lint clean.
+"""
+
+import pytest
+
+from repro.errors import InstrumentationError, ScanCoverageError
+from repro.hdl import elaborate, ir
+from repro.instrument import emit_verilog, insert_scan_chain, preflight_lint
+from repro.lint import (ERROR, INFO, WARNING, LintConfig, all_rules,
+                        lint_catalog, lint_design, lint_source, render_json)
+from repro.peripherals import catalog
+
+
+def fired(report):
+    return {d.rule for d in report.diagnostics}
+
+
+def lint_verilog(source, top="m", **cfg):
+    return lint_source(source, top, LintConfig(**cfg))
+
+
+# ---------------------------------------------------------------------------
+# Broken fixtures — one per rule
+# ---------------------------------------------------------------------------
+
+COMB_LOOP = """
+module m (input wire clk, input wire x, output wire y);
+    reg q;
+    wire a, b;
+    assign a = b ^ x;
+    assign b = a;
+    assign y = a;
+    always @(posedge clk) q <= y;
+endmodule
+"""
+
+MULTI_DRIVER_COMB = """
+module m (input wire clk, input wire a, input wire b, output wire y);
+    reg q;
+    wire w;
+    assign w = a;
+    assign w = b;
+    assign y = w;
+    always @(posedge clk) q <= y;
+endmodule
+"""
+
+MULTI_DRIVER_SEQ_COMB = """
+module m (input wire clk, input wire a, output wire y);
+    reg q;
+    always @(posedge clk) q <= a;
+    assign q = ~a;
+    assign y = q;
+endmodule
+"""
+
+LATCH = """
+module m (input wire clk, input wire en, input wire [3:0] d,
+          output wire [3:0] y);
+    reg q;
+    reg [3:0] v;
+    always @(*) begin
+        if (en)
+            v = d;
+    end
+    assign y = v;
+    always @(posedge clk) q <= en;
+endmodule
+"""
+
+WIDTH_TRUNC = """
+module m (input wire clk, input wire [15:0] wide, output wire [3:0] y);
+    reg [3:0] q;
+    always @(posedge clk) q <= wide;
+    assign y = q;
+endmodule
+"""
+
+DEAD_NET = """
+module m (input wire clk, input wire a, output wire y);
+    reg q;
+    wire scratch;
+    assign scratch = ~a;
+    always @(posedge clk) q <= a;
+    assign y = q;
+endmodule
+"""
+
+UNREACHABLE_SEQ = """
+module m (input wire clk, input wire a, output wire y);
+    wire gclk;
+    reg q, p;
+    always @(posedge clk) q <= a;
+    always @(posedge gclk) p <= q;
+    assign y = p;
+endmodule
+"""
+
+NO_RESET = """
+module m (input wire clk, input wire rst, input wire a, output wire [7:0] y);
+    reg good;
+    reg [7:0] free;
+    always @(posedge clk) begin
+        if (rst) good <= 0;
+        else good <= a;
+    end
+    always @(posedge clk) free <= free + 1;
+    assign y = free;
+endmodule
+"""
+
+TWO_REGS = """
+module m (input wire clk, input wire [7:0] d, output wire [7:0] y);
+    reg [7:0] a;
+    reg [7:0] b;
+    always @(posedge clk) begin
+        a <= d;
+        b <= a;
+    end
+    assign y = b;
+endmodule
+"""
+
+BIG_MEMORY = """
+module m (input wire clk, input wire we, input wire [9:0] addr,
+          input wire [31:0] d, output wire [31:0] y);
+    reg [31:0] ram [0:1023];
+    reg [31:0] q;
+    always @(posedge clk) begin
+        if (we) ram[addr] <= d;
+        q <= ram[addr];
+    end
+    assign y = q;
+endmodule
+"""
+
+SCAN_PORT_COLLISION = """
+module m (input wire clk, input wire scan_enable, input wire d,
+          output wire y);
+    reg q;
+    always @(posedge clk) begin
+        if (scan_enable) q <= d;
+    end
+    assign y = q;
+endmodule
+"""
+
+SCAN_INTERNAL_COLLISION = """
+module m (input wire clk, input wire d, output wire y);
+    reg scan_p;
+    always @(posedge clk) scan_p <= d;
+    assign y = scan_p;
+endmodule
+"""
+
+
+class TestStructuralRules:
+    def test_comb_loop_fires(self):
+        report = lint_verilog(COMB_LOOP)
+        assert "comb-loop" in fired(report)
+        assert not report.ok
+
+    def test_multi_driver_comb_fires(self):
+        report = lint_verilog(MULTI_DRIVER_COMB)
+        assert "multi-driver" in fired(report)
+
+    def test_multi_driver_seq_vs_comb_fires(self):
+        report = lint_verilog(MULTI_DRIVER_SEQ_COMB)
+        assert "multi-driver" in fired(report)
+        [diag] = [d for d in report.diagnostics if d.rule == "multi-driver"]
+        assert diag.subject == "q"
+
+    def test_disjoint_slices_are_not_multi_driven(self):
+        src = """
+        module m (input wire clk, input wire [3:0] a, output wire [7:0] y);
+            reg q;
+            wire [7:0] w;
+            assign w[3:0] = a;
+            assign w[7:4] = ~a;
+            assign y = w;
+            always @(posedge clk) q <= w[0];
+        endmodule
+        """
+        assert "multi-driver" not in fired(lint_verilog(src))
+
+    def test_latch_fires(self):
+        report = lint_verilog(LATCH)
+        assert "latch" in fired(report)
+        [diag] = [d for d in report.diagnostics if d.rule == "latch"]
+        assert diag.subject == "v"
+        assert "0xf" in diag.message
+
+    def test_default_assignment_prevents_latch(self):
+        src = """
+        module m (input wire clk, input wire en, input wire [3:0] d,
+                  output wire [3:0] y);
+            reg q;
+            reg [3:0] v;
+            always @(*) begin
+                v = 0;
+                if (en) v = d;
+            end
+            assign y = v;
+            always @(posedge clk) q <= en;
+        endmodule
+        """
+        assert "latch" not in fired(lint_verilog(src))
+
+    def test_width_trunc_fires(self):
+        report = lint_verilog(WIDTH_TRUNC)
+        assert "width-trunc" in fired(report)
+
+    def test_counter_increment_is_not_truncation(self):
+        src = """
+        module m (input wire clk, output wire [7:0] y);
+            reg [7:0] count;
+            always @(posedge clk) count <= count + 1;
+            assign y = count;
+        endmodule
+        """
+        assert "width-trunc" not in fired(lint_verilog(src))
+
+    def test_dead_net_fires(self):
+        report = lint_verilog(DEAD_NET)
+        assert "dead-net" in fired(report)
+        [diag] = [d for d in report.diagnostics if d.rule == "dead-net"]
+        assert diag.subject == "scratch"
+
+    def test_unreachable_seq_fires(self):
+        report = lint_verilog(UNREACHABLE_SEQ)
+        assert "unreachable-seq" in fired(report)
+
+    def test_no_reset_fires(self):
+        report = lint_verilog(NO_RESET)
+        assert "no-reset" in fired(report)
+        subjects = {d.subject for d in report.diagnostics
+                    if d.rule == "no-reset"}
+        assert subjects == {"free"}
+
+    def test_design_without_reset_style_is_not_flagged(self):
+        assert "no-reset" not in fired(lint_verilog(TWO_REGS))
+
+
+class TestSnapshotRules:
+    def test_register_excluded_from_chain_is_flagged(self):
+        # The acceptance-criterion case: a register outside the include
+        # filter is provably missing from S_hw coverage.
+        report = lint_verilog(TWO_REGS, include=("a",))
+        diags = [d for d in report.diagnostics
+                 if d.rule == "snapshot-completeness"]
+        assert any(d.subject == "b" and d.severity == ERROR for d in diags)
+        assert not report.ok
+
+    def test_full_chain_is_complete(self):
+        report = lint_verilog(TWO_REGS)
+        assert "snapshot-completeness" not in fired(report)
+
+    def test_oversize_memory_with_readback_is_info(self):
+        report = lint_verilog(BIG_MEMORY, memory_limit_bits=1024)
+        diags = [d for d in report.diagnostics
+                 if d.rule == "snapshot-completeness"]
+        assert [d.severity for d in diags] == [INFO]
+        assert report.ok
+
+    def test_oversize_memory_without_readback_is_error(self):
+        report = lint_verilog(BIG_MEMORY, memory_limit_bits=1024,
+                              readback=False)
+        diags = [d for d in report.diagnostics
+                 if d.rule == "snapshot-completeness"]
+        assert [d.severity for d in diags] == [ERROR]
+
+    def test_missing_clock_is_error(self):
+        report = lint_verilog(TWO_REGS, clock="clock")
+        assert "snapshot-completeness" in fired(report)
+        assert not report.ok
+
+    def test_stateless_design_is_error(self):
+        src = "module m (input wire a, output wire y); assign y = ~a; endmodule"
+        report = lint_verilog(src, clock="a")
+        assert "snapshot-completeness" in fired(report)
+
+    def test_scan_port_collision_fires(self):
+        report = lint_verilog(SCAN_PORT_COLLISION)
+        diags = [d for d in report.diagnostics
+                 if d.rule == "scan-port-collision"]
+        assert [d.subject for d in diags] == ["scan_enable"]
+
+    def test_scan_internal_collision_fires(self):
+        report = lint_verilog(SCAN_INTERNAL_COLLISION)
+        assert "scan-port-collision" in fired(report)
+
+    def test_instrumented_design_owns_scan_names(self):
+        design = elaborate(TWO_REGS, "m")
+        result = insert_scan_chain(design)
+        report = lint_design(result.design)
+        assert "scan-port-collision" not in fired(report)
+        assert report.ok
+
+    def test_ungated_writer_of_scanned_state_fires(self):
+        design = elaborate(TWO_REGS, "m")
+        scanned = insert_scan_chain(design).design
+        # Sabotage: add a functional writer of chain state that is NOT
+        # gated off while the chain is shifting.
+        a = scanned.nets["a"]
+        d = scanned.nets["d"]
+        scanned.seq_blocks.append(ir.SeqBlock(
+            clock=scanned.nets["clk"], clock_edge="posedge",
+            stmts=[ir.SAssign(ir.LNet(a), ir.Ref(d, width=8),
+                              blocking=False)],
+            name="rogue"))
+        scanned.finalize()
+        report = lint_design(scanned)
+        diags = [d2 for d2 in report.diagnostics if d2.rule == "scan-gating"]
+        assert diags and diags[0].subject == "a"
+        assert "rogue" in diags[0].message
+
+
+class TestRuleInventory:
+    def test_at_least_eight_rules_registered(self):
+        assert len(all_rules()) >= 8
+
+    def test_every_rule_has_a_fixture(self):
+        covered = {
+            "comb-loop", "multi-driver", "latch", "width-trunc",
+            "dead-net", "unreachable-seq", "no-reset",
+            "snapshot-completeness", "scan-port-collision", "scan-gating",
+        }
+        assert {r.id for r in all_rules()} == covered
+
+    def test_rules_carry_documentation(self):
+        for rule in all_rules():
+            assert rule.title and rule.rationale
+            assert rule.severity in (ERROR, WARNING, INFO)
+
+
+class TestCatalogCoverage:
+    @pytest.mark.parametrize(
+        "spec", catalog.EXTENDED_CORPUS, ids=lambda s: s.name)
+    def test_peripheral_lints_clean(self, spec):
+        report = lint_design(spec.elaborate())
+        assert report.clean, report.render_text()
+
+    @pytest.mark.parametrize(
+        "spec", catalog.CORPUS, ids=lambda s: s.name)
+    def test_instrumented_peripheral_has_no_errors(self, spec):
+        design = spec.elaborate()
+        result = insert_scan_chain(design)
+        assert lint_design(result.design).ok
+
+    def test_instrumented_design_survives_reemission(self):
+        design = catalog.TIMER.elaborate()
+        text = emit_verilog(insert_scan_chain(design).design)
+        report = lint_source(text, "timer_scan")
+        assert report.ok
+
+    def test_lint_catalog_helper(self):
+        reports = lint_catalog()
+        assert len(reports) == len(catalog.EXTENDED_CORPUS)
+        assert all(r.ok for r in reports)
+
+
+class TestFrameworkPolicy:
+    def test_severity_override(self):
+        report = lint_verilog(LATCH, severity_overrides={"latch": "error"})
+        [diag] = [d for d in report.diagnostics if d.rule == "latch"]
+        assert diag.severity == ERROR
+        assert not report.ok
+
+    def test_disable_rule(self):
+        report = lint_verilog(LATCH, disabled=frozenset({"latch"}))
+        assert "latch" not in fired(report)
+
+    def test_diagnostics_sorted_most_severe_first(self):
+        report = lint_verilog(COMB_LOOP + LATCH.replace("module m", "module n"),
+                              )
+        # single-module lint: just check ordering property on a mixed report
+        report = lint_verilog(UNREACHABLE_SEQ)
+        ranks = [{"error": 0, "warning": 1, "info": 2}[d.severity]
+                 for d in report.diagnostics]
+        assert ranks == sorted(ranks)
+
+    def test_render_text_has_summary_and_locations(self):
+        report = lint_source(NO_RESET, "m", source_file="fw.v")
+        text = report.render_text()
+        assert "0 error(s)" in text or "error(s)" in text
+        assert "fw.v:" in text
+
+    def test_render_json_round_trips(self):
+        import json
+
+        report = lint_verilog(WIDTH_TRUNC)
+        payload = json.loads(render_json([report]))
+        assert payload["reports"][0]["design"] == "m"
+        assert payload["reports"][0]["warnings"] >= 1
+        rules = {d["rule"] for d in payload["reports"][0]["diagnostics"]}
+        assert "width-trunc" in rules
+
+    def test_diagnostic_points_at_source_line(self):
+        report = lint_source(DEAD_NET, "m", source_file="dead.v")
+        [diag] = [d for d in report.diagnostics if d.rule == "dead-net"]
+        assert diag.source_file == "dead.v"
+        assert diag.line and diag.line > 1
+        assert diag.format().startswith(f"dead.v:{diag.line}:")
+
+
+class TestScanChainCoverageErrors:
+    def test_include_exclusions_are_recorded(self):
+        design = elaborate(TWO_REGS, "m")
+        result = insert_scan_chain(design, include=["a"])
+        assert [(e.kind, e.name, e.reason) for e in result.excluded] == [
+            ("net", "b", "include-filter")]
+
+    def test_on_excluded_error_raises_structured(self):
+        design = elaborate(TWO_REGS, "m")
+        with pytest.raises(ScanCoverageError) as exc:
+            insert_scan_chain(design, include=["a"], on_excluded="error")
+        assert ("net", "b", 8, "include-filter") in exc.value.elements
+        assert "b" in str(exc.value)
+
+    def test_memory_limit_exclusions_are_recorded(self):
+        design = elaborate(BIG_MEMORY, "m")
+        result = insert_scan_chain(design, memory_limit_bits=1024)
+        assert result.excluded_memories == ["ram"]
+        [entry] = [e for e in result.excluded if e.kind == "mem"]
+        assert entry.reason == "memory-limit" and entry.bits == 32 * 1024
+
+    def test_internal_name_collision_is_rejected(self):
+        design = elaborate(SCAN_INTERNAL_COLLISION, "m")
+        with pytest.raises(InstrumentationError, match="scan_p"):
+            insert_scan_chain(design)
+
+    def test_preflight_attaches_diagnostics(self):
+        design = elaborate(TWO_REGS, "m")
+        with pytest.raises(InstrumentationError) as exc:
+            preflight_lint(design, include=["a"])
+        assert exc.value.diagnostics
+        assert {d.rule for d in exc.value.diagnostics} == {
+            "snapshot-completeness"}
+        assert "snapshot-completeness" in str(exc.value)
+
+    def test_preflight_blocks_structural_errors(self):
+        design = elaborate(MULTI_DRIVER_SEQ_COMB, "m")
+        with pytest.raises(InstrumentationError) as exc:
+            insert_scan_chain(design, preflight=True)
+        assert {d.rule for d in exc.value.diagnostics} == {"multi-driver"}
+
+    def test_preflight_treats_explicit_include_as_scoping(self):
+        # Deliberate --include scoping is not a completeness error in the
+        # built-in pre-flight; the gap is recorded via on_excluded instead.
+        design = elaborate(TWO_REGS, "m")
+        result = insert_scan_chain(design, include=["a"], preflight=True)
+        assert [(e.name, e.reason) for e in result.excluded] == [
+            ("b", "include-filter")]
+
+    def test_preflight_passes_clean_design(self):
+        design = elaborate(TWO_REGS, "m")
+        result = insert_scan_chain(design, preflight=True)
+        assert result.chain_length == 16
