@@ -1,0 +1,16 @@
+"""Make the examples runnable from a fresh checkout.
+
+``import _bootstrap`` (first thing in every example) prepends the
+repository's ``src/`` directory to ``sys.path`` when ``repro`` is not
+already importable — so ``python examples/quickstart.py`` works without
+installing the package or exporting ``PYTHONPATH=src``.
+"""
+
+import pathlib
+import sys
+
+try:
+    import repro  # noqa: F401  — installed or PYTHONPATH already set
+except ImportError:
+    _src = pathlib.Path(__file__).resolve().parent.parent / "src"
+    sys.path.insert(0, str(_src))

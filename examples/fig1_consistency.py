@@ -10,6 +10,7 @@ corruption follows.
 Run:  python examples/fig1_consistency.py
 """
 
+import _bootstrap  # noqa: F401  — src/ fallback for fresh checkouts
 from repro import HardSnapSession
 from repro.firmware import TIMER_BASE, fig1_two_paths
 from repro.peripherals import catalog

@@ -13,6 +13,7 @@ executions/second between snapshot-restore and reboot-per-input.
 Run:  python examples/fuzz_campaign.py
 """
 
+import _bootstrap  # noqa: F401  — src/ fallback for fresh checkouts
 from repro.core import SnapshotFuzzer
 from repro.firmware import TIMER_BASE, fuzz_packet_parser
 from repro.isa import assemble

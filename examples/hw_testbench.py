@@ -12,6 +12,7 @@ Run:  python examples/hw_testbench.py
 import hashlib
 import struct
 
+import _bootstrap  # noqa: F401  — src/ fallback for fresh checkouts
 from repro.core.testbench import HwTestbench, generate_test_vectors
 from repro.firmware import TIMER_BASE, dispatcher
 from repro.peripherals import catalog, sha256

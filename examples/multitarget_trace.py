@@ -8,6 +8,7 @@ Writes the trace to ``timer_window.vcd`` in the current directory.
 Run:  python examples/multitarget_trace.py
 """
 
+import _bootstrap  # noqa: F401  — src/ fallback for fresh checkouts
 from repro.peripherals import catalog, timer
 from repro.targets import FpgaTarget, SimulatorTarget, TargetOrchestrator
 

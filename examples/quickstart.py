@@ -6,6 +6,7 @@ explored path.
 Run:  python examples/quickstart.py
 """
 
+import _bootstrap  # noqa: F401  — src/ fallback for fresh checkouts
 from repro import HardSnapSession
 from repro.peripherals import catalog
 

@@ -17,6 +17,7 @@ separate the failing state from the clean post-boot state.
 Run:  python examples/soc_case_study.py
 """
 
+import _bootstrap  # noqa: F401  — src/ fallback for fresh checkouts
 from repro import HardSnapSession
 from repro.analysis import diff_snapshots, format_diff
 from repro.peripherals import catalog

@@ -6,6 +6,7 @@ tail, and the complete hardware state at the detection point.
 Run:  python examples/vuln_hunt.py
 """
 
+import _bootstrap  # noqa: F401  — src/ fallback for fresh checkouts
 from repro import HardSnapSession
 from repro.firmware import (AES_BASE, TIMER_BASE, UART_BASE, WDT_BASE,
                             vuln_buffer_overflow, vuln_irq_race,

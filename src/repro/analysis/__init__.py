@@ -4,9 +4,11 @@ from repro.analysis.diff import (MemoryDelta, NetDelta, SnapshotDiff,
                                  diff_snapshots, format_diff)
 from repro.analysis.coverage import (CoverageReport, coverage_report,
                                      source_line_coverage, uncovered_listing)
-from repro.analysis.tables import format_si_time, format_table
+from repro.analysis.tables import (format_si_time, format_snapshot_stats,
+                                   format_table)
 
-__all__ = ["format_table", "format_si_time", "CoverageReport",
+__all__ = ["format_table", "format_si_time", "format_snapshot_stats",
+           "CoverageReport",
            "coverage_report", "uncovered_listing", "source_line_coverage",
            "diff_snapshots", "format_diff", "SnapshotDiff", "NetDelta",
            "MemoryDelta"]

@@ -51,6 +51,33 @@ def _is_numeric(cell: str) -> bool:
         return False
 
 
+def format_snapshot_stats(controller_stats, store_stats) -> str:
+    """Snapshot-subsystem accounting table.
+
+    Duck-typed over :class:`~repro.core.snapshot.SnapshotStats` and
+    :class:`~repro.core.store.StoreStats` (keeps analysis import-light).
+    """
+    logical = store_stats.logical_bits
+    stored = store_stats.stored_bits
+    rows = [
+        ("saves", controller_stats.saves),
+        ("restores", controller_stats.restores),
+        ("resets", controller_stats.resets),
+        ("logical bits", logical),
+        ("stored bits", stored),
+        ("compression", f"{store_stats.compression_ratio:.1f}x"),
+        ("dedup hit-rate", f"{store_stats.dedup_hit_rate:.1%}"),
+        ("capture skips", store_stats.capture_skips),
+        ("unique chunks", store_stats.chunks),
+        ("max chain depth", store_stats.max_chain_depth),
+        ("flattens", store_stats.flattens),
+        ("modelled save", format_si_time(controller_stats.modelled_save_s)),
+        ("modelled restore",
+         format_si_time(controller_stats.modelled_restore_s)),
+    ]
+    return format_table(("metric", "value"), rows, title="snapshot store")
+
+
 def format_si_time(seconds: float) -> str:
     """Human-scale time: 1.23 us / 4.56 ms / 7.89 s."""
     if seconds == 0:

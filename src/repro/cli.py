@@ -117,7 +117,8 @@ def cmd_run(args) -> int:
     session = HardSnapSession(
         firmware, _parse_peripherals(args.peripheral),
         target=args.target, strategy=args.strategy, searcher=args.searcher,
-        concretization=args.concretization, scan_mode="functional")
+        concretization=args.concretization, scan_mode="functional",
+        snapshot_flatten_threshold=args.flatten_threshold)
     report = session.run(max_instructions=args.max_instructions,
                          stop_after_bugs=args.stop_after_bugs)
     print(report.summary())
@@ -126,6 +127,8 @@ def cmd_run(args) -> int:
               f"steps {path.steps} test case {path.test_case}")
     for bug in report.bugs:
         print(f"  BUG {bug.summary()}")
+    if report.snapshot_saves:
+        print(session.engine.controller.stats_table())
     return 1 if report.bugs else 0
 
 
@@ -228,6 +231,9 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["performance", "completeness"])
     p.add_argument("--max-instructions", type=int, default=1_000_000)
     p.add_argument("--stop-after-bugs", type=int, default=0)
+    p.add_argument("--flatten-threshold", type=int, default=8,
+                   help="delta-chain length before the snapshot store "
+                        "materialises a full record")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("fuzz", help="snapshot-based coverage-guided fuzzing")

@@ -12,6 +12,8 @@ from repro.core.hardsnap import (HardSnapSession, make_strategy, make_target,
 from repro.core.persistence import (export_crash_pack, load_snapshot,
                                     replay_crash, save_snapshot)
 from repro.core.snapshot import SnapshotController, SnapshotStats
+from repro.core.store import (Chunk, SnapshotRecord, SnapshotStore,
+                              StoreStats, chunk_digest)
 
 __all__ = [
     "HardSnapSession", "SessionConfig", "AnalysisEngine", "AnalysisReport",
@@ -20,4 +22,5 @@ __all__ = [
     "SnapshotStats", "make_strategy", "make_target", "run_all_strategies",
     "SnapshotFuzzer", "FuzzReport", "FuzzCrash", "INPUT_ADDR",
     "save_snapshot", "load_snapshot", "export_crash_pack", "replay_crash",
+    "SnapshotStore", "SnapshotRecord", "StoreStats", "Chunk", "chunk_digest",
 ]

@@ -39,5 +39,12 @@ class SessionConfig:
     #: FPGA scan execution mode: "shift" (real RTL shifting) or
     #: "functional" (same costs, direct state move).
     scan_mode: str = "functional"
+    #: Delta-chain length at which the snapshot store materialises a
+    #: full record (bounds restore-time chain walks).
+    snapshot_flatten_threshold: int = 8
+    #: Let the FPGA snapshot IP store delta-compressed streams in its
+    #: SRAM (occupancy = dirty chains only; the shift still pays full
+    #: price).
+    sram_dedup: bool = False
     #: Random seed for stochastic searchers.
     seed: int = 0

@@ -23,8 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.snapshot import SnapshotController
-from repro.errors import VmError
-from repro.solver import Solver
+from repro.core.store import DEFAULT_FLATTEN_THRESHOLD, SnapshotStore
 from repro.targets.base import HardwareTarget
 from repro.vm.detectors import Bug, model_to_test_case
 from repro.vm.executor import SymbolicExecutor
@@ -187,6 +186,14 @@ class AnalysisReport:
     host_time_s: float = 0.0
     snapshot_saves: int = 0
     snapshot_restores: int = 0
+    #: Sum of full-image sizes over all saves (the naive storage cost).
+    snapshot_logical_bits: int = 0
+    #: Bits actually written to the content-addressed store.
+    snapshot_stored_bits: int = 0
+    #: Fraction of chunk lookups served by an already-stored chunk.
+    snapshot_dedup_hit_rate: float = 0.0
+    #: Deepest delta chain a restore had to walk.
+    snapshot_chain_depth: int = 0
     reboots: int = 0
     replayed_accesses: int = 0
     mmio_accesses: int = 0
@@ -210,6 +217,7 @@ class AnalysisReport:
                 f"(halted={len(self.halted_paths)}) bugs={len(self.bugs)} "
                 f"instr={self.instructions} forks={self.forks} "
                 f"saves={self.snapshot_saves} restores={self.snapshot_restores} "
+                f"dedup={self.snapshot_dedup_hit_rate:.0%} "
                 f"reboots={self.reboots} "
                 f"modelled={self.modelled_time_s:.4f}s "
                 f"host={self.host_time_s:.3f}s stop={self.stop_reason}")
@@ -226,13 +234,16 @@ class AnalysisEngine:
                  strategy: ConsistencyStrategy, target: HardwareTarget,
                  bridge: MmioBridge,
                  cycles_per_instruction: int = 1,
-                 irq_poll_interval: int = 1):
+                 irq_poll_interval: int = 1,
+                 store: Optional[SnapshotStore] = None,
+                 flatten_threshold: int = DEFAULT_FLATTEN_THRESHOLD):
         self.executor = executor
         self.searcher = searcher
         self.strategy = strategy
         self.target = target
         self.bridge = bridge
-        self.controller = SnapshotController(target)
+        self.controller = SnapshotController(
+            target, store=store, flatten_threshold=flatten_threshold)
         self.cpi = cycles_per_instruction
         self.irq_poll_interval = max(1, irq_poll_interval)
         strategy.bind(self.controller, bridge)
@@ -325,6 +336,11 @@ class AnalysisEngine:
         report.modelled_time_s = self.target.timer.total_s - modelled_start
         report.snapshot_saves = self.controller.stats.saves
         report.snapshot_restores = self.controller.stats.restores
+        store_stats = self.controller.store.stats
+        report.snapshot_logical_bits = store_stats.logical_bits
+        report.snapshot_stored_bits = store_stats.stored_bits
+        report.snapshot_dedup_hit_rate = store_stats.dedup_hit_rate
+        report.snapshot_chain_depth = store_stats.max_chain_depth
         report.mmio_accesses = self.bridge.accesses
         if isinstance(self.strategy, RebootReplayStrategy):
             report.reboots = self.strategy.reboots

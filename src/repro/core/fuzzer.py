@@ -29,8 +29,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
+from repro.core.snapshot import SnapshotController
 from repro.errors import FirmwarePanic, VmError
 from repro.isa.assembler import Program
 from repro.isa.cpu import Cpu, CpuExit
@@ -92,6 +93,9 @@ class SnapshotFuzzer:
         self.rng = random.Random(seed)
         self.corpus: List[bytes] = list(seeds or [b"\x00"])
         self.edges: Set[Tuple[int, int]] = set()
+        # Snapshots go through the controller so the boot image lands in
+        # the content-addressed store (per-input restores dedup to it).
+        self.controller = SnapshotController(target)
         self._boot_snapshot: Optional[HwSnapshot] = None
 
     # -- harness -----------------------------------------------------------
@@ -103,10 +107,10 @@ class SnapshotFuzzer:
             self.target.timer.add_fixed(self.reboot_time_s)
             return
         if self._boot_snapshot is None:
-            self.target.reset()
-            self._boot_snapshot = self.target.save_snapshot()
+            self.controller.reset()
+            self._boot_snapshot = self.controller.save()
         else:
-            self.target.restore_snapshot(self._boot_snapshot)
+            self.controller.restore(self._boot_snapshot)
 
     def _execute(self, data: bytes) -> Tuple[Optional[CpuExit],
                                              Set[Tuple[int, int]],

@@ -56,7 +56,8 @@ def make_strategy(name: str, config: SessionConfig) -> ConsistencyStrategy:
 
 def make_target(config: SessionConfig) -> HardwareTarget:
     if config.target == "fpga":
-        return FpgaTarget(scan_mode=config.scan_mode)
+        return FpgaTarget(scan_mode=config.scan_mode,
+                          sram_dedup=config.sram_dedup)
     if config.target == "simulator":
         return SimulatorTarget()
     raise VmError(f"unknown target kind {config.target!r}")
@@ -104,7 +105,8 @@ class HardSnapSession:
             self.executor, self.searcher, self.strategy, self.target,
             self.bridge,
             cycles_per_instruction=config.cycles_per_instruction,
-            irq_poll_interval=config.irq_poll_interval)
+            irq_poll_interval=config.irq_poll_interval,
+            flatten_threshold=config.snapshot_flatten_threshold)
 
     # -- running ------------------------------------------------------------
 

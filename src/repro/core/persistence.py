@@ -33,13 +33,18 @@ _FORMAT_VERSION = 1
 
 
 def snapshot_to_dict(snapshot: HwSnapshot) -> dict:
-    return {
+    out = {
         "format": _FORMAT_VERSION,
         "method": snapshot.method,
         "bits": snapshot.bits,
         "modelled_cost_s": snapshot.modelled_cost_s,
         "states": snapshot.states,
     }
+    if snapshot.snapshot_id is not None:
+        out["snapshot_id"] = snapshot.snapshot_id
+    if snapshot.parent_id is not None:
+        out["parent_id"] = snapshot.parent_id
+    return out
 
 
 def snapshot_from_dict(data: dict) -> HwSnapshot:
@@ -51,6 +56,8 @@ def snapshot_from_dict(data: dict) -> HwSnapshot:
         method=data.get("method", "file"),
         bits=int(data.get("bits", 0)),
         modelled_cost_s=float(data.get("modelled_cost_s", 0.0)),
+        snapshot_id=data.get("snapshot_id"),
+        parent_id=data.get("parent_id"),
     )
 
 

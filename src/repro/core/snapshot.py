@@ -9,15 +9,25 @@
 into the target-specific mechanisms (CRIU on the simulator target, the
 scan-chain IP on the FPGA target), keeps accounting, and implements
 Algorithm 1's ``UpdateState``/``RestoreState`` pair.
+
+Storage goes through the content-addressed
+:class:`~repro.core.store.SnapshotStore`: each save interns the
+canonical per-instance states as deduplicated chunks and records a delta
+against the snapshot the live hardware descended from, so a child
+snapshot costs O(changed registers) in stored bits. Restores reassemble
+the image by walking the delta chain (bounded by the store's flatten
+threshold). The *mechanism* cost is still the target's: a scan chain
+shifts its full length; only the simulator's CRIU model prices dirty
+state incrementally.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
 
-from repro.errors import SnapshotError
+from repro.core.store import (DEFAULT_FLATTEN_THRESHOLD, SnapshotStore,
+                              StoreStats)
 from repro.targets.base import HardwareTarget, HwSnapshot
 from repro.vm.state import ExecState
 
@@ -29,6 +39,9 @@ class SnapshotStats:
     resets: int = 0
     bits_saved: int = 0
     bits_restored: int = 0
+    #: Bits actually written to storage (after chunk dedup + deltas);
+    #: compare against ``bits_saved`` for the naive full-image cost.
+    bits_stored: int = 0
     modelled_save_s: float = 0.0
     modelled_restore_s: float = 0.0
 
@@ -36,33 +49,91 @@ class SnapshotStats:
 class SnapshotController:
     """VM-side snapshot management over one hardware target."""
 
-    def __init__(self, target: HardwareTarget):
+    def __init__(self, target: HardwareTarget,
+                 store: Optional[SnapshotStore] = None,
+                 flatten_threshold: int = DEFAULT_FLATTEN_THRESHOLD):
         self.target = target
-        self._ids = itertools.count(1)
+        self.store = store if store is not None \
+            else SnapshotStore(flatten_threshold)
         self.stats = SnapshotStats()
+        #: Store id the live hardware state descends from (the delta
+        #: parent of the next save); None after a reset.
+        self._live_parent: Optional[int] = None
+        #: Target capture epoch at our last save/restore; a mismatch
+        #: means someone snapshotted the target behind our back and the
+        #: dirty sets can no longer be trusted against _live_parent.
+        self._live_epoch = target.capture_epoch
 
     # -- primitive operations ---------------------------------------------------
 
     def save(self) -> HwSnapshot:
-        """Suspend the target, capture its state, resume; assign an id."""
+        """Suspend the target, capture its state, resume; assign an id
+        and intern the image into the delta store."""
+        epoch_before = self.target.capture_epoch
+        before_s = self.target.timer.total_s
         snapshot = self.target.save_snapshot()
-        snapshot.snapshot_id = snapshot.snapshot_id or next(self._ids)
+        store_id = self.store.next_id()
+        if snapshot.snapshot_id is None:  # 0 is a valid target-assigned id
+            snapshot.snapshot_id = store_id
+        snapshot.parent_id = self._live_parent
+        lineage_intact = epoch_before == self._live_epoch
+        unchanged = self._unchanged_instances(snapshot, lineage_intact)
+        record = self.store.put(
+            store_id, snapshot.states,
+            bits_of=self._instance_bits(snapshot.states),
+            parent_id=self._live_parent, method=snapshot.method,
+            unchanged=unchanged)
+        snapshot.record = record
+        # Hand out the store's interned (immutable, shared) payloads so
+        # per-fork clones are O(instances) instead of O(design).
+        snapshot.states = self.store.resolve(store_id)
+        self._live_parent = store_id
+        self._live_epoch = self.target.capture_epoch
         self.stats.saves += 1
         self.stats.bits_saved += snapshot.bits
-        self.stats.modelled_save_s += snapshot.modelled_cost_s
+        self.stats.bits_stored += record.stored_bits
+        self.stats.modelled_save_s += self.target.timer.total_s - before_s
         return snapshot
 
     def restore(self, snapshot: HwSnapshot) -> None:
-        before = self.target.timer.total_s
+        before_s = self.target.timer.total_s
+        record = snapshot.record
+        if record is not None and record.snapshot_id in self.store:
+            # Reassemble the image by walking the delta chain (flatten
+            # threshold keeps this O(1)-ish).
+            snapshot.states = self.store.resolve(record.snapshot_id)
+            self._live_parent = record.snapshot_id
+        else:
+            # Foreign snapshot (loaded from disk, raw target image):
+            # lineage unknown, the next save must be a full record.
+            self._live_parent = None
         self.target.restore_snapshot(snapshot)
+        self._live_epoch = self.target.capture_epoch
         self.stats.restores += 1
         self.stats.bits_restored += snapshot.bits
-        self.stats.modelled_restore_s += self.target.timer.total_s - before
+        self.stats.modelled_restore_s += self.target.timer.total_s - before_s
 
     def reset(self) -> None:
         """Full power-on reset (the 'reboot' the baselines pay for)."""
         self.target.reset()
+        self._live_parent = None
         self.stats.resets += 1
+
+    # -- store plumbing -------------------------------------------------------
+
+    def _instance_bits(self, states: Mapping[str, dict]) -> Dict[str, int]:
+        return {name: self.target.instances[name].state_bits
+                for name in states if name in self.target.instances}
+
+    def _unchanged_instances(self, snapshot: HwSnapshot,
+                             lineage_intact: bool) -> frozenset:
+        """Instances safe to inherit the parent's chunk digest without
+        re-hashing: only when the target reported a dirty set AND no
+        out-of-band capture broke the lineage since our last operation."""
+        if not lineage_intact or snapshot.dirty is None \
+                or self._live_parent is None:
+            return frozenset()
+        return frozenset(set(snapshot.states) - set(snapshot.dirty))
 
     # -- Algorithm 1 lines 6-7 -------------------------------------------------------
 
@@ -79,3 +150,14 @@ class SnapshotController:
             state.hw_snapshot = self.save()
         else:
             self.restore(state.hw_snapshot)
+
+    # -- reporting -------------------------------------------------------------
+
+    @property
+    def store_stats(self) -> StoreStats:
+        return self.store.stats
+
+    def stats_table(self) -> str:
+        """Paper-style accounting table for the snapshot subsystem."""
+        from repro.analysis.tables import format_snapshot_stats
+        return format_snapshot_stats(self.stats, self.store.stats)

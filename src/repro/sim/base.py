@@ -22,6 +22,12 @@ from repro.hdl.ir import Design, Memory, Net
 class BaseSimulation:
     """Cycle-based simulation of one elaborated design."""
 
+    #: Monotonic counter bumped by every operation that can change the
+    #: design's *state* (pokes, clock steps, loads, resets). Targets use
+    #: it for incremental snapshot capture: an instance whose version is
+    #: unchanged since the last capture is bit-identical to that capture.
+    state_version = 0
+
     def __init__(self, design: Design, clock: str = "clk"):
         self.design = design
         self.clock_name = clock
@@ -46,6 +52,7 @@ class BaseSimulation:
             else:
                 self.memories[name] = [0] * mem.depth
         self.cycle = 0
+        self.state_version += 1
         self._run_init_blocks()
         self._settle()
 
@@ -55,12 +62,14 @@ class BaseSimulation:
         """Drive a primary input (or force any net) and settle."""
         net = self._net(name)
         self.values[name] = value & net.mask
+        self.state_version += 1
         self._settle()
 
     def poke_many(self, assignments: Dict[str, int]) -> None:
         for name, value in assignments.items():
             net = self._net(name)
             self.values[name] = value & net.mask
+        self.state_version += 1
         self._settle()
 
     def peek(self, name: str) -> int:
@@ -81,6 +90,7 @@ class BaseSimulation:
             raise SimulationError(
                 f"index {index} out of range for {name!r} (depth {mem.depth})")
         self.memories[name][index] = value & mem.mask
+        self.state_version += 1
 
     def _net(self, name: str) -> Net:
         net = self.design.nets.get(name)
@@ -102,6 +112,8 @@ class BaseSimulation:
 
     def step(self, cycles: int = 1) -> None:
         """Advance *cycles* full clock periods (rising then falling edge)."""
+        if cycles:
+            self.state_version += 1
         if self._has_negedge:
             for _ in range(cycles):
                 self.values[self.clock_name] = 1
@@ -156,6 +168,7 @@ class BaseSimulation:
                     f"expected {mem.depth}")
             self.memories[name] = [w & mem.mask for w in words]
         self.cycle = int(snapshot.get("cycle", 0))  # type: ignore[arg-type]
+        self.state_version += 1
         self._settle()
 
     # -- tracing ------------------------------------------------------------------------

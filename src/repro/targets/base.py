@@ -40,6 +40,12 @@ class HwSnapshot:
     :meth:`BaseSimulation.save_state` (state nets, state memories, input
     pin levels, cycle counter). The canonical form is target-independent,
     which is what makes multi-target state transfer possible.
+
+    When a snapshot has been interned into a
+    :class:`~repro.core.store.SnapshotStore` (``record`` is set), its
+    per-instance state dicts are the store's shared immutable chunks:
+    cloning then shares them instead of deep-copying, which is what makes
+    fork-heavy exploration O(changed state) instead of O(design).
     """
 
     states: Dict[str, dict]
@@ -47,11 +53,26 @@ class HwSnapshot:
     bits: int = 0
     modelled_cost_s: float = 0.0
     snapshot_id: Optional[int] = None
+    #: Snapshot the live hardware descended from when this was captured
+    #: (the delta-chain parent); set by the snapshot controller.
+    parent_id: Optional[int] = None
+    #: Instances whose sim state version changed since the previous
+    #: capture/restore on the producing target; None = unknown (all).
+    dirty: Optional[frozenset] = None
+    #: The store's :class:`~repro.core.store.SnapshotRecord`, once interned.
+    record: Optional[object] = None
 
     def clone(self) -> "HwSnapshot":
+        if self.record is not None:
+            # Store-backed states are immutable shared chunks: a shallow
+            # copy of the instance map is a safe, O(instances) clone.
+            return HwSnapshot(dict(self.states), self.method, self.bits,
+                              self.modelled_cost_s, self.snapshot_id,
+                              self.parent_id, self.dirty, self.record)
         import copy
         return HwSnapshot(copy.deepcopy(self.states), self.method, self.bits,
-                          self.modelled_cost_s, self.snapshot_id)
+                          self.modelled_cost_s, self.snapshot_id,
+                          self.parent_id, self.dirty)
 
 
 @dataclass
@@ -76,6 +97,14 @@ class PeripheralInstance:
         return bool(self.sim.peek("irq"))
 
 
+@dataclass
+class _CachedCapture:
+    """Last canonical capture of one instance + the sim version it had."""
+
+    version: int
+    state: dict
+
+
 class HardwareTarget:
     """Base class for the simulator and FPGA targets."""
 
@@ -90,6 +119,12 @@ class HardwareTarget:
         self.memory_map = MemoryMap()
         self.instances: Dict[str, PeripheralInstance] = {}
         self.cycles = 0
+        #: name -> last canonical capture, keyed by the sim's state
+        #: version (the incremental-capture cache).
+        self._capture_cache: Dict[str, _CachedCapture] = {}
+        #: Bumped on every capture/restore; lets the snapshot controller
+        #: detect out-of-band save/restore calls and distrust dirty sets.
+        self.capture_epoch = 0
 
     # -- construction ------------------------------------------------------
 
@@ -203,6 +238,55 @@ class HardwareTarget:
                 f"only exposes pins — use the scan chain or readback")
 
     # -- snapshotting ------------------------------------------------------------------
+
+    def _capture_instance(self, instance: PeripheralInstance) -> dict:
+        """Produce one instance's canonical state dict. Targets with a
+        non-trivial mechanism (scan chains) override this."""
+        instance.sim.settle()
+        return instance.sim.save_state()
+
+    def capture_states(self, force_capture: bool = False
+                       ) -> Tuple[Dict[str, dict], frozenset]:
+        """Incremental capture hook: canonical states for every instance,
+        plus the set of instances that were actually *dirty* (their sim
+        state version changed since the previous capture/restore).
+
+        Clean instances reuse the cached canonical dict — capture costs
+        O(dirty state) in host time. ``force_capture`` re-runs the
+        capture mechanism on clean instances too (the FPGA shift mode
+        does, since a daisy-chained scan rotation physically traverses
+        every chain) without marking them dirty.
+        """
+        states: Dict[str, dict] = {}
+        dirty = set()
+        for name, instance in self.instances.items():
+            cached = self._capture_cache.get(name)
+            version = instance.sim.state_version
+            clean = cached is not None and cached.version == version
+            if clean and not force_capture:
+                states[name] = cached.state
+                continue
+            state = self._capture_instance(instance)
+            states[name] = state
+            if not clean:
+                dirty.add(name)
+            # The capture itself may advance the version (scan shifting);
+            # record the post-capture version so the next save sees an
+            # untouched instance as clean.
+            self._capture_cache[name] = _CachedCapture(
+                instance.sim.state_version, state)
+        self.capture_epoch += 1
+        return states, frozenset(dirty)
+
+    def _note_restored(self, snapshot: HwSnapshot) -> None:
+        """Sync the capture cache after a restore: the live state now
+        equals the snapshot's canonical states."""
+        for name, state in snapshot.states.items():
+            instance = self.instances.get(name)
+            if instance is not None:
+                self._capture_cache[name] = _CachedCapture(
+                    instance.sim.state_version, state)
+        self.capture_epoch += 1
 
     def save_snapshot(self) -> HwSnapshot:
         raise NotImplementedError

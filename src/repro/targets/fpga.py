@@ -55,11 +55,17 @@ class FpgaTarget(HardwareTarget):
                  sram_bits: Optional[int] = None,
                  readback: Optional[ReadbackModel] = None,
                  has_readback: bool = True,
-                 scan_include: Optional[Tuple[str, ...]] = None):
+                 scan_include: Optional[Tuple[str, ...]] = None,
+                 sram_dedup: bool = False):
         super().__init__(name, clock_hz, transport)
         if scan_mode not in ("shift", "functional"):
             raise TargetError(f"unknown scan_mode {scan_mode!r}")
         self.scan_mode = scan_mode
+        #: When enabled, the snapshot IP stores delta-compressed streams:
+        #: SRAM occupancy per snapshot is the chain footprint of the
+        #: instances that changed since the previous capture (the shift
+        #: itself still traverses — and is priced at — the full chain).
+        self.sram_dedup = sram_dedup
         #: Optional sub-component scoping for the scan chain (paper
         #: §IV-A): only state under these hierarchical prefixes is
         #: snapshottable; None instruments the whole design.
@@ -70,6 +76,10 @@ class FpgaTarget(HardwareTarget):
         self.has_readback = has_readback
         self.snapshots_taken = 0
         self.snapshots_restored = 0
+        #: Per-instance canonical body (no cycle counter) at the last
+        #: save/restore — the baseline the IP's delta streams diff
+        #: against when ``sram_dedup`` is enabled.
+        self._sram_baseline: Dict[str, dict] = {}
 
     # -- construction -------------------------------------------------------
 
@@ -181,19 +191,33 @@ class FpgaTarget(HardwareTarget):
 
     def save_snapshot(self) -> HwSnapshot:
         """Scan all hosted chains into the snapshot SRAM (daisy-chained:
-        costs are summed)."""
-        states: Dict[str, dict] = {}
-        total_bits = 0
-        total_cost = 0.0
-        for name, instance in self.instances.items():
-            states[name] = self._capture_instance(instance)
-            total_bits += self._chain(instance).chain_length
-        slot, cost = self.ip.save(total_bits)
-        total_cost += cost
-        self.timer.add_fixed(total_cost)
+        costs are summed).
+
+        The modelled cost always covers a full-chain rotation — a scan
+        shift traverses every flip-flop no matter how few changed. In
+        shift mode the capture mechanism also physically re-runs per
+        save; functional mode reuses cached canonical states for
+        instances whose sim state is untouched (identical content, same
+        modelled cost).
+        """
+        states, dirty = self.capture_states(
+            force_capture=self.scan_mode == "shift")
+        total_bits = sum(self._chain(inst).chain_length
+                         for inst in self.instances.values())
+        stored_bits = None
+        if self.sram_dedup:
+            # Content-based delta: lockstep time moves every cycle
+            # counter, so version-dirty overstates what actually needs
+            # storing — diff the register content itself.
+            changed = self._sram_changed(states)
+            stored_bits = sum(self._chain(self.instances[name]).chain_length
+                              for name in changed)
+        slot, cost = self.ip.save(total_bits, stored_bits=stored_bits)
+        self.timer.add_fixed(cost)
         self.snapshots_taken += 1
         return HwSnapshot(states, method="scan", bits=total_bits,
-                          modelled_cost_s=total_cost, snapshot_id=slot)
+                          modelled_cost_s=cost, snapshot_id=slot,
+                          dirty=dirty)
 
     def restore_snapshot(self, snapshot: HwSnapshot) -> None:
         missing = set(snapshot.states) - set(self.instances)
@@ -208,6 +232,20 @@ class FpgaTarget(HardwareTarget):
         cost = self.ip.restore(snapshot.snapshot_id, total_bits)
         self.timer.add_fixed(cost)
         self.snapshots_restored += 1
+        self._note_restored(snapshot)
+        if self.sram_dedup:
+            self._sram_changed(snapshot.states)  # re-baseline
+
+    def _sram_changed(self, states: Dict[str, dict]) -> list:
+        """Instances whose canonical body differs from the SRAM delta
+        baseline; updates the baseline to *states*."""
+        changed = []
+        for name, state in states.items():
+            body = {k: v for k, v in state.items() if k != "cycle"}
+            if self._sram_baseline.get(name) != body:
+                changed.append(name)
+                self._sram_baseline[name] = body
+        return changed
 
     # -- readback -------------------------------------------------------------------------
 
@@ -225,7 +263,10 @@ class FpgaTarget(HardwareTarget):
         states: Dict[str, dict] = {}
         bits = 0
         for name, instance in self.instances.items():
-            states[name] = instance.sim.save_state()
+            # Canonical (instrumentation-free) form, like the scan paths:
+            # readback snapshots are transferable and store-dedupable.
+            states[name] = self._strip_scan_artifacts(
+                instance, instance.sim.save_state())
             bits += instance.state_bits
         cost = self.readback_model.capture_latency_s(bits)
         self.timer.add_fixed(cost)

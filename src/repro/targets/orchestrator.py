@@ -10,13 +10,20 @@ peripherals and moves live hardware states between them: capture on the
 source (scan chain / CRIU), convert through the canonical state form,
 load on the destination. It also tracks which target is *active* so a
 virtual machine can route MMIO to the current one transparently.
+
+Transfers pass through a shared content-addressed
+:class:`~repro.core.store.SnapshotStore`: the captured image is interned
+as canonical chunks, so repeated transfers of mostly-unchanged state
+stream only the delta over the debugger link (``TransferRecord.delta_bits``),
+while the destination still loads a full image.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.core.store import SnapshotStore
 from repro.errors import TargetError
 from repro.targets.base import HardwareTarget, HwSnapshot
 
@@ -27,15 +34,22 @@ class TransferRecord:
     destination: str
     bits: int
     modelled_cost_s: float
+    #: Bits that actually crossed the link after chunk dedup against
+    #: earlier transfers (== ``bits`` for the first transfer).
+    delta_bits: int = -1
 
 
 class TargetOrchestrator:
     """Registry + state-transfer engine over interchangeable targets."""
 
-    def __init__(self) -> None:
+    def __init__(self, store: Optional[SnapshotStore] = None) -> None:
         self._targets: Dict[str, HardwareTarget] = {}
         self._active: Optional[str] = None
         self.transfers: List[TransferRecord] = []
+        #: Shared store deduplicating the canonical images that travel
+        #: between targets (ids here are transfer ids, not snapshot ids).
+        self.store = store if store is not None else SnapshotStore()
+        self._last_transfer_id: Optional[int] = None
 
     # -- registry -----------------------------------------------------------
 
@@ -84,16 +98,31 @@ class TargetOrchestrator:
         if src is dst:
             raise TargetError("source and destination are the same target")
         snapshot = src.save_snapshot()
+        # Intern the canonical image: chunks already seen on an earlier
+        # transfer are content-identical on both sides of the link, so
+        # only the delta needs to travel.
+        transfer_id = self.store.next_id()
+        record = self.store.put(
+            transfer_id, snapshot.states,
+            bits_of={name: src.instances[name].state_bits
+                     for name in snapshot.states},
+            parent_id=self._last_transfer_id, method=snapshot.method)
+        snapshot.record = record
+        snapshot.states = self.store.resolve(transfer_id)
+        self._last_transfer_id = transfer_id
+        delta_bits = record.stored_bits
         # The state leaves the source's domain: a cross-target transfer
-        # always streams the image over the slower of the two transports.
+        # always streams the (delta-compressed) image over the slower of
+        # the two transports.
         link = max(src.transport, dst.transport,
                    key=lambda t: t.per_access_s)
-        link_cost = link.bulk_latency_s(max(snapshot.bits, 1))
+        link_cost = link.bulk_latency_s(max(delta_bits, 1))
         dst.timer.add_transport(link_cost)
         dst.restore_snapshot(snapshot)
         total = snapshot.modelled_cost_s + link_cost
         self.transfers.append(TransferRecord(source, destination,
-                                             snapshot.bits, total))
+                                             snapshot.bits, total,
+                                             delta_bits=delta_bits))
         if switch_active:
             self._active = destination
         return snapshot

@@ -17,7 +17,7 @@ interface. Properties:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.bus.transport import SHARED_MEMORY, Transport
 from repro.errors import SnapshotError
@@ -43,6 +43,9 @@ class CriuModel:
     process_image_bytes: int = 6 * 1024 * 1024
     #: Persistent-storage streaming bandwidth.
     storage_bytes_per_s: float = 1.2e9
+    #: Pages of the simulator process itself (stack, allocator churn)
+    #: that an incremental dump with soft-dirty tracking still rewrites.
+    incremental_image_bytes: int = 256 * 1024
 
     def image_bytes(self, state_bits: int) -> int:
         return self.process_image_bytes + state_bits // 8
@@ -50,6 +53,12 @@ class CriuModel:
     def checkpoint_s(self, state_bits: int) -> float:
         return (self.checkpoint_base_s
                 + self.image_bytes(state_bits) / self.storage_bytes_per_s)
+
+    def incremental_checkpoint_s(self, dirty_state_bits: int) -> float:
+        """Incremental dump (CRIU ``--track-mem``): only pages written
+        since the previous checkpoint are streamed out."""
+        image = self.incremental_image_bytes + dirty_state_bits // 8
+        return self.checkpoint_base_s + image / self.storage_bytes_per_s
 
     def restore_s(self, state_bits: int) -> float:
         return (self.restore_base_s
@@ -69,6 +78,9 @@ class SimulatorTarget(HardwareTarget):
         self.criu = criu or CriuModel()
         self.snapshots_taken = 0
         self.snapshots_restored = 0
+        # Dirty-page tracking starts with the first full dump; until then
+        # every checkpoint is a complete image.
+        self._tracking = False
 
     def _make_sim(self, design: Design) -> Interpreter:
         return Interpreter(design)
@@ -89,21 +101,35 @@ class SimulatorTarget(HardwareTarget):
 
     # -- snapshotting -------------------------------------------------------------
 
+    def reset(self) -> None:
+        # A power-on reset restarts the simulator process: dirty-page
+        # tracking must be re-established with a fresh full dump.
+        super().reset()
+        self._tracking = False
+
     def save_snapshot(self) -> HwSnapshot:
-        """Flush, freeze and checkpoint the whole simulator process."""
-        states: Dict[str, dict] = {}
-        bits = 0
-        for name, instance in self.instances.items():
-            # "Flush pending read/write operations": the BFM is idle
-            # between transactions by construction; settle to be safe.
-            instance.sim.settle()
-            states[name] = instance.sim.save_state()
-            bits += instance.state_bits
-        cost = self.criu.checkpoint_s(bits)
+        """Flush, freeze and checkpoint the whole simulator process.
+
+        The first checkpoint streams the complete process image; once
+        dirty-page tracking is armed, later checkpoints are incremental
+        dumps priced by the state that actually changed ("the simulator
+        prices only dirty state").
+        """
+        # "Flush pending read/write operations": the BFM is idle between
+        # transactions by construction; _capture_instance settles anyway.
+        states, dirty = self.capture_states()
+        bits = sum(inst.state_bits for inst in self.instances.values())
+        if self._tracking:
+            dirty_bits = sum(self.instances[name].state_bits
+                             for name in dirty)
+            cost = self.criu.incremental_checkpoint_s(dirty_bits)
+        else:
+            cost = self.criu.checkpoint_s(bits)
+            self._tracking = True
         self.timer.add_fixed(cost)
         self.snapshots_taken += 1
         return HwSnapshot(states, method="criu", bits=bits,
-                          modelled_cost_s=cost)
+                          modelled_cost_s=cost, dirty=dirty)
 
     def restore_snapshot(self, snapshot: HwSnapshot) -> None:
         missing = set(snapshot.states) - set(self.instances)
@@ -118,3 +144,4 @@ class SimulatorTarget(HardwareTarget):
         cost = self.criu.restore_s(bits)
         self.timer.add_fixed(cost)
         self.snapshots_restored += 1
+        self._note_restored(snapshot)

@@ -59,28 +59,34 @@ class SnapshotIp:
 
     # -- save --------------------------------------------------------------------
 
-    def save(self, chain_bits: int) -> Tuple[int, float]:
+    def save(self, chain_bits: int,
+             stored_bits: Optional[int] = None) -> Tuple[int, float]:
         """Account one snapshot save; returns ``(slot_id, modelled_s)``.
 
         The scan shift streams the state into SRAM; if the SRAM is full,
-        the oldest resident snapshot is evicted to the host first.
+        the oldest resident snapshot is evicted to the host first. The
+        shift always traverses — and is priced at — the full
+        ``chain_bits``; ``stored_bits`` (delta/dedup-compressed targets)
+        overrides only the SRAM *occupancy*, letting more snapshots stay
+        resident.
         """
         self.stats.saves += 1
         cost = self.shift_cost_s(chain_bits)
-        while self._resident_bits() + chain_bits > self.sram_bits and self._resident:
+        occupancy = chain_bits if stored_bits is None else stored_bits
+        while self._resident_bits() + occupancy > self.sram_bits and self._resident:
             old_slot, old_bits = self._resident.popitem(last=False)
             self._evicted[old_slot] = old_bits
             self.stats.evictions += 1
             cost += self.transport.bulk_latency_s(old_bits)
         slot = self._next_slot
         self._next_slot += 1
-        if chain_bits <= self.sram_bits:
-            self._resident[slot] = chain_bits
+        if occupancy <= self.sram_bits:
+            self._resident[slot] = occupancy
         else:
             # Pathological: one snapshot larger than the SRAM goes straight
             # to the host.
-            self._evicted[slot] = chain_bits
-            cost += self.transport.bulk_latency_s(chain_bits)
+            self._evicted[slot] = occupancy
+            cost += self.transport.bulk_latency_s(occupancy)
             self.stats.host_round_trips += 1
         return slot, cost
 
@@ -94,9 +100,12 @@ class SnapshotIp:
             self.stats.sram_hits += 1
             self._resident.move_to_end(slot)
         else:
-            # Stream the image back from the host before shifting it in.
+            # Stream the image back from the host before shifting it in;
+            # an evicted delta snapshot only streams its stored bits.
             self.stats.host_round_trips += 1
-            cost += self.transport.bulk_latency_s(chain_bits)
+            stream_bits = self._evicted.get(slot, chain_bits) \
+                if slot is not None else chain_bits
+            cost += self.transport.bulk_latency_s(stream_bits)
         return cost
 
     def forget(self, slot: int) -> None:

@@ -2,6 +2,7 @@
 and check it exits cleanly (their internal asserts check the behaviour).
 """
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -9,7 +10,10 @@ import sys
 import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
-EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+SRC_DIR = pathlib.Path(__file__).parent.parent / "src"
+# Underscore-prefixed files are shared helpers, not runnable examples.
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py")
+                  if not p.name.startswith("_"))
 
 
 def test_every_example_is_covered():
@@ -18,10 +22,16 @@ def test_every_example_is_covered():
 
 @pytest.mark.parametrize("name", EXAMPLES)
 def test_example_runs_clean(name, tmp_path):
+    # The example subprocess does not inherit the test runner's import
+    # setup: point it at src/ explicitly (examples also self-bootstrap
+    # via _bootstrap for direct fresh-checkout runs).
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / name)],
         capture_output=True, text=True, timeout=300,
         cwd=tmp_path,  # artifacts (e.g. VCD files) land in a sandbox
+        env=env,
     )
     assert result.returncode == 0, f"{name} failed:\n{result.stderr[-2000:]}"
     assert result.stdout  # every example narrates what it shows
