@@ -1,0 +1,137 @@
+"""E9 — parallel scaling: sharded workers vs the serial runtime.
+
+HardSnap's snapshots make states portable, so N target instances can
+explore concurrently (§VI discusses scaling co-testing beyond one
+target). This experiment measures the worker-pool runtime two ways:
+
+* **fuzzing throughput** — the input-sharded :class:`ParallelFuzzer`
+  against the packet-parser firmware at 1/2/4 workers vs the serial
+  fuzzer, *with identical results asserted*: same crashes, same edge
+  set, byte-identical verdict string at every worker count,
+* **DSE verdict identity** — the leased :class:`ParallelAnalysisEngine`
+  reproduces the serial engine's verdicts on a forking workload.
+
+Speedup is only asserted when the host actually has multiple cores
+(single-core machines still verify all identity properties); CI runs
+this on 2 cores and requires >= 1.5x.
+
+Emits ``benchmarks/out/BENCH_parallel.json`` with the scaling table.
+"""
+
+import json
+import os
+import time
+
+from benchmarks.conftest import OUT_DIR, emit
+from repro.analysis import format_table
+from repro.core import HardSnapSession, SnapshotFuzzer
+from repro.firmware import TIMER_BASE, dispatcher, fuzz_packet_parser
+from repro.isa import assemble
+from repro.parallel import ParallelAnalysisEngine, ParallelFuzzer
+from repro.peripherals import catalog
+from repro.targets import FpgaTarget
+
+TIMER = [(catalog.TIMER, TIMER_BASE)]
+# The cmd-2 seed programs a long timer wait: each execution steps the
+# RTL simulation for dozens of cycles, so per-input hardware work (the
+# thing workers parallelise) dominates the result-merge traffic.
+SEEDS = [bytes([1, 4, 0x41, 0x42, 0x43, 0x44]), bytes([2, 31])]
+EXECUTIONS = 600
+BATCH = 64
+WORKER_COUNTS = [1, 2, 4]
+MIN_SPEEDUP = 1.5  # asserted at the best worker count when cores allow
+
+
+def _serial_fuzz():
+    target = FpgaTarget(scan_mode="functional")
+    target.add_peripheral(catalog.TIMER, TIMER_BASE)
+    fuzzer = SnapshotFuzzer(assemble(fuzz_packet_parser()), target,
+                            seeds=SEEDS, seed=3)
+    start = time.perf_counter()
+    report = fuzzer.run(executions=EXECUTIONS, batch_size=BATCH)
+    return report, time.perf_counter() - start
+
+
+def _parallel_fuzz(workers):
+    with ParallelFuzzer(fuzz_packet_parser(), TIMER, seeds=SEEDS,
+                        workers=workers, batch_size=BATCH,
+                        seed=3) as fuzzer:
+        fuzzer.warm()  # target elaboration out of the timed region
+        start = time.perf_counter()
+        report = fuzzer.run(executions=EXECUTIONS)
+        elapsed = time.perf_counter() - start
+        stats = fuzzer.pool_stats
+    return report, elapsed, stats
+
+
+def test_parallel_scaling(benchmark):
+    serial, serial_s = benchmark.pedantic(_serial_fuzz, rounds=1,
+                                          iterations=1)
+
+    rows = [["serial", 1, f"{serial_s:.3f}", "1.00x",
+             len(serial.crashes), serial.edges_covered, "reference"]]
+    results = {}
+    for workers in WORKER_COUNTS:
+        report, elapsed, stats = _parallel_fuzz(workers)
+        identical = report.verdict_summary() == serial.verdict_summary()
+        results[workers] = (report, elapsed, identical)
+        rows.append(["parallel", workers, f"{elapsed:.3f}",
+                     f"{serial_s / elapsed:.2f}x",
+                     len(report.crashes), report.edges_covered,
+                     "identical" if identical else "DIVERGED"])
+
+    cores = os.cpu_count() or 1
+    table = format_table(
+        ["runtime", "workers", "host s", "speedup", "crashes", "edges",
+         "verdict vs serial"],
+        rows,
+        title=f"E9: input-sharded fuzzing, {EXECUTIONS} executions "
+              f"(batch {BATCH}, {cores} host cores)")
+    emit("parallel_scaling", table)
+
+    # DSE verdict identity (leased engine vs serial Algorithm 1).
+    dse_serial = HardSnapSession(
+        dispatcher(6, work_cycles=8), TIMER,
+        scan_mode="functional").run(max_instructions=200_000)
+    with ParallelAnalysisEngine(dispatcher(6, work_cycles=8), TIMER,
+                                workers=2,
+                                scan_mode="functional") as engine:
+        dse_parallel = engine.run(max_instructions=200_000)
+    dse_identical = (dse_parallel.verdict_summary()
+                     == dse_serial.verdict_summary())
+
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_parallel.json").write_text(json.dumps({
+        "experiment": "parallel_scaling",
+        "host_cores": cores,
+        "executions": EXECUTIONS,
+        "batch_size": BATCH,
+        "serial_host_s": serial_s,
+        "workers": {
+            str(w): {
+                "host_s": elapsed,
+                "speedup": serial_s / elapsed,
+                "crashes": len(report.crashes),
+                "edges": report.edges_covered,
+                "verdict_identical": identical,
+            } for w, (report, elapsed, identical) in results.items()
+        },
+        "dse_verdict_identical": dse_identical,
+    }, indent=1) + "\n")
+
+    # Identity holds unconditionally, at every worker count.
+    for workers, (report, _, identical) in results.items():
+        assert identical, f"workers={workers} diverged from serial"
+        assert [c.input_bytes for c in report.crashes] == \
+            [c.input_bytes for c in serial.crashes]
+        assert report.edge_set == serial.edge_set
+    assert dse_identical
+    assert serial.crashes and serial.crashes[0].input_bytes[1] >= 0x80
+
+    # Scaling is only meaningful with real cores to scale onto.
+    if cores >= 2:
+        best = min(elapsed for w, (_, elapsed, _) in results.items()
+                   if w >= 2)
+        assert serial_s / best >= MIN_SPEEDUP, (
+            f"best parallel speedup {serial_s / best:.2f}x "
+            f"< {MIN_SPEEDUP}x on {cores} cores")

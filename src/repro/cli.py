@@ -114,37 +114,72 @@ def cmd_lint(args) -> int:
 
 def cmd_run(args) -> int:
     firmware = open(args.firmware).read()
-    session = HardSnapSession(
-        firmware, _parse_peripherals(args.peripheral),
-        target=args.target, strategy=args.strategy, searcher=args.searcher,
-        concretization=args.concretization, scan_mode="functional",
-        snapshot_flatten_threshold=args.flatten_threshold)
-    report = session.run(max_instructions=args.max_instructions,
-                         stop_after_bugs=args.stop_after_bugs)
+    pool_stats = None
+    if args.workers > 1:
+        from repro.parallel import ParallelAnalysisEngine
+        if args.strategy != "hardsnap":
+            raise SystemExit("run: --workers requires --strategy hardsnap "
+                             "(snapshots make states portable)")
+        with ParallelAnalysisEngine(
+                firmware, _parse_peripherals(args.peripheral),
+                workers=args.workers,
+                target=args.target, searcher=args.searcher,
+                concretization=args.concretization, scan_mode="functional",
+                snapshot_flatten_threshold=args.flatten_threshold) as engine:
+            report = engine.run(max_instructions=args.max_instructions,
+                                stop_after_bugs=args.stop_after_bugs)
+            pool_stats = engine.pool_stats
+    else:
+        session = HardSnapSession(
+            firmware, _parse_peripherals(args.peripheral),
+            target=args.target, strategy=args.strategy,
+            searcher=args.searcher,
+            concretization=args.concretization, scan_mode="functional",
+            snapshot_flatten_threshold=args.flatten_threshold)
+        report = session.run(max_instructions=args.max_instructions,
+                             stop_after_bugs=args.stop_after_bugs)
     print(report.summary())
     for path in report.halted_paths:
         print(f"  path {path.state_id}: halt {path.halt_code} "
               f"steps {path.steps} test case {path.test_case}")
     for bug in report.bugs:
         print(f"  BUG {bug.summary()}")
-    if report.snapshot_saves:
+    if pool_stats is not None:
+        print(pool_stats.summary())
+    elif report.snapshot_saves:
         print(session.engine.controller.stats_table())
     return 1 if report.bugs else 0
 
 
 def cmd_fuzz(args) -> int:
-    program = assemble(open(args.firmware).read())
-    target = FpgaTarget(scan_mode="functional")
-    for spec, base in _parse_peripherals(args.peripheral):
-        target.add_peripheral(spec, base)
     seeds = [bytes.fromhex(s) for s in args.seed] or None
-    fuzzer = SnapshotFuzzer(program, target, seeds=seeds,
-                            reset=args.reset, seed=args.rng_seed)
-    report = fuzzer.run(executions=args.executions)
+    pool_stats = None
+    if args.workers > 1:
+        from repro.parallel import ParallelFuzzer
+        if args.reset != "snapshot":
+            raise SystemExit("fuzz: --workers requires --reset snapshot")
+        firmware = open(args.firmware).read()
+        with ParallelFuzzer(firmware, _parse_peripherals(args.peripheral),
+                            seeds=seeds, workers=args.workers,
+                            batch_size=args.batch_size,
+                            seed=args.rng_seed) as fuzzer:
+            report = fuzzer.run(executions=args.executions)
+            pool_stats = fuzzer.pool_stats
+    else:
+        program = assemble(open(args.firmware).read())
+        target = FpgaTarget(scan_mode="functional")
+        for spec, base in _parse_peripherals(args.peripheral):
+            target.add_peripheral(spec, base)
+        fuzzer = SnapshotFuzzer(program, target, seeds=seeds,
+                                reset=args.reset, seed=args.rng_seed)
+        report = fuzzer.run(executions=args.executions,
+                            batch_size=args.batch_size)
     print(report.summary())
     for crash in report.crashes[:10]:
         print(f"  crash @{crash.execution}: {crash.reason}")
         print(f"    input: {crash.input_bytes.hex()}")
+    if pool_stats is not None:
+        print(pool_stats.summary())
     return 1 if report.crashes else 0
 
 
@@ -231,6 +266,9 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["performance", "completeness"])
     p.add_argument("--max-instructions", type=int, default=1_000_000)
     p.add_argument("--stop-after-bugs", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="shard exploration across N worker processes "
+                        "(hardsnap strategy only)")
     p.add_argument("--flatten-threshold", type=int, default=8,
                    help="delta-chain length before the snapshot store "
                         "materialises a full record")
@@ -245,6 +283,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", action="append", default=[],
                    help="hex seed input (repeatable)")
     p.add_argument("--rng-seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="shard executions across N worker processes "
+                        "(snapshot reset only)")
+    p.add_argument("--batch-size", type=int, default=32,
+                   help="mutation scheduling granularity; a parallel run "
+                        "reproduces a serial run with the same batch size")
     p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("disasm", help="assemble + disassemble firmware")

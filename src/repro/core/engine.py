@@ -171,6 +171,10 @@ class CompletedPath:
     test_case: Dict[str, int] = field(default_factory=dict)
     trace_marks: List[int] = field(default_factory=list)
     error: Optional[str] = None
+    #: Fork-tree address of the finished state (see
+    #: :attr:`~repro.vm.state.ExecState.lineage`); schedule-independent,
+    #: the merge key for parallel runs.
+    lineage: Tuple[int, ...] = ()
 
 
 @dataclass
@@ -221,6 +225,52 @@ class AnalysisReport:
                 f"reboots={self.reboots} "
                 f"modelled={self.modelled_time_s:.4f}s "
                 f"host={self.host_time_s:.3f}s stop={self.stop_reason}")
+
+    def verdict_summary(self) -> str:
+        """The schedule-independent verdicts of a run, as one canonical
+        string: per-path outcomes keyed by fork lineage, bug sites,
+        instruction/fork/coverage totals.
+
+        Excludes everything legitimately schedule- or host-dependent —
+        wall-clock time, snapshot traffic, raw state ids, solver-model
+        test-case values. A parallel run merged from any worker count
+        must produce this string byte-identical to the serial engine's
+        (asserted by ``tests/test_parallel.py``).
+        """
+        paths = sorted(self.paths, key=lambda p: p.lineage)
+
+        def _path(p: CompletedPath) -> str:
+            where = ".".join(map(str, p.lineage)) if p.lineage else "root"
+            out = f"{where}:{p.status}"
+            if p.halt_code is not None:
+                out += f":0x{p.halt_code:x}"
+            return out
+
+        bugs = ",".join(f"{b.kind}@0x{b.pc:x}" for b in
+                        sorted(self.bugs, key=lambda b: (b.kind, b.pc)))
+        return (f"[{self.strategy}] paths={len(self.paths)} "
+                f"halted={len(self.halted_paths)} "
+                f"instr={self.instructions} forks={self.forks} "
+                f"coverage={self.coverage} stop={self.stop_reason} "
+                f"verdicts=<{','.join(_path(p) for p in paths)}> "
+                f"bugs=<{bugs}>")
+
+
+@dataclass
+class LeaseOutcome:
+    """Result of :meth:`AnalysisEngine.run_lease`: one state executed
+    until completion, its first fork event, or budget exhaustion."""
+
+    state: ExecState
+    executed: int = 0
+    #: Children created by the fork event that ended the lease (empty
+    #: when the state completed or paused).
+    forks: List[ExecState] = field(default_factory=list)
+    #: Set when the state finished (halted / errored / terminated).
+    completed: Optional[CompletedPath] = None
+    #: True when the lease stopped on the instruction budget with the
+    #: state still active (its snapshot has been refreshed for re-lease).
+    paused: bool = False
 
 
 # ---------------------------------------------------------------------------
@@ -347,6 +397,49 @@ class AnalysisEngine:
             report.replayed_accesses = self.strategy.replayed_accesses
         return report
 
+    # -- lease execution (the parallel runtime's unit of work) -------------
+
+    def run_lease(self, state: ExecState,
+                  max_instructions: int = 0) -> LeaseOutcome:
+        """Execute ONE state until it completes, forks, or exhausts
+        *max_instructions* (0 = unbounded).
+
+        This is the engine's unit of work for the parallel coordinator:
+        the same restore → poll-IRQ → step → fork/finish sequence as one
+        :meth:`run` iteration, restricted to a single state. Fork events
+        end the lease so the coordinator's searcher decides what runs
+        next; a paused state has its snapshot refreshed so it can be
+        re-leased anywhere.
+        """
+        outcome = LeaseOutcome(state)
+        self._replaying = True
+        try:
+            self.strategy.on_switch(None, state)
+        finally:
+            self._replaying = False
+        since_poll = 0
+        while state.is_active:
+            if max_instructions and outcome.executed >= max_instructions:
+                self.controller.update_state(state)
+                outcome.paused = True
+                return outcome
+            self._scheduled = state
+            since_poll += 1
+            if since_poll >= self.irq_poll_interval:
+                since_poll = 0
+                pending = any(self.bridge.irq_lines().values())
+                self.executor.maybe_interrupt(state, pending)
+            step_outcome = self.executor.step(state)
+            self.bridge.step_hardware(self.cpi)
+            outcome.executed += 1
+            self._scheduled = None
+            if step_outcome.forks:
+                self.strategy.on_fork(state, step_outcome.forks)
+                outcome.forks = step_outcome.forks
+                return outcome
+        outcome.completed = self._finish_path(state)
+        return outcome
+
     def _finish_path(self, state: ExecState) -> CompletedPath:
         test_case: Dict[str, int] = {}
         if state.status == STATUS_HALTED and state.constraints:
@@ -362,4 +455,5 @@ class AnalysisEngine:
             test_case=test_case,
             trace_marks=list(state.trace_marks),
             error=state.error,
+            lineage=state.lineage,
         )

@@ -27,9 +27,10 @@ on; the explored coverage is identical by construction.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from typing import FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.snapshot import SnapshotController
 from repro.errors import FirmwarePanic, VmError
@@ -60,6 +61,9 @@ class FuzzReport:
     modelled_time_s: float = 0.0
     host_time_s: float = 0.0
     resets: int = 0
+    #: The full covered edge set (pc → pc pairs); lets merged parallel
+    #: coverage be compared bit-for-bit against a serial run.
+    edge_set: FrozenSet[Tuple[int, int]] = frozenset()
 
     @property
     def execs_per_modelled_second(self) -> float:
@@ -72,6 +76,121 @@ class FuzzReport:
                 f"corpus={self.corpus_size} edges={self.edges_covered} "
                 f"modelled={self.modelled_time_s:.4f}s "
                 f"({self.execs_per_modelled_second:.0f} exec/s)")
+
+    def verdict_summary(self) -> str:
+        """Schedule-independent outcome string: executions, every crash
+        (global index, reason, input), and a digest of the exact edge
+        set. A parallel run sharding the same batches must reproduce it
+        byte-identically whatever the worker count."""
+        edge_blob = ",".join(f"{a:x}>{b:x}"
+                             for a, b in sorted(self.edge_set))
+        digest = hashlib.blake2b(edge_blob.encode("ascii"),
+                                 digest_size=8).hexdigest()
+        crashes = ";".join(
+            f"{c.execution}:{c.reason}@0x{c.pc:x}:{c.input_bytes.hex()}"
+            for c in self.crashes)
+        return (f"[fuzz] execs={self.executions} corpus={self.corpus_size} "
+                f"edges={self.edges_covered}:{digest} "
+                f"crashes=<{crashes}>")
+
+
+# ---------------------------------------------------------------------------
+# Shared harness pieces (used by the serial fuzzer and repro.parallel)
+# ---------------------------------------------------------------------------
+
+def mutate_bytes(rng: random.Random, data: bytes) -> bytes:
+    """One havoc mutation round (1-4 stacked AFL-style edits)."""
+    out = bytearray(data or b"\x00")
+    for _ in range(rng.randint(1, 4)):
+        choice = rng.randrange(5)
+        if choice == 0 and out:  # bit flip
+            i = rng.randrange(len(out))
+            out[i] ^= 1 << rng.randrange(8)
+        elif choice == 1 and out:  # byte set
+            out[rng.randrange(len(out))] = rng.randrange(256)
+        elif choice == 2 and len(out) < MAX_INPUT:  # insert
+            out.insert(rng.randrange(len(out) + 1), rng.randrange(256))
+        elif choice == 3 and len(out) > 1:  # delete
+            del out[rng.randrange(len(out))]
+        else:  # interesting values
+            value = rng.choice([0, 1, 0x7F, 0x80, 0xFF, 0x10, 0x41])
+            if out:
+                out[rng.randrange(len(out))] = value
+    return bytes(out)
+
+
+def execute_input(program: Program, target: HardwareTarget, data: bytes,
+                  max_steps: int = 20_000
+                  ) -> Tuple[Optional[CpuExit], Set[Tuple[int, int]],
+                             Optional[str], int]:
+    """One concrete execution of *data* against live hardware; returns
+    (exit, edges, crash reason, pc). Deterministic given the hardware's
+    starting state — which is what lets parallel workers reproduce the
+    serial fuzzer's per-input results exactly."""
+
+    def irq_poll() -> bool:
+        target.step(1)
+        return any(target.irq_lines().values())
+
+    cpu = Cpu(program, mmio_read=target.read, mmio_write=target.write,
+              irq_poll=irq_poll)
+    cpu.store(INPUT_ADDR, len(data), 4)
+    for i, byte in enumerate(data[:MAX_INPUT]):
+        cpu.store(INPUT_ADDR + 4 + i, byte, 1)
+    edges: Set[Tuple[int, int]] = set()
+    last_pc = cpu.pc
+    try:
+        while cpu.steps < max_steps:
+            exit_ = cpu.step()
+            edges.add((last_pc, cpu.pc))
+            last_pc = cpu.pc
+            if exit_ is not None:
+                return exit_, edges, None, cpu.pc
+        return None, edges, None, cpu.pc  # hang: treated as non-crash
+    except FirmwarePanic as exc:
+        return None, edges, str(exc), cpu.pc
+
+
+class CorpusScheduler:
+    """The fuzzer's *deterministic* half: mutation scheduling and the
+    corpus/coverage update rule, with no hardware attached.
+
+    Batches are generated up front from the current RNG stream and
+    corpus, and results merge back **in input order** — so the final
+    corpus, edge set and crash list depend only on (seeds, rng seed,
+    batch size), never on which worker executed which input or when.
+    Each input's execution is corpus-independent (every run starts from
+    the same post-boot snapshot), which is what makes the batch/merge
+    split sound.
+    """
+
+    def __init__(self, seeds: Optional[List[bytes]] = None, seed: int = 0):
+        self.rng = random.Random(seed)
+        self.corpus: List[bytes] = list(seeds or [b"\x00"])
+        self.edges: Set[Tuple[int, int]] = set()
+
+    def next_batch(self, count: int) -> List[bytes]:
+        """The next *count* inputs of the mutation schedule."""
+        return [mutate_bytes(self.rng, self.rng.choice(self.corpus))
+                for _ in range(count)]
+
+    def merge(self, report: FuzzReport, data: bytes,
+              edges: Set[Tuple[int, int]], crash: Optional[str],
+              pc: int, index: int) -> None:
+        """Apply one execution's result (the serial update rule)."""
+        report.executions += 1
+        if crash is not None:
+            report.crashes.append(FuzzCrash(data, crash, pc, index))
+            return
+        new_edges = edges - self.edges
+        if new_edges:
+            self.edges |= edges
+            self.corpus.append(data)
+
+    def finalize(self, report: FuzzReport) -> None:
+        report.corpus_size = len(self.corpus)
+        report.edges_covered = len(self.edges)
+        report.edge_set = frozenset(self.edges)
 
 
 class SnapshotFuzzer:
@@ -90,13 +209,25 @@ class SnapshotFuzzer:
         self.reset_mode = reset
         self.reboot_time_s = reboot_time_s
         self.max_steps = max_steps_per_exec
-        self.rng = random.Random(seed)
-        self.corpus: List[bytes] = list(seeds or [b"\x00"])
-        self.edges: Set[Tuple[int, int]] = set()
+        self.scheduler = CorpusScheduler(seeds, seed)
         # Snapshots go through the controller so the boot image lands in
         # the content-addressed store (per-input restores dedup to it).
         self.controller = SnapshotController(target)
         self._boot_snapshot: Optional[HwSnapshot] = None
+
+    # The mutation/coverage state lives on the scheduler; these aliases
+    # keep the original public attributes working.
+    @property
+    def rng(self) -> random.Random:
+        return self.scheduler.rng
+
+    @property
+    def corpus(self) -> List[bytes]:
+        return self.scheduler.corpus
+
+    @property
+    def edges(self) -> Set[Tuple[int, int]]:
+        return self.scheduler.edges
 
     # -- harness -----------------------------------------------------------
 
@@ -116,75 +247,41 @@ class SnapshotFuzzer:
                                              Set[Tuple[int, int]],
                                              Optional[str], int]:
         """One concrete execution; returns (exit, edges, crash reason, pc)."""
-        cpu = Cpu(self.program,
-                  mmio_read=self.target.read,
-                  mmio_write=self.target.write,
-                  irq_poll=self._irq_poll)
-        cpu.store(INPUT_ADDR, len(data), 4)
-        for i, byte in enumerate(data[:MAX_INPUT]):
-            cpu.store(INPUT_ADDR + 4 + i, byte, 1)
-        edges: Set[Tuple[int, int]] = set()
-        last_pc = cpu.pc
-        try:
-            while cpu.steps < self.max_steps:
-                exit_ = cpu.step()
-                edges.add((last_pc, cpu.pc))
-                last_pc = cpu.pc
-                if exit_ is not None:
-                    return exit_, edges, None, cpu.pc
-            return None, edges, None, cpu.pc  # hang: treated as non-crash
-        except FirmwarePanic as exc:
-            return None, edges, str(exc), cpu.pc
-
-    def _irq_poll(self) -> bool:
-        self.target.step(1)
-        return any(self.target.irq_lines().values())
+        return execute_input(self.program, self.target, data,
+                             max_steps=self.max_steps)
 
     # -- mutation ------------------------------------------------------------------
 
     def _mutate(self, data: bytes) -> bytes:
-        out = bytearray(data or b"\x00")
-        for _ in range(self.rng.randint(1, 4)):
-            choice = self.rng.randrange(5)
-            if choice == 0 and out:  # bit flip
-                i = self.rng.randrange(len(out))
-                out[i] ^= 1 << self.rng.randrange(8)
-            elif choice == 1 and out:  # byte set
-                out[self.rng.randrange(len(out))] = self.rng.randrange(256)
-            elif choice == 2 and len(out) < MAX_INPUT:  # insert
-                out.insert(self.rng.randrange(len(out) + 1),
-                           self.rng.randrange(256))
-            elif choice == 3 and len(out) > 1:  # delete
-                del out[self.rng.randrange(len(out))]
-            else:  # interesting values
-                value = self.rng.choice([0, 1, 0x7F, 0x80, 0xFF, 0x10, 0x41])
-                if out:
-                    out[self.rng.randrange(len(out))] = value
-        return bytes(out)
+        return mutate_bytes(self.rng, data)
 
     # -- main loop -------------------------------------------------------------------
 
-    def run(self, executions: int = 200) -> FuzzReport:
+    def run(self, executions: int = 200, batch_size: int = 1) -> FuzzReport:
+        """Fuzz for *executions* inputs.
+
+        ``batch_size`` sets the mutation scheduling granularity: each
+        round generates a whole batch from the current corpus before any
+        of its results merge back. The default of 1 is the classic
+        serial schedule; a parallel run with the same ``batch_size``
+        (and seeds/seed) reproduces this run's crashes, corpus and edge
+        set exactly, whatever its worker count.
+        """
         import time
         report = FuzzReport()
         start = time.perf_counter()
         modelled_start = self.target.timer.total_s
-        for n in range(executions):
-            parent = self.rng.choice(self.corpus)
-            data = self._mutate(parent)
-            self._fresh_hardware()
-            report.resets += 1
-            exit_, edges, crash, pc = self._execute(data)
-            report.executions += 1
-            if crash is not None:
-                report.crashes.append(FuzzCrash(data, crash, pc, n))
-                continue
-            new_edges = edges - self.edges
-            if new_edges:
-                self.edges |= edges
-                self.corpus.append(data)
-        report.corpus_size = len(self.corpus)
-        report.edges_covered = len(self.edges)
+        done = 0
+        while done < executions:
+            batch = self.scheduler.next_batch(
+                min(max(1, batch_size), executions - done))
+            for data in batch:
+                self._fresh_hardware()
+                report.resets += 1
+                exit_, edges, crash, pc = self._execute(data)
+                self.scheduler.merge(report, data, edges, crash, pc, done)
+                done += 1
+        self.scheduler.finalize(report)
         report.host_time_s = time.perf_counter() - start
         report.modelled_time_s = self.target.timer.total_s - modelled_start
         return report

@@ -13,15 +13,23 @@ root-cause analysis *after* the run. This module provides both:
   tail (disassembled when the program is provided) and the full hardware
   snapshot. :func:`replay_crash` restores a pack's snapshot onto a live
   target and replays the test case on the concrete core.
+* :class:`SnapshotWire` — the pickle-safe, content-addressed form a
+  snapshot travels as between the parallel runtime's processes: chunk
+  *references* (digest + cycle per instance) plus only the chunk
+  payloads the receiver does not already hold — the cross-process
+  analogue of :class:`~repro.targets.orchestrator.TransferRecord`'s
+  ``delta_bits``.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
-from typing import List, Optional, Union
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set, Tuple, Union
 
 from repro.core.engine import AnalysisReport
+from repro.core.store import chunk_digest
 from repro.errors import SnapshotError
 from repro.isa.assembler import Program
 from repro.isa.cpu import Cpu, CpuExit
@@ -70,6 +78,85 @@ def save_snapshot(snapshot: HwSnapshot, path: PathLike) -> None:
 def load_snapshot(path: PathLike) -> HwSnapshot:
     """Read a hardware snapshot written by :func:`save_snapshot`."""
     return snapshot_from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------------
+# Cross-process wire format (the parallel runtime's snapshot transport)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SnapshotWire:
+    """One hardware snapshot as content-addressed references + the chunk
+    payloads the peer is missing.
+
+    Everything here is plain picklable data (strings, ints, dicts): a
+    wire crosses a ``multiprocessing`` queue. ``refs`` names each
+    instance's state by chunk digest (the store's :func:`chunk_digest`,
+    cycle counter excluded) plus the cycle it travels with; ``chunks``
+    carries digest → (canonical body, state bits) only for digests the
+    sender believes the receiver lacks. Chunk bodies are immutable by
+    convention — receivers must never mutate them (restores copy).
+    """
+
+    #: instance name -> (chunk digest, cycle counter, state bits)
+    refs: Dict[str, Tuple[str, int, int]]
+    #: digest -> (canonical state body without cycle, state bits)
+    chunks: Dict[str, Tuple[dict, int]] = field(default_factory=dict)
+    method: str = "direct"
+    bits: int = 0
+
+    @property
+    def logical_bits(self) -> int:
+        """Full-image size of the referenced snapshot."""
+        return sum(bits for _, _, bits in self.refs.values())
+
+    @property
+    def payload_bits(self) -> int:
+        """Bits actually carried as chunk payloads (the delta)."""
+        return sum(bits for _, bits in self.chunks.values())
+
+
+def snapshot_to_wire(snapshot: HwSnapshot,
+                     known: Optional[Set[str]] = None,
+                     bits_of: Optional[Mapping[str, int]] = None
+                     ) -> SnapshotWire:
+    """Encode *snapshot* for the wire, omitting chunk payloads whose
+    digest appears in *known* (the receiver's chunk pool, as tracked by
+    the sender). ``bits_of`` maps instance name → state bits for the
+    transfer accounting; unknown instances count 0.
+    """
+    refs: Dict[str, Tuple[str, int, int]] = {}
+    chunks: Dict[str, Tuple[dict, int]] = {}
+    for name, state in snapshot.states.items():
+        body = {k: v for k, v in state.items() if k != "cycle"}
+        digest = chunk_digest(state)
+        bits = int(bits_of.get(name, 0)) if bits_of else 0
+        refs[name] = (digest, int(state.get("cycle", 0)), bits)
+        if known is None or digest not in known:
+            chunks[digest] = (body, bits)
+    return SnapshotWire(refs=refs, chunks=chunks,
+                        method=snapshot.method, bits=snapshot.bits)
+
+
+def snapshot_from_wire(wire: SnapshotWire,
+                       pool: Mapping[str, dict]) -> HwSnapshot:
+    """Reassemble a :class:`HwSnapshot` from a wire plus the receiver's
+    digest → body chunk pool (which must already contain every digest
+    the wire references; callers merge ``wire.chunks`` in first).
+
+    The result is a *foreign* snapshot (no store record): the snapshot
+    controller treats its first save as a full record, after which delta
+    encoding resumes against the receiver's own store.
+    """
+    states: Dict[str, dict] = {}
+    for name, (digest, cycle, _bits) in wire.refs.items():
+        body = pool.get(digest)
+        if body is None:
+            raise SnapshotError(
+                f"wire references chunk {digest!r} for instance {name!r} "
+                f"but the local pool does not hold it")
+        states[name] = {"cycle": cycle, **body}
+    return HwSnapshot(states=states, method=wire.method, bits=wire.bits)
 
 
 def export_crash_pack(report: AnalysisReport, directory: PathLike,

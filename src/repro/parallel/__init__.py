@@ -1,0 +1,35 @@
+"""repro.parallel — sharded exploration over a snapshot-fed worker pool.
+
+HardSnap's core claim is that hardware snapshotting makes *concurrent*
+path exploration possible at all: once a path's complete hardware state
+is a serializable artefact, any idle target instance can continue any
+path. This package is that runtime:
+
+* :class:`WorkerPool` — N processes, each owning its own simulator/FPGA
+  target, solver and snapshot store, built from a picklable
+  :class:`SessionRecipe` (targets are reconstructed from peripheral
+  catalog names, never shipped live),
+* states move between processes as content-addressed delta snapshots
+  (:class:`~repro.core.persistence.SnapshotWire`): a peer only receives
+  the chunks it doesn't already hold — the cross-process analogue of
+  :class:`~repro.targets.orchestrator.TransferRecord`'s ``delta_bits``,
+* :class:`ParallelAnalysisEngine` — the coordinator runs the searcher
+  and leases pending states to workers; merged reports reproduce the
+  serial engine's ``verdict_summary()`` byte-identically,
+* :class:`ParallelFuzzer` — input-sharded fuzzing from a shared
+  post-boot snapshot; merged coverage/crashes reproduce the serial
+  fuzzer's ``verdict_summary()`` for the same batch size.
+
+See ``docs/PARALLEL.md`` for the architecture and determinism rules.
+"""
+
+from repro.parallel.engine import ParallelAnalysisEngine
+from repro.parallel.fuzzer import ParallelFuzzer
+from repro.parallel.pool import PoolStats, WorkerPool
+from repro.parallel.recipe import SessionRecipe, TargetRecipe
+from repro.parallel.wire import ChunkChannel, WireStats
+
+__all__ = [
+    "ParallelAnalysisEngine", "ParallelFuzzer", "WorkerPool", "PoolStats",
+    "SessionRecipe", "TargetRecipe", "ChunkChannel", "WireStats",
+]

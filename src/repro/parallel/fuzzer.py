@@ -1,0 +1,134 @@
+"""Input-sharded parallel fuzzing from a shared post-boot snapshot.
+
+The serial :class:`~repro.core.fuzzer.SnapshotFuzzer` already splits
+into a deterministic scheduler (mutation batches, corpus/coverage update
+rule) and a hardware harness (restore boot snapshot, execute input).
+This coordinator keeps the scheduler and shards the harness across the
+worker pool: each worker rebuilds the target from the recipe, captures
+the post-boot snapshot **once**, then restores it per input — the
+HardSnap fuzzing loop, N times over.
+
+Because every input executes from the same boot state, per-input results
+are corpus-independent; merging them back **in global input order**
+makes the run bit-identical to a serial run with the same ``batch_size``
+(see :meth:`~repro.core.fuzzer.FuzzReport.verdict_summary`), whatever
+the worker count.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import SessionConfig
+from repro.core.fuzzer import CorpusScheduler, FuzzReport
+from repro.errors import VmError
+from repro.isa.assembler import Program
+from repro.parallel.pool import WorkerPool
+from repro.parallel.recipe import SessionRecipe
+from repro.parallel.workers import unpack_edges
+
+
+class ParallelFuzzer:
+    """N-worker counterpart of :class:`~repro.core.fuzzer.SnapshotFuzzer`
+    (snapshot reset mode only — rebooting per input is exactly what the
+    snapshot runtime exists to avoid)."""
+
+    def __init__(self, firmware: Union[str, Program],
+                 peripherals: Sequence[Tuple[object, int]] = (),
+                 seeds: Optional[List[bytes]] = None,
+                 workers: int = 2,
+                 batch_size: int = 32,
+                 seed: int = 0,
+                 max_steps_per_exec: int = 20_000,
+                 config: Optional[SessionConfig] = None,
+                 **overrides):
+        if batch_size < 1:
+            raise VmError(f"batch_size must be >= 1, got {batch_size}")
+        self.recipe = SessionRecipe.create(
+            firmware, peripherals, config=config,
+            max_steps_per_exec=max_steps_per_exec, **overrides)
+        self.workers = workers
+        self.batch_size = batch_size
+        self.scheduler = CorpusScheduler(seeds, seed)
+        self._pool: Optional[WorkerPool] = None
+
+    # -- pool lifecycle -----------------------------------------------------
+
+    @property
+    def pool(self) -> WorkerPool:
+        if self._pool is None:
+            self._pool = WorkerPool(self.recipe, self.workers)
+        return self._pool
+
+    @property
+    def pool_stats(self):
+        return self.pool.stats
+
+    def warm(self) -> None:
+        self.pool.warm("fuzz")
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelFuzzer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def boot_digests(self) -> Dict[int, Dict[str, str]]:
+        """Each worker's post-boot snapshot chunk digests — they must all
+        be identical (every worker fuzzes the same machine)."""
+        pool = self.pool
+        pool.broadcast("boot-digests", None)
+        out: Dict[int, Dict[str, str]] = {}
+        for _ in range(self.workers):
+            _, worker_id, digests = pool.next_result(timeout=120)
+            out[worker_id] = digests
+        return out
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(self, executions: int = 200) -> FuzzReport:
+        """Fuzz for *executions* inputs across the pool.
+
+        Equivalent to ``SnapshotFuzzer.run(executions,
+        batch_size=self.batch_size)`` with the same seeds and seed: the
+        batch is generated up front from the shared scheduler, sharded
+        round-robin across workers, and merged back in input order.
+        """
+        report = FuzzReport()
+        pool = self.pool
+        start = time.perf_counter()
+        done = 0
+        while done < executions:
+            batch = self.scheduler.next_batch(
+                min(max(1, self.batch_size), executions - done))
+            indexed = list(enumerate(batch))
+            shards = 0
+            for worker_id in range(self.workers):
+                items = indexed[worker_id::self.workers]
+                if not items:
+                    continue
+                pool.submit(worker_id, "fuzz", {"items": items})
+                shards += 1
+            pool.stats.batches += 1
+            merged: Dict[int, Tuple[bytes, bytes, Optional[str], int]] = {}
+            for _ in range(shards):
+                _, _, res = pool.next_result()
+                report.resets += res["resets"]
+                report.modelled_time_s += res["modelled_dt"]
+                for index, data, edges, crash, pc in res["results"]:
+                    merged[index] = (data, edges, crash, pc)
+            for index in sorted(merged):
+                data, edges, crash, pc = merged[index]
+                self.scheduler.merge(report, data, unpack_edges(edges),
+                                     crash, pc, done + index)
+            done += len(batch)
+        self.scheduler.finalize(report)
+        report.host_time_s = time.perf_counter() - start
+        pool.stats.host_time_s += report.host_time_s
+        return report

@@ -1,0 +1,132 @@
+"""The worker pool: process lifecycle and job plumbing.
+
+One process per worker, each with a private job queue (so the
+coordinator chooses *which* worker runs *which* lease — required for
+chunk-channel bookkeeping, since delta encoding is per-peer) and one
+shared result queue. Fork start method is preferred (workers inherit the
+imported modules); spawn works too because every job payload and the
+recipe are plain picklable data.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from repro.errors import VmError
+from repro.parallel.recipe import SessionRecipe
+from repro.parallel.wire import WireStats
+from repro.parallel.workers import STOP, _worker_main
+
+
+class WorkerError(VmError):
+    """A worker process raised; carries the remote traceback."""
+
+
+@dataclass
+class PoolStats:
+    """Coordinator-side accounting for one parallel run (the CLI's
+    ``--workers`` epilogue)."""
+
+    workers: int = 0
+    leases: int = 0
+    batches: int = 0
+    states_shipped: int = 0
+    wire: WireStats = field(default_factory=WireStats)
+    host_time_s: float = 0.0
+
+    def summary(self) -> str:
+        lines = [f"[pool] workers={self.workers} leases={self.leases} "
+                 f"batches={self.batches} host={self.host_time_s:.3f}s"]
+        if self.wire.snapshots_sent or self.wire.snapshots_received:
+            lines.append(
+                f"[pool] snapshots shipped={self.wire.snapshots_sent} "
+                f"received={self.wire.snapshots_received} "
+                f"chunk-hits={self.wire.chunk_hits} "
+                f"misses={self.wire.chunk_misses} "
+                f"logical={self.wire.logical_bits_sent}b "
+                f"sent={self.wire.payload_bits_sent}b "
+                f"(delta x{self.wire.delta_ratio:.1f})"
+                if self.wire.delta_ratio != float("inf") else
+                f"[pool] snapshots shipped={self.wire.snapshots_sent} "
+                f"received={self.wire.snapshots_received} all by reference")
+        return "\n".join(lines)
+
+
+class WorkerPool:
+    """N worker processes serving engine leases and fuzz batches."""
+
+    def __init__(self, recipe: SessionRecipe, workers: int,
+                 start_method: Optional[str] = None):
+        if workers < 1:
+            raise VmError(f"need at least one worker, got {workers}")
+        if start_method is None:
+            start_method = ("fork" if "fork" in mp.get_all_start_methods()
+                            else "spawn")
+        ctx = mp.get_context(start_method)
+        self.workers = workers
+        self.stats = PoolStats(workers=workers)
+        self._jobs = [ctx.Queue() for _ in range(workers)]
+        self._results = ctx.Queue()
+        self._procs = [
+            ctx.Process(target=_worker_main,
+                        args=(i, recipe, self._jobs[i], self._results),
+                        daemon=True, name=f"repro-worker-{i}")
+            for i in range(workers)]
+        for proc in self._procs:
+            proc.start()
+        self._closed = False
+
+    # -- job plumbing -------------------------------------------------------
+
+    def submit(self, worker_id: int, kind: str, payload: Any) -> None:
+        self._jobs[worker_id].put((kind, payload))
+
+    def next_result(self, timeout: Optional[float] = None
+                    ) -> Tuple[str, int, Any]:
+        """Blocking wait for the next worker result; re-raises worker
+        failures (with the remote traceback) as :class:`WorkerError`."""
+        kind, worker_id, payload = self._results.get(timeout=timeout)
+        if kind == "error":
+            raise WorkerError(
+                f"worker {worker_id} failed:\n{payload}")
+        return kind, worker_id, payload
+
+    def broadcast(self, kind: str, payload: Any) -> None:
+        for i in range(self.workers):
+            self.submit(i, kind, payload)
+
+    def warm(self, harness: str) -> None:
+        """Pre-build every worker's harness (target elaboration is the
+        expensive part) so benchmarks measure execution, not setup."""
+        self.broadcast("warm", {"kind": harness})
+        for _ in range(self.workers):
+            kind, _, _ = self.next_result(timeout=120)
+            assert kind == "warmed"
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self, timeout: float = 5.0) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for queue in self._jobs:
+            try:
+                queue.put(STOP)
+            except (OSError, ValueError):
+                pass
+        deadline = time.monotonic() + timeout
+        for proc in self._procs:
+            proc.join(max(0.1, deadline - time.monotonic()))
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(1.0)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

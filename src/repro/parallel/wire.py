@@ -1,0 +1,141 @@
+"""Chunk-pool bookkeeping for cross-process snapshot transfer.
+
+The wire format itself lives in :mod:`repro.core.persistence`
+(:class:`SnapshotWire`). This module adds what a *conversation* needs:
+each endpoint keeps a digest → body pool of every chunk it has seen and
+tracks, per peer, which digests that peer holds — so a snapshot resend
+carries only the chunks the receiver is missing. Chunk digests come from
+:func:`repro.core.store.chunk_digest`, the same content addresses the
+delta snapshot store deduplicates on; shipping a state to a worker that
+already explored a sibling path typically moves reference-sized
+metadata, not state payloads (the cross-process analogue of
+``TransferRecord.delta_bits``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Set
+
+from repro.core.persistence import (SnapshotWire, snapshot_from_wire,
+                                    snapshot_to_wire)
+from repro.targets.base import HwSnapshot
+
+
+@dataclass
+class WireStats:
+    """Transfer accounting for one endpoint (summed over all peers)."""
+
+    snapshots_sent: int = 0
+    snapshots_received: int = 0
+    #: Chunk references resolved from the peer's pool (no payload moved).
+    chunk_hits: int = 0
+    #: Chunk payloads actually shipped.
+    chunk_misses: int = 0
+    #: Full-image bits of every snapshot sent (the naive transfer cost).
+    logical_bits_sent: int = 0
+    #: Bits actually carried as chunk payloads (the delta transfer cost).
+    payload_bits_sent: int = 0
+
+    @property
+    def delta_ratio(self) -> float:
+        """Logical bits over transferred bits (≥ 1; higher = more dedup)."""
+        if self.payload_bits_sent == 0:
+            return 1.0 if self.logical_bits_sent == 0 else float("inf")
+        return self.logical_bits_sent / self.payload_bits_sent
+
+    def merge(self, other: "WireStats") -> None:
+        self.snapshots_sent += other.snapshots_sent
+        self.snapshots_received += other.snapshots_received
+        self.chunk_hits += other.chunk_hits
+        self.chunk_misses += other.chunk_misses
+        self.logical_bits_sent += other.logical_bits_sent
+        self.payload_bits_sent += other.payload_bits_sent
+
+
+class ChunkChannel:
+    """One endpoint's view of snapshot traffic with its peers.
+
+    ``pool`` holds every chunk body this endpoint has seen (sent *or*
+    received — a digest we sent may come back by reference only).
+    ``known[peer]`` is the digest set we believe that peer holds; it
+    grows symmetrically on send and receive, so both endpoints agree on
+    it without a handshake.
+    """
+
+    def __init__(self) -> None:
+        self.pool: Dict[str, dict] = {}
+        self.chunk_bits: Dict[str, int] = {}
+        self.known: Dict[object, Set[str]] = {}
+        self.stats = WireStats()
+
+    def _peer(self, peer: object) -> Set[str]:
+        return self.known.setdefault(peer, set())
+
+    # -- sending ------------------------------------------------------------
+
+    def encode(self, snapshot: HwSnapshot, peer: object,
+               bits_of: Optional[Mapping[str, int]] = None) -> SnapshotWire:
+        """Encode *snapshot* for *peer*, omitting chunks it holds."""
+        known = self._peer(peer)
+        wire = snapshot_to_wire(snapshot, known=known, bits_of=bits_of)
+        for name, (digest, _cycle, bits) in wire.refs.items():
+            if digest in known:
+                self.stats.chunk_hits += 1
+            else:
+                self.stats.chunk_misses += 1
+            known.add(digest)
+            # Keep our own copy: the peer may later reference this
+            # digest back at us without a payload.
+            if digest not in self.pool:
+                body, _ = wire.chunks.get(digest, (None, 0))
+                if body is None:
+                    body = {k: v for k, v in snapshot.states[name].items()
+                            if k != "cycle"}
+                self.pool[digest] = body
+                self.chunk_bits[digest] = bits
+        self.stats.snapshots_sent += 1
+        self.stats.logical_bits_sent += wire.logical_bits
+        self.stats.payload_bits_sent += wire.payload_bits
+        return wire
+
+    def reencode(self, wire: SnapshotWire, peer: object) -> SnapshotWire:
+        """Re-address a received wire to another peer (coordinator
+        forwarding a state between workers), filling payloads from the
+        pool for chunks the new peer lacks."""
+        known = self._peer(peer)
+        chunks = {}
+        for name, (digest, _cycle, bits) in wire.refs.items():
+            if digest in known:
+                self.stats.chunk_hits += 1
+            else:
+                self.stats.chunk_misses += 1
+                chunks[digest] = (self.pool[digest],
+                                  self.chunk_bits.get(digest, bits))
+                known.add(digest)
+        out = SnapshotWire(refs=dict(wire.refs), chunks=chunks,
+                           method=wire.method, bits=wire.bits)
+        self.stats.snapshots_sent += 1
+        self.stats.logical_bits_sent += out.logical_bits
+        self.stats.payload_bits_sent += out.payload_bits
+        return out
+
+    # -- receiving ----------------------------------------------------------
+
+    def absorb(self, wire: SnapshotWire, peer: object) -> None:
+        """Merge a received wire's chunks into the pool and credit the
+        sender with everything it referenced."""
+        known = self._peer(peer)
+        for digest, (body, bits) in wire.chunks.items():
+            self.pool.setdefault(digest, body)
+            self.chunk_bits.setdefault(digest, bits)
+            known.add(digest)
+        for _name, (digest, _cycle, bits) in wire.refs.items():
+            known.add(digest)
+            self.chunk_bits.setdefault(digest, bits)
+        self.stats.snapshots_received += 1
+
+    def decode(self, wire: SnapshotWire, peer: object) -> HwSnapshot:
+        """absorb + reassemble into a (foreign) HwSnapshot."""
+        self.absorb(wire, peer)
+        return snapshot_from_wire(wire, self.pool)

@@ -1,0 +1,247 @@
+"""Worker-process side of the parallel runtime.
+
+Each worker process owns a complete private analysis stack — target,
+solver, snapshot store, engine — rebuilt from the coordinator's
+:class:`~repro.parallel.recipe.SessionRecipe`. Work arrives as jobs on a
+queue; results go back on a shared queue. Two harnesses:
+
+* :class:`EngineWorker` — executes state *leases*
+  (:meth:`~repro.core.engine.AnalysisEngine.run_lease`): restore the
+  leased state's snapshot, run until it completes, forks, or exhausts
+  its budget, ship resulting states back as delta-encoded
+  :class:`~repro.core.persistence.SnapshotWire` packets,
+* :class:`FuzzWorker` — executes fuzz input batches from the shared
+  post-boot snapshot (captured once per worker, then restored per
+  input — the HardSnap fuzzing loop).
+
+``_worker_main`` is the process entry point; it must stay module-level
+and import-light so it survives ``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import traceback
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.fuzzer import execute_input
+from repro.core.snapshot import SnapshotController
+from repro.core.store import chunk_digest
+from repro.parallel.recipe import SessionRecipe
+from repro.parallel.wire import ChunkChannel
+from repro.targets.base import HwSnapshot
+from repro.vm.state import ExecState
+
+#: Queue sentinel that shuts a worker down.
+STOP = "__stop__"
+
+#: Peer id workers use for the coordinator in their chunk channel.
+COORD = "coord"
+
+def pack_edges(edges: Set[Tuple[int, int]]) -> bytes:
+    """Edge set -> compact sorted wire form (pc pairs, little-endian
+    u32s). Cuts per-input result pickling to a fraction of a tuple
+    list's cost — fuzz results are the parallel fuzzer's bulk traffic."""
+    return b"".join(struct.pack("<II", a, b) for a, b in sorted(edges))
+
+
+def unpack_edges(blob: bytes) -> Set[Tuple[int, int]]:
+    return {(a, b) for a, b in struct.iter_unpack("<II", blob)}
+
+
+#: Spacing between per-lease symbolic-variable counter bases. A single
+#: lease never allocates this many fresh symbols, so bases assigned from
+#: distinct lease sequence numbers can never collide — regardless of
+#: which worker runs which lease.
+SYM_BASE_STRIDE = 1_000_000
+
+
+def _strip_snapshot(snapshot: Optional[HwSnapshot]) -> Optional[HwSnapshot]:
+    """A picklable, store-record-free copy of *snapshot* (for bug
+    reports crossing the process boundary)."""
+    if snapshot is None:
+        return None
+    return HwSnapshot(states=dict(snapshot.states), method=snapshot.method,
+                      bits=snapshot.bits,
+                      modelled_cost_s=snapshot.modelled_cost_s)
+
+
+class EngineWorker:
+    """One worker's engine harness: a full HardSnap session plus the
+    chunk channel its states travel over."""
+
+    def __init__(self, recipe: SessionRecipe):
+        self.session = recipe.build_session()
+        self.engine = self.session.engine
+        self.channel = ChunkChannel()
+        self.bits_of = {name: inst.state_bits
+                        for name, inst in
+                        self.session.target.instances.items()}
+        self._started = False
+
+    # -- state (de)materialisation ------------------------------------------
+
+    def _ship_state(self, state: ExecState) -> Tuple[bytes, Any]:
+        """(pickled state sans snapshot, wire for its snapshot)."""
+        snapshot = state.hw_snapshot
+        if snapshot is None:
+            # Active states always carry a snapshot by the time they
+            # leave a lease (update_state/on_fork refreshed it); guard
+            # anyway by capturing live hardware.
+            snapshot = self.engine.controller.save()
+            state.hw_snapshot = snapshot
+        wire = self.channel.encode(snapshot, COORD, bits_of=self.bits_of)
+        state.hw_snapshot = None
+        try:
+            blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        finally:
+            state.hw_snapshot = snapshot
+        return blob, wire
+
+    def _materialise(self, payload: Dict[str, Any]) -> ExecState:
+        if payload["state"] is None:
+            # Root lease: fresh hardware, fresh initial state.
+            self.engine.strategy.on_start(None)  # controller.reset()
+            state = self.session.make_initial_state()
+            return state
+        state: ExecState = pickle.loads(payload["state"])
+        state.hw_snapshot = self.channel.decode(payload["wire"], COORD)
+        return state
+
+    # -- lease execution ----------------------------------------------------
+
+    def run_lease(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        executor = self.engine.executor
+        controller = self.engine.controller
+        store = controller.store
+        timer = self.session.target.timer
+
+        executor._sym_counter = int(payload["sym_base"])
+        state = self._materialise(payload)
+
+        bugs_before = len(executor.bugs)
+        coverage_before = set(executor.coverage)
+        saves0, restores0 = (controller.stats.saves,
+                             controller.stats.restores)
+        logical0, stored0 = (store.stats.logical_bits,
+                             store.stats.stored_bits)
+        hits0, misses0, skips0 = (store.stats.chunk_hits,
+                                  store.stats.chunk_misses,
+                                  store.stats.capture_skips)
+        modelled0 = timer.total_s
+
+        outcome = self.engine.run_lease(
+            state, max_instructions=int(payload.get("budget", 0)))
+
+        continuation = (self._ship_state(state) if state.is_active
+                        else None)
+        children = [self._ship_state(fork) for fork in outcome.forks]
+        new_bugs = [(replace(b, hw_snapshot=_strip_snapshot(b.hw_snapshot)),
+                     state.lineage)
+                    for b in executor.bugs[bugs_before:]]
+        return {
+            "executed": outcome.executed,
+            "paused": outcome.paused,
+            "continuation": continuation,
+            "children": children,
+            "completed": outcome.completed,
+            "bugs": new_bugs,
+            "coverage": sorted(set(executor.coverage) - coverage_before),
+            "stats": {
+                "saves": controller.stats.saves - saves0,
+                "restores": controller.stats.restores - restores0,
+                "logical_bits": store.stats.logical_bits - logical0,
+                "stored_bits": store.stats.stored_bits - stored0,
+                "chunk_hits": store.stats.chunk_hits - hits0,
+                "chunk_misses": store.stats.chunk_misses - misses0,
+                "capture_skips": store.stats.capture_skips - skips0,
+                "chain_depth": store.stats.max_chain_depth,
+            },
+            "modelled_dt": timer.total_s - modelled0,
+            "wire_stats": self.channel.stats,
+        }
+
+
+class FuzzWorker:
+    """One worker's fuzz harness: target + post-boot snapshot, no VM."""
+
+    def __init__(self, recipe: SessionRecipe):
+        self.program = recipe.program
+        self.target = recipe.target.build()
+        self.max_steps = recipe.max_steps_per_exec
+        self.controller = SnapshotController(self.target)
+        self._boot: Optional[HwSnapshot] = None
+        self.restores = 0
+
+    def _fresh_hardware(self) -> None:
+        # Mirrors SnapshotFuzzer._fresh_hardware (reset="snapshot"):
+        # capture the post-boot state once, restore it per input.
+        if self._boot is None:
+            self.controller.reset()
+            self._boot = self.controller.save()
+        else:
+            self.controller.restore(self._boot)
+
+    def boot_digests(self) -> Dict[str, str]:
+        """Chunk digests of the post-boot snapshot (per instance) — lets
+        the coordinator verify all workers fuzz from the same state."""
+        self._fresh_hardware()
+        return {name: chunk_digest(state)
+                for name, state in self._boot.states.items()}
+
+    def run_batch(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        modelled0 = self.target.timer.total_s
+        results: List[Tuple[int, bytes, bytes, Optional[str], int]] = []
+        for index, data in payload["items"]:
+            self._fresh_hardware()
+            self.restores += 1
+            _exit, edges, crash, pc = execute_input(
+                self.program, self.target, data, max_steps=self.max_steps)
+            results.append((index, data, pack_edges(edges), crash, pc))
+        return {
+            "results": results,
+            "modelled_dt": self.target.timer.total_s - modelled0,
+            "resets": len(payload["items"]),
+        }
+
+
+_HARNESS_TYPES = {"engine": EngineWorker, "fuzz": FuzzWorker}
+
+
+def _worker_main(worker_id: int, recipe: SessionRecipe,
+                 jobs, results) -> None:
+    """Worker process entry point: build harnesses lazily, serve jobs
+    until the STOP sentinel arrives. Any exception is reported to the
+    coordinator as an ``("error", id, traceback)`` message rather than
+    killing the process silently."""
+    harnesses: Dict[str, Any] = {}
+
+    def harness(kind: str):
+        if kind not in harnesses:
+            harnesses[kind] = _HARNESS_TYPES[kind](recipe)
+        return harnesses[kind]
+
+    while True:
+        job = jobs.get()
+        if job == STOP:
+            break
+        kind, payload = job
+        try:
+            if kind == "warm":
+                harness(payload["kind"])
+                results.put(("warmed", worker_id, None))
+            elif kind == "lease":
+                results.put(("lease", worker_id,
+                             harness("engine").run_lease(payload)))
+            elif kind == "fuzz":
+                results.put(("fuzz", worker_id,
+                             harness("fuzz").run_batch(payload)))
+            elif kind == "boot-digests":
+                results.put(("boot-digests", worker_id,
+                             harness("fuzz").boot_digests()))
+            else:
+                raise ValueError(f"unknown job kind {kind!r}")
+        except BaseException:
+            results.put(("error", worker_id, traceback.format_exc()))

@@ -92,6 +92,14 @@ class BitVec:
     def __ne__(self, other: object) -> bool:
         return self is not other
 
+    def __reduce__(self):
+        # Rebuild through the interning table: identity-as-equality must
+        # survive a process boundary (the parallel runtime pickles
+        # states whose constraints share subexpressions), and interning
+        # also restores ``_hash`` before the node can be used as a key.
+        return (_intern, (self.op, self.width, self.args, self.value,
+                          self.name))
+
     # -- introspection ----------------------------------------------------
 
     @property

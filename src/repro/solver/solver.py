@@ -18,6 +18,7 @@ cache:
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -48,16 +49,28 @@ class SolverStats:
     sat_queries: int = 0
     unsat_queries: int = 0
     query_cache_hits: int = 0
+    query_cache_evictions: int = 0
     model_cache_hits: int = 0
     solver_time: float = 0.0
+
+
+#: Default bound on the query cache. Long campaigns (fuzzing loops, DSE
+#: fork trees) issue millions of distinct feasibility queries; an
+#: unbounded cache is a slow memory leak.
+DEFAULT_QUERY_CACHE_SIZE = 4096
 
 
 class Solver:
     """Incremental QF_BV solver with KLEE-style caching."""
 
-    def __init__(self, model_cache_size: int = 32, simplify_queries: bool = True):
+    def __init__(self, model_cache_size: int = 32, simplify_queries: bool = True,
+                 query_cache_size: int = DEFAULT_QUERY_CACHE_SIZE):
+        if query_cache_size < 1:
+            raise SolverError("query_cache_size must be >= 1")
         self._blaster = BitBlaster()
-        self._query_cache: Dict[frozenset, CheckResult] = {}
+        #: LRU-ordered: most recently used keys at the end.
+        self._query_cache: "OrderedDict[frozenset, CheckResult]" = OrderedDict()
+        self._query_cache_size = query_cache_size
         self._recent_models: List[Dict[E.BitVec, int]] = []
         self._model_cache_size = model_cache_size
         self._simplify = simplify_queries
@@ -81,10 +94,14 @@ class Solver:
         cached = self._query_cache.get(key)
         if cached is not None:
             self.stats.query_cache_hits += 1
+            self._query_cache.move_to_end(key)
             return cached
         self.stats.queries += 1
         result = self._check_uncached(conj)
         self._query_cache[key] = result
+        while len(self._query_cache) > self._query_cache_size:
+            self._query_cache.popitem(last=False)
+            self.stats.query_cache_evictions += 1
         return result
 
     def is_satisfiable(self, constraints: Iterable[E.BitVec]) -> bool:

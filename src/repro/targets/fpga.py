@@ -18,11 +18,17 @@ Inception debugger that translates USB commands to AXI transactions).
 
 ``scan_mode`` selects how the scan shift is *executed*:
 
-* ``"shift"`` (default) really shifts the chain bit by bit through the
-  instrumented RTL — the mechanism itself is simulated,
+* ``"shift"`` (default) models the chain rotation in bulk: the stream is
+  packed/unpacked directly from the chain map while the scan ports are
+  toggled once and the sim clock advances by the full chain length —
+  O(chain elements) host work instead of one full design evaluation per
+  chain bit, with the identical modelled shift cost,
+* ``"shift-perbit"`` really shifts the chain bit by bit through the
+  instrumented RTL — the reference mechanism, kept as the equivalence
+  oracle for the bulk path (``tests/test_scan_bulk.py``),
 * ``"functional"`` moves the state directly while charging identical
   modelled costs; benchmarks with thousands of context switches use it.
-  ``tests/test_targets.py`` asserts both modes produce identical states
+  ``tests/test_targets.py`` asserts the modes produce identical states
   and identical modelled costs.
 """
 
@@ -58,7 +64,7 @@ class FpgaTarget(HardwareTarget):
                  scan_include: Optional[Tuple[str, ...]] = None,
                  sram_dedup: bool = False):
         super().__init__(name, clock_hz, transport)
-        if scan_mode not in ("shift", "functional"):
+        if scan_mode not in ("shift", "shift-perbit", "functional"):
             raise TargetError(f"unknown scan_mode {scan_mode!r}")
         self.scan_mode = scan_mode
         #: When enabled, the snapshot IP stores delta-compressed streams:
@@ -119,7 +125,7 @@ class FpgaTarget(HardwareTarget):
                     "memories": {k: v for k, v in state["memories"].items()
                                  if k in chain_mems},
                 }
-        else:
+        elif self.scan_mode == "shift-perbit":
             length = scan.chain_length
             stream = 0
             sim.poke("scan_enable", 1)
@@ -131,7 +137,47 @@ class FpgaTarget(HardwareTarget):
             sim.poke("scan_enable", 0)
             nets, mems = scan.unpack(stream)
             state = self._canonical_from_chain(instance, nets, mems)
+        else:  # "shift": bulk rotation fast path
+            nets, mems = self._read_chain(instance)
+            # A circular rotation returns every chain element to its
+            # original value; what remains visible is the port traffic
+            # and the elapsed time. Reproduce exactly that: toggle the
+            # scan ports once, leave the last rotated bit (the stream
+            # MSB = the first element's MSB) on scan_in, and advance the
+            # clock by the full chain length.
+            sim.poke("scan_enable", 1)
+            sim.poke("scan_in", self._stream_msb(scan, nets, mems))
+            sim.cycle += scan.chain_length
+            sim.state_version += 1
+            sim.poke("scan_enable", 0)
+            state = self._canonical_from_chain(instance, nets, mems)
         return state
+
+    @staticmethod
+    def _read_chain(instance: PeripheralInstance) -> Tuple[dict, dict]:
+        """Chain element values straight off the live simulation, in the
+        same ``(nets, mems)`` shape :meth:`ScanChainResult.unpack` yields."""
+        scan: ScanChainResult = instance.extra["scan"]
+        sim = instance.sim
+        nets: Dict[str, int] = {}
+        mems: Dict[str, dict] = {}
+        for element in scan.elements:
+            if element.kind == "net":
+                nets[element.name] = sim.values[element.name]
+            else:
+                mems.setdefault(element.name, {})[element.word] = \
+                    sim.memories[element.name][element.word]
+        return nets, mems
+
+    @staticmethod
+    def _stream_msb(scan: ScanChainResult, nets: dict, mems: dict) -> int:
+        """Bit ``chain_length - 1`` of the packed stream — the last bit a
+        per-bit shift drives onto ``scan_in``. Per the pack convention
+        (bit 0 = LSB of the last element) this is the first element's MSB."""
+        first = scan.elements[0]
+        value = (nets[first.name] if first.kind == "net"
+                 else mems[first.name][first.word])
+        return (value >> (first.width - 1)) & 1
 
     def _strip_scan_artifacts(self, instance: PeripheralInstance,
                               state: dict) -> dict:
@@ -153,17 +199,42 @@ class FpgaTarget(HardwareTarget):
         if self.scan_mode == "functional":
             sim.load_state(state)
             return
-        nets = {e.name: state["nets"][e.name]
-                for e in scan.elements if e.kind == "net"}
-        mems = {name: state["memories"][name] for name in
-                {e.name for e in scan.elements if e.kind == "mem"}}
-        stream = scan.pack(nets, mems)
-        length = scan.chain_length
-        sim.poke("scan_enable", 1)
-        for k in range(length):
-            sim.poke("scan_in", (stream >> k) & 1)
-            sim.step()
-        sim.poke("scan_enable", 0)
+        if self.scan_mode == "shift-perbit":
+            nets = {e.name: state["nets"][e.name]
+                    for e in scan.elements if e.kind == "net"}
+            mems = {name: state["memories"][name] for name in
+                    {e.name for e in scan.elements if e.kind == "mem"}}
+            stream = scan.pack(nets, mems)
+            length = scan.chain_length
+            sim.poke("scan_enable", 1)
+            for k in range(length):
+                sim.poke("scan_in", (stream >> k) & 1)
+                sim.step()
+            sim.poke("scan_enable", 0)
+        else:  # "shift": bulk load fast path
+            sim.poke("scan_enable", 1)
+            for element in scan.elements:
+                if element.kind == "net":
+                    mask = sim.design.nets[element.name].mask
+                    sim.values[element.name] = \
+                        state["nets"][element.name] & mask
+                else:
+                    mem = sim.design.memories[element.name]
+                    sim.memories[element.name][element.word] = \
+                        state["memories"][element.name][element.word] \
+                        & mem.mask
+            sim.state_version += 1
+            # The per-bit shift ends with the stream's final bit on
+            # scan_in: the first element's (target-value) MSB.
+            first = scan.elements[0]
+            target_nets = {first.name: state["nets"].get(first.name, 0)}
+            target_mems = ({first.name:
+                            {first.word:
+                             state["memories"][first.name][first.word]}}
+                           if first.kind == "mem" else {})
+            sim.poke("scan_in",
+                     self._stream_msb(scan, target_nets, target_mems))
+            sim.poke("scan_enable", 0)
         # Input pins are environment, not chain state: re-drive them.
         for net in instance.design.inputs:
             if net.name in state["nets"] and net.name not in (
@@ -201,7 +272,7 @@ class FpgaTarget(HardwareTarget):
         modelled cost).
         """
         states, dirty = self.capture_states(
-            force_capture=self.scan_mode == "shift")
+            force_capture=self.scan_mode in ("shift", "shift-perbit"))
         total_bits = sum(self._chain(inst).chain_length
                          for inst in self.instances.values())
         stored_bits = None

@@ -45,6 +45,16 @@ class Searcher:
             return previous
         return self._pick(previous)
 
+    def pop_next(self, previous: Optional[ExecState] = None) -> ExecState:
+        """Lease hook: select the next state and remove it from the
+        working set. The parallel coordinator uses this to hand states to
+        workers — a leased state is exclusively owned until its lease
+        result merges back (interrupt atomicity holds trivially, since
+        the whole handler executes inside one lease)."""
+        state = self.select(previous)
+        self.remove(state)
+        return state
+
     def _pick(self, previous: Optional[ExecState]) -> ExecState:
         raise NotImplementedError
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Union
+from typing import Deque, Dict, List, Optional, Tuple, Union
 
 from repro.isa import encoding as enc
 from repro.solver import expr as E
@@ -58,6 +58,14 @@ class ExecState:
     parent_id: int = 0
     depth: int = 0          # number of forks on this path
     steps: int = 0          # instructions executed
+    #: Fork-tree address: the root is ``()``; each fork appends the
+    #: parent's fork ordinal. Unlike ``state_id`` (a process-local
+    #: counter), the lineage is schedule- and process-independent, which
+    #: is what lets a parallel run renumber merged paths identically to
+    #: the serial engine.
+    lineage: Tuple[int, ...] = ()
+    #: Number of forks this state has spawned (the next child's ordinal).
+    fork_count: int = 0
     halt_code: Optional[int] = None
     error: Optional[str] = None
     trace_marks: List[int] = field(default_factory=list)
@@ -81,8 +89,10 @@ class ExecState:
             parent_id=self.state_id,
             depth=self.depth + 1,
             steps=self.steps,
+            lineage=self.lineage + (self.fork_count,),
             trace_marks=list(self.trace_marks),
         )
+        self.fork_count += 1
         child.recent_pcs = deque(self.recent_pcs, maxlen=TRACE_DEPTH)
         return child
 

@@ -130,3 +130,45 @@ class TestImplication:
         pinned = path + [E.eq(x, E.const(10, 32))]
         assert solver.may_be_true(cond, pinned)
         assert not solver.may_be_true(E.not_(cond), pinned)
+
+
+class TestQueryCacheLru:
+    """Satellite: the query cache is bounded with LRU eviction."""
+
+    @staticmethod
+    def _distinct_query(i):
+        x = E.var("lru", 32)
+        return [E.eq(x, E.const(i, 32))]
+
+    def test_cache_never_exceeds_capacity(self):
+        solver = Solver(query_cache_size=8)
+        for i in range(40):
+            solver.check(self._distinct_query(i))
+            assert len(solver._query_cache) <= 8
+        assert solver.stats.query_cache_evictions == 40 - 8
+
+    def test_eviction_counter_in_stats(self):
+        solver = Solver(query_cache_size=2)
+        for i in range(5):
+            solver.check(self._distinct_query(i))
+        assert solver.stats.query_cache_evictions == 3
+
+    def test_lru_order_recently_used_survives(self):
+        solver = Solver(query_cache_size=2)
+        solver.check(self._distinct_query(0))
+        solver.check(self._distinct_query(1))
+        solver.check(self._distinct_query(0))   # refresh 0: 1 is now LRU
+        solver.check(self._distinct_query(2))   # evicts 1
+        hits = solver.stats.query_cache_hits
+        solver.check(self._distinct_query(0))   # still cached
+        assert solver.stats.query_cache_hits == hits + 1
+        solver.check(self._distinct_query(1))   # was evicted: a miss
+        assert solver.stats.query_cache_hits == hits + 1
+
+    def test_default_capacity_is_large(self):
+        from repro.solver.solver import DEFAULT_QUERY_CACHE_SIZE
+        assert Solver()._query_cache_size == DEFAULT_QUERY_CACHE_SIZE >= 1024
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(SolverError):
+            Solver(query_cache_size=0)
