@@ -1,0 +1,121 @@
+"""E10 — resilience overhead: fault-injection harness cost at rest and under fire.
+
+The recovery machinery (snapshot sealing, CRC-verified scan shifts,
+health checks) only arms itself when a :class:`FaultPlan` with at least
+one active fault is attached.  This experiment measures the serial
+fuzzing workload from E9 under a ladder of configurations:
+
+* **baseline** — no plan attached (the fast path every existing
+  experiment runs on),
+* **empty plan** — ``--fault-plan seed=0`` with no rates: must stay on
+  the fast path, with wall overhead under 5% nominal,
+* **active plans** — scan-shift corruption at 1% / 5% / 20%: every
+  fault is recovered transparently, the verdict stays byte-identical,
+  and the retry latency is charged to the modelled clock.
+
+Verdict identity against the baseline is asserted *unconditionally* at
+every rung.  Emits ``benchmarks/out/BENCH_resilience.json``.
+"""
+
+import json
+import time
+
+from benchmarks.conftest import OUT_DIR, emit
+from repro.analysis import format_table
+from repro.core import SnapshotFuzzer
+from repro.firmware import TIMER_BASE, fuzz_packet_parser
+from repro.isa import assemble
+from repro.peripherals import catalog
+from repro.resilience import FaultPlan
+from repro.targets import FpgaTarget
+
+SEEDS = [bytes([1, 4, 0x41, 0x42, 0x43, 0x44]), bytes([2, 31])]
+EXECUTIONS = 300
+BATCH = 32
+FAULT_RATES = [0.01, 0.05, 0.2]
+# 5% is the nominal budget for the disarmed harness; CI boxes are noisy
+# enough that the hard assertion allows 30%.
+NOMINAL_OVERHEAD = 0.05
+CI_OVERHEAD = 0.30
+QUIET_ROUNDS = 3  # best-of-N for the two fast configurations
+
+
+def _run_once(plan):
+    target = FpgaTarget(scan_mode="functional")
+    target.add_peripheral(catalog.TIMER, TIMER_BASE)
+    if plan is not None:
+        target.attach_resilience(plan)
+    fuzzer = SnapshotFuzzer(assemble(fuzz_packet_parser()), target,
+                            seeds=SEEDS, seed=3)
+    start = time.perf_counter()
+    report = fuzzer.run(executions=EXECUTIONS, batch_size=BATCH)
+    elapsed = time.perf_counter() - start
+    return report, elapsed, target.resilience.as_dict()
+
+
+def _run(plan, rounds=1):
+    best = None
+    for _ in range(rounds):
+        report, elapsed, stats = _run_once(plan)
+        if best is None or elapsed < best[1]:
+            best = (report, elapsed, stats)
+    return best
+
+
+def test_resilience_overhead():
+    configs = [
+        ("baseline", None, QUIET_ROUNDS),
+        ("empty plan", FaultPlan(seed=0), QUIET_ROUNDS),
+    ] + [(f"scan_corrupt={rate}", FaultPlan(seed=9, scan_corrupt_rate=rate), 1)
+         for rate in FAULT_RATES]
+
+    results = {}
+    for name, plan, rounds in configs:
+        results[name] = _run(plan, rounds=rounds)
+    baseline_report, baseline_s, _ = results["baseline"]
+
+    rows = []
+    record = {}
+    for name, (report, elapsed, stats) in results.items():
+        identical = report.verdict_summary() == baseline_report.verdict_summary()
+        overhead = elapsed / baseline_s - 1.0
+        rows.append([name, f"{elapsed:.3f}", f"{overhead * 100:+.1f}%",
+                     stats["link_retries"], f"{stats['backoff_s']:.4f}",
+                     "identical" if identical else "DIVERGED"])
+        record[name] = {
+            "host_s": elapsed,
+            "overhead": overhead,
+            "link_retries": stats["link_retries"],
+            "backoff_s": stats["backoff_s"],
+            "verdict_identical": identical,
+        }
+
+    emit("resilience_overhead", format_table(
+        ["config", "host s", "overhead", "link retries", "backoff s",
+         "verdict vs baseline"],
+        rows,
+        title=f"E10: resilience overhead, {EXECUTIONS} executions "
+              f"(batch {BATCH}, best of {QUIET_ROUNDS} for quiet configs)"))
+
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_resilience.json").write_text(json.dumps({
+        "experiment": "resilience_overhead",
+        "executions": EXECUTIONS,
+        "batch_size": BATCH,
+        "nominal_overhead_budget": NOMINAL_OVERHEAD,
+        "configs": record,
+    }, indent=1) + "\n")
+
+    # Recovery is transparent: every rung reproduces the baseline verdict.
+    for name, entry in record.items():
+        assert entry["verdict_identical"], f"{name} diverged from baseline"
+
+    # The disarmed harness stays on the fast path.
+    assert record["empty plan"]["link_retries"] == 0
+    assert record["empty plan"]["overhead"] < CI_OVERHEAD, (
+        f"empty-plan overhead {record['empty plan']['overhead'] * 100:.1f}% "
+        f"exceeds the CI bound ({CI_OVERHEAD * 100:.0f}%; "
+        f"nominal budget is {NOMINAL_OVERHEAD * 100:.0f}%)")
+
+    # The armed harness actually exercised the retry path at the top rung.
+    assert record[f"scan_corrupt={FAULT_RATES[-1]}"]["link_retries"] > 0

@@ -40,6 +40,38 @@ def _parse_peripherals(items: List[str]) -> List[Tuple]:
     return out
 
 
+def _resilience_overrides(args) -> dict:
+    """SessionConfig overrides for --fault-plan / retry-policy flags."""
+    from repro.resilience import FaultPlan, RetryPolicy
+    out = {}
+    if args.fault_plan:
+        out["fault_plan"] = FaultPlan.parse(args.fault_plan)
+    changes = {}
+    if args.respawn_cap is not None:
+        changes["respawn_cap"] = args.respawn_cap
+    if args.link_retries is not None:
+        changes["max_link_retries"] = args.link_retries
+    if args.result_deadline is not None:
+        changes["result_deadline_s"] = args.result_deadline
+    if changes:
+        out["retry_policy"] = RetryPolicy(**changes)
+    return out
+
+
+def _add_resilience_args(p) -> None:
+    p.add_argument("--fault-plan", metavar="SPEC",
+                   help="seeded fault-injection plan, e.g. "
+                        "'seed=1,scan_corrupt=0.01,kill=1@0' "
+                        "(see docs/RESILIENCE.md)")
+    p.add_argument("--respawn-cap", type=int, default=None,
+                   help="worker respawns before degrading to serial")
+    p.add_argument("--link-retries", type=int, default=None,
+                   help="scan/MMIO retransmits before giving up")
+    p.add_argument("--result-deadline", type=float, default=None,
+                   help="seconds to wait for a worker result before "
+                        "re-issuing the job (fault plans only)")
+
+
 def cmd_instrument(args) -> int:
     source = open(args.design).read()
     design = elaborate(source, args.top, source_file=args.design)
@@ -115,6 +147,7 @@ def cmd_lint(args) -> int:
 def cmd_run(args) -> int:
     firmware = open(args.firmware).read()
     pool_stats = None
+    resilience = _resilience_overrides(args)
     if args.workers > 1:
         from repro.parallel import ParallelAnalysisEngine
         if args.strategy != "hardsnap":
@@ -125,7 +158,8 @@ def cmd_run(args) -> int:
                 workers=args.workers,
                 target=args.target, searcher=args.searcher,
                 concretization=args.concretization, scan_mode="functional",
-                snapshot_flatten_threshold=args.flatten_threshold) as engine:
+                snapshot_flatten_threshold=args.flatten_threshold,
+                **resilience) as engine:
             report = engine.run(max_instructions=args.max_instructions,
                                 stop_after_bugs=args.stop_after_bugs)
             pool_stats = engine.pool_stats
@@ -135,7 +169,8 @@ def cmd_run(args) -> int:
             target=args.target, strategy=args.strategy,
             searcher=args.searcher,
             concretization=args.concretization, scan_mode="functional",
-            snapshot_flatten_threshold=args.flatten_threshold)
+            snapshot_flatten_threshold=args.flatten_threshold,
+            **resilience)
         report = session.run(max_instructions=args.max_instructions,
                              stop_after_bugs=args.stop_after_bugs)
     print(report.summary())
@@ -148,12 +183,15 @@ def cmd_run(args) -> int:
         print(pool_stats.summary())
     elif report.snapshot_saves:
         print(session.engine.controller.stats_table())
+    if report.resilience.any:
+        print(report.resilience.summary())
     return 1 if report.bugs else 0
 
 
 def cmd_fuzz(args) -> int:
     seeds = [bytes.fromhex(s) for s in args.seed] or None
     pool_stats = None
+    resilience = _resilience_overrides(args)
     if args.workers > 1:
         from repro.parallel import ParallelFuzzer
         if args.reset != "snapshot":
@@ -162,7 +200,7 @@ def cmd_fuzz(args) -> int:
         with ParallelFuzzer(firmware, _parse_peripherals(args.peripheral),
                             seeds=seeds, workers=args.workers,
                             batch_size=args.batch_size,
-                            seed=args.rng_seed) as fuzzer:
+                            seed=args.rng_seed, **resilience) as fuzzer:
             report = fuzzer.run(executions=args.executions)
             pool_stats = fuzzer.pool_stats
     else:
@@ -170,6 +208,9 @@ def cmd_fuzz(args) -> int:
         target = FpgaTarget(scan_mode="functional")
         for spec, base in _parse_peripherals(args.peripheral):
             target.add_peripheral(spec, base)
+        if resilience.get("fault_plan") is not None:
+            target.attach_resilience(resilience["fault_plan"],
+                                     resilience.get("retry_policy"))
         fuzzer = SnapshotFuzzer(program, target, seeds=seeds,
                                 reset=args.reset, seed=args.rng_seed)
         report = fuzzer.run(executions=args.executions,
@@ -180,6 +221,8 @@ def cmd_fuzz(args) -> int:
         print(f"    input: {crash.input_bytes.hex()}")
     if pool_stats is not None:
         print(pool_stats.summary())
+    if report.resilience.any:
+        print(report.resilience.summary())
     return 1 if report.crashes else 0
 
 
@@ -272,6 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--flatten-threshold", type=int, default=8,
                    help="delta-chain length before the snapshot store "
                         "materialises a full record")
+    _add_resilience_args(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("fuzz", help="snapshot-based coverage-guided fuzzing")
@@ -289,6 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch-size", type=int, default=32,
                    help="mutation scheduling granularity; a parallel run "
                         "reproduces a serial run with the same batch size")
+    _add_resilience_args(p)
     p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("disasm", help="assemble + disassemble firmware")

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.resilience import FaultPlan, RetryPolicy
 from repro.vm.forwarding import PERFORMANCE
 
 
@@ -48,3 +49,9 @@ class SessionConfig:
     sram_dedup: bool = False
     #: Random seed for stochastic searchers.
     seed: int = 0
+    #: Seeded fault schedule for the hardware link and the worker pool
+    #: (None = infallible hardware, the pre-resilience behaviour).
+    fault_plan: Optional[FaultPlan] = None
+    #: Recovery bounds (retransmits, deadlines, respawn cap); None uses
+    #: :class:`~repro.resilience.RetryPolicy` defaults.
+    retry_policy: Optional[RetryPolicy] = None

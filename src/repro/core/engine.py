@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.snapshot import SnapshotController
 from repro.core.store import DEFAULT_FLATTEN_THRESHOLD, SnapshotStore
+from repro.resilience import ResilienceStats
 from repro.targets.base import HardwareTarget
 from repro.vm.detectors import Bug, model_to_test_case
 from repro.vm.executor import SymbolicExecutor
@@ -202,6 +203,10 @@ class AnalysisReport:
     replayed_accesses: int = 0
     mmio_accesses: int = 0
     stop_reason: str = "exhausted"
+    #: Recovery events over the run (link retries, worker respawns, …).
+    #: Deliberately absent from :meth:`verdict_summary` — recovery cost
+    #: is schedule-dependent; verdicts are not.
+    resilience: ResilienceStats = field(default_factory=ResilienceStats)
 
     @property
     def halted_paths(self) -> List[CompletedPath]:
@@ -330,6 +335,8 @@ class AnalysisEngine:
         report = AnalysisReport(strategy=self.strategy.name)
         start = time.perf_counter()
         modelled_start = self.target.timer.total_s
+        resilience0 = (self.target.resilience.as_dict()
+                       if getattr(self.target, "resilience", None) else None)
         self.strategy.on_start(initial)
         self.searcher.add(initial)
         previous: Optional[ExecState] = None
@@ -392,6 +399,9 @@ class AnalysisEngine:
         report.snapshot_dedup_hit_rate = store_stats.dedup_hit_rate
         report.snapshot_chain_depth = store_stats.max_chain_depth
         report.mmio_accesses = self.bridge.accesses
+        if resilience0 is not None:
+            report.resilience.merge(
+                self.target.resilience.delta(resilience0))
         if isinstance(self.strategy, RebootReplayStrategy):
             report.reboots = self.strategy.reboots
             report.replayed_accesses = self.strategy.replayed_accesses

@@ -34,6 +34,7 @@ from typing import FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.snapshot import SnapshotController
 from repro.errors import FirmwarePanic, VmError
+from repro.resilience import ResilienceStats
 from repro.isa.assembler import Program
 from repro.isa.cpu import Cpu, CpuExit
 from repro.targets.base import HardwareTarget, HwSnapshot
@@ -64,6 +65,9 @@ class FuzzReport:
     #: The full covered edge set (pc → pc pairs); lets merged parallel
     #: coverage be compared bit-for-bit against a serial run.
     edge_set: FrozenSet[Tuple[int, int]] = frozenset()
+    #: Recovery events over the run (kept out of
+    #: :meth:`verdict_summary` — recovery cost is schedule-dependent).
+    resilience: ResilienceStats = field(default_factory=ResilienceStats)
 
     @property
     def execs_per_modelled_second(self) -> float:
@@ -271,6 +275,8 @@ class SnapshotFuzzer:
         report = FuzzReport()
         start = time.perf_counter()
         modelled_start = self.target.timer.total_s
+        resilience0 = (self.target.resilience.as_dict()
+                       if getattr(self.target, "resilience", None) else None)
         done = 0
         while done < executions:
             batch = self.scheduler.next_batch(
@@ -284,4 +290,7 @@ class SnapshotFuzzer:
         self.scheduler.finalize(report)
         report.host_time_s = time.perf_counter() - start
         report.modelled_time_s = self.target.timer.total_s - modelled_start
+        if resilience0 is not None:
+            report.resilience.merge(
+                self.target.resilience.delta(resilience0))
         return report

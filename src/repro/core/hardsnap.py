@@ -85,6 +85,9 @@ class HardSnapSession:
         self.program = (firmware if isinstance(firmware, Program)
                         else assemble(firmware))
         self.target = target or make_target(config)
+        if config.fault_plan is not None:
+            self.target.attach_resilience(config.fault_plan,
+                                          config.retry_policy)
         for spec, base in peripherals:
             self.target.add_peripheral(spec, base)
         self.solver = solver or Solver()

@@ -47,6 +47,9 @@ def snapshot_to_dict(snapshot: HwSnapshot) -> dict:
         "bits": snapshot.bits,
         "modelled_cost_s": snapshot.modelled_cost_s,
         "states": snapshot.states,
+        # Persisted images are always sealed: a file can rot in ways a
+        # live snapshot cannot.
+        "digest": snapshot.digest or snapshot.compute_digest(),
     }
     if snapshot.snapshot_id is not None:
         out["snapshot_id"] = snapshot.snapshot_id
@@ -59,14 +62,19 @@ def snapshot_from_dict(data: dict) -> HwSnapshot:
     if data.get("format") != _FORMAT_VERSION:
         raise SnapshotError(
             f"unsupported snapshot format {data.get('format')!r}")
-    return HwSnapshot(
+    snapshot = HwSnapshot(
         states=data["states"],
         method=data.get("method", "file"),
         bits=int(data.get("bits", 0)),
         modelled_cost_s=float(data.get("modelled_cost_s", 0.0)),
         snapshot_id=data.get("snapshot_id"),
         parent_id=data.get("parent_id"),
+        digest=data.get("digest"),
     )
+    # Pre-resilience files carry no digest and load unchecked; sealed
+    # files are verified before any target sees the state.
+    snapshot.verify()
+    return snapshot
 
 
 def save_snapshot(snapshot: HwSnapshot, path: PathLike) -> None:

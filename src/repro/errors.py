@@ -92,6 +92,35 @@ class SnapshotError(TargetError):
     """Raised when a hardware snapshot cannot be saved or restored."""
 
 
+class SnapshotIntegrityError(SnapshotError):
+    """Raised when a snapshot's integrity digest does not match its
+    content — corrupt state is rejected instead of silently loaded."""
+
+
+class LinkError(TargetError):
+    """Raised when the debugger link to a target fails irrecoverably
+    (retransmit budget exhausted, reconnect impossible)."""
+
+
+class ScanShiftError(LinkError):
+    """A scan-chain shift failed past the retry budget.
+
+    Carries the context a recovery layer (or a human) needs:
+    ``instance`` (the peripheral whose chain was shifting),
+    ``operation`` ("capture" or "load") and ``attempts`` made.
+    """
+
+    def __init__(self, message: str, instance: str | None = None,
+                 operation: str | None = None, attempts: int = 0):
+        self.instance = instance
+        self.operation = operation
+        self.attempts = attempts
+        if instance is not None:
+            message = (f"scan {operation or 'shift'} on {instance!r} "
+                       f"failed after {attempts} attempts: {message}")
+        super().__init__(message)
+
+
 class AssemblerError(ReproError):
     """Raised for errors in firmware assembly sources."""
 

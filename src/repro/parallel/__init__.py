@@ -25,11 +25,13 @@ See ``docs/PARALLEL.md`` for the architecture and determinism rules.
 
 from repro.parallel.engine import ParallelAnalysisEngine
 from repro.parallel.fuzzer import ParallelFuzzer
-from repro.parallel.pool import PoolStats, WorkerPool
+from repro.parallel.pool import (InlinePool, PoolStats, PoolTimeout,
+                                 WorkerDeath, WorkerError, WorkerPool)
 from repro.parallel.recipe import SessionRecipe, TargetRecipe
 from repro.parallel.wire import ChunkChannel, WireStats
 
 __all__ = [
-    "ParallelAnalysisEngine", "ParallelFuzzer", "WorkerPool", "PoolStats",
+    "ParallelAnalysisEngine", "ParallelFuzzer", "WorkerPool", "InlinePool",
+    "PoolStats", "WorkerError", "WorkerDeath", "PoolTimeout",
     "SessionRecipe", "TargetRecipe", "ChunkChannel", "WireStats",
 ]

@@ -29,13 +29,15 @@ from repro.core.engine import AnalysisReport
 from repro.isa.assembler import Program
 from repro.parallel.pool import WorkerPool
 from repro.parallel.recipe import SessionRecipe
+from repro.parallel.recovery import PoolRecoveryMixin
 from repro.parallel.wire import ChunkChannel
 from repro.parallel.workers import SYM_BASE_STRIDE
+from repro.resilience import RetryPolicy
 from repro.vm.searchers import make_searcher
 from repro.vm.state import ExecState
 
 
-class ParallelAnalysisEngine:
+class ParallelAnalysisEngine(PoolRecoveryMixin):
     """Drop-in parallel counterpart of
     :meth:`~repro.core.hardsnap.HardSnapSession.run`.
 
@@ -58,10 +60,12 @@ class ParallelAnalysisEngine:
         #: Instructions per lease; 0 = run each lease to fork/completion.
         self.lease_budget = lease_budget
         self.channel = ChunkChannel()
+        self.retry_policy = self.config.retry_policy or RetryPolicy()
         self._coverage: Set[int] = set()
         self._pool: Optional[WorkerPool] = None
         self._lease_seq = 0
-        self._worker_wire: Dict[int, object] = {}
+        self._degraded = False
+        self._worker_wire: Dict[object, object] = {}
 
     # -- pool lifecycle -----------------------------------------------------
 
@@ -99,6 +103,12 @@ class ParallelAnalysisEngine:
             kwargs["covered"] = self._coverage
         return make_searcher(self.config.searcher, **kwargs)
 
+    def _peer(self, worker_id: int) -> object:
+        """Chunk-channel peer key for a worker. After degrading to the
+        in-process pool all results come from one harness whatever
+        worker id they echo, so they share one peer identity."""
+        return "degraded" if self._degraded else worker_id
+
     def _dispatch(self, worker_id: int, state: Optional[ExecState],
                   budget: int) -> None:
         self._lease_seq += 1
@@ -108,7 +118,8 @@ class ParallelAnalysisEngine:
             payload["state"] = None
             payload["wire"] = None
         else:
-            wire = self.channel.reencode(state._wire, worker_id)
+            wire = self.channel.reencode(state._wire,
+                                         self._peer(worker_id))
             del state._wire
             payload["state"] = pickle.dumps(
                 state, protocol=pickle.HIGHEST_PROTOCOL)
@@ -121,10 +132,19 @@ class ParallelAnalysisEngine:
         """Unpickle a shipped state and remember which chunks back its
         snapshot (the snapshot itself stays as references until the
         state is leased out again)."""
-        self.channel.absorb(wire, worker_id)
+        self.channel.absorb(wire, self._peer(worker_id))
         state: ExecState = pickle.loads(blob)
         state._wire = wire
         return state
+
+    # -- recovery hooks (see PoolRecoveryMixin) -----------------------------
+
+    def _forget_peer(self, worker_id: object) -> None:
+        self.channel.known.pop(worker_id, None)
+
+    def _readdress(self, payload, peer: object) -> None:
+        if isinstance(payload, dict) and payload.get("wire") is not None:
+            payload["wire"] = self.channel.reencode(payload["wire"], peer)
 
     # -- main loop ----------------------------------------------------------
 
@@ -136,6 +156,7 @@ class ParallelAnalysisEngine:
         start = time.perf_counter()
         searcher = self._make_searcher()
         pool = self.pool  # starts the workers
+        resilience0 = pool.stats.resilience.as_dict()
         idle: Deque[int] = deque(range(self.workers))
         bugs: List[Tuple[object, Tuple[int, ...]]] = []
         stats_sums = {"saves": 0, "restores": 0, "logical_bits": 0,
@@ -170,18 +191,19 @@ class ParallelAnalysisEngine:
                     outstanding += 1
             if outstanding == 0:
                 break
-            _, worker_id, res = pool.next_result()
+            _, worker_id, res = self._await_result()
             idle.append(worker_id)
             outstanding -= 1
 
             executed += res["executed"]
             self._coverage.update(res["coverage"])
             report.modelled_time_s += res["modelled_dt"]
+            report.resilience.merge(res["resilience"])
             for key in stats_sums:
                 stats_sums[key] += res["stats"][key]
             chain_depth = max(chain_depth, res["stats"]["chain_depth"])
             bugs.extend(res["bugs"])
-            self._worker_wire[worker_id] = res["wire_stats"]
+            self._worker_wire[self._peer(worker_id)] = res["wire_stats"]
             if res["completed"] is not None:
                 report.paths.append(res["completed"])
             # Serial parity: forks count before the max_states cap.
@@ -218,6 +240,9 @@ class ParallelAnalysisEngine:
         for wire_stats in self._worker_wire.values():
             pool.stats.wire.merge(wire_stats)
         self._worker_wire.clear()
+        # Pool-boundary recovery (respawns/reissues/duplicates/degraded)
+        # joins the link-layer events the workers reported per lease.
+        report.resilience.merge(pool.stats.resilience.delta(resilience0))
         return report
 
     @staticmethod

@@ -26,10 +26,12 @@ from repro.errors import VmError
 from repro.isa.assembler import Program
 from repro.parallel.pool import WorkerPool
 from repro.parallel.recipe import SessionRecipe
+from repro.parallel.recovery import PoolRecoveryMixin
 from repro.parallel.workers import unpack_edges
+from repro.resilience import RetryPolicy
 
 
-class ParallelFuzzer:
+class ParallelFuzzer(PoolRecoveryMixin):
     """N-worker counterpart of :class:`~repro.core.fuzzer.SnapshotFuzzer`
     (snapshot reset mode only — rebooting per input is exactly what the
     snapshot runtime exists to avoid)."""
@@ -51,6 +53,9 @@ class ParallelFuzzer:
         self.workers = workers
         self.batch_size = batch_size
         self.scheduler = CorpusScheduler(seeds, seed)
+        self.config = self.recipe.config
+        self.retry_policy = self.config.retry_policy or RetryPolicy()
+        self._degraded = False
         self._pool: Optional[WorkerPool] = None
 
     # -- pool lifecycle -----------------------------------------------------
@@ -102,6 +107,7 @@ class ParallelFuzzer:
         """
         report = FuzzReport()
         pool = self.pool
+        resilience0 = pool.stats.resilience.as_dict()
         start = time.perf_counter()
         done = 0
         while done < executions:
@@ -113,14 +119,15 @@ class ParallelFuzzer:
                 items = indexed[worker_id::self.workers]
                 if not items:
                     continue
-                pool.submit(worker_id, "fuzz", {"items": items})
+                self.pool.submit(worker_id, "fuzz", {"items": items})
                 shards += 1
             pool.stats.batches += 1
             merged: Dict[int, Tuple[bytes, bytes, Optional[str], int]] = {}
             for _ in range(shards):
-                _, _, res = pool.next_result()
+                _, _, res = self._await_result()
                 report.resets += res["resets"]
                 report.modelled_time_s += res["modelled_dt"]
+                report.resilience.merge(res["resilience"])
                 for index, data, edges, crash, pc in res["results"]:
                     merged[index] = (data, edges, crash, pc)
             for index in sorted(merged):
@@ -131,4 +138,5 @@ class ParallelFuzzer:
         self.scheduler.finalize(report)
         report.host_time_s = time.perf_counter() - start
         pool.stats.host_time_s += report.host_time_s
+        report.resilience.merge(pool.stats.resilience.delta(resilience0))
         return report

@@ -6,23 +6,72 @@ chunk-channel bookkeeping, since delta encoding is per-peer) and one
 shared result queue. Fork start method is preferred (workers inherit the
 imported modules); spawn works too because every job payload and the
 recipe are plain picklable data.
+
+Every job carries a coordinator-assigned **job id**; the pool tracks
+jobs in flight, so:
+
+* :meth:`WorkerPool.next_result` polls worker liveness while waiting —
+  a dead worker raises a structured :class:`WorkerDeath` naming the
+  worker and its in-flight jobs instead of blocking forever,
+* duplicate result deliveries (fault-injected, or a re-issue racing its
+  original) are discarded exactly once,
+* a crashed worker can be :meth:`respawned <WorkerPool.respawn>` and its
+  in-flight jobs :meth:`resubmitted <WorkerPool.resubmit>`, and
+* when the respawn cap is exhausted, :class:`InlinePool` offers the same
+  surface executed in-process (graceful degradation to serial).
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import queue as queue_mod
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import VmError
 from repro.parallel.recipe import SessionRecipe
 from repro.parallel.wire import WireStats
-from repro.parallel.workers import STOP, _worker_main
+from repro.parallel.workers import _HARNESS_TYPES, STOP, _worker_main
+from repro.resilience import ResilienceStats
 
 
 class WorkerError(VmError):
-    """A worker process raised; carries the remote traceback."""
+    """A worker failed; carries the remote traceback (when the worker
+    reported one), the worker id and the affected job ids."""
+
+    def __init__(self, message: str, worker_id: Optional[int] = None,
+                 jobs: Tuple[int, ...] = ()):
+        self.worker_id = worker_id
+        self.jobs = tuple(jobs)
+        super().__init__(message)
+
+
+class WorkerDeath(WorkerError):
+    """A worker *process* died with work in flight (found by the
+    liveness poll — the hang :meth:`WorkerPool.next_result` used to be
+    vulnerable to). Recoverable: respawn + resubmit, or degrade."""
+
+
+class PoolTimeout(VmError):
+    """No result arrived within the deadline; every in-flight worker is
+    still alive (a dead one raises :class:`WorkerDeath` instead), so the
+    likely cause is a lost result message — re-issue the jobs."""
+
+    def __init__(self, message: str, jobs: Tuple[int, ...] = ()):
+        self.jobs = tuple(jobs)
+        super().__init__(message)
+
+
+@dataclass
+class InFlightJob:
+    """Coordinator-side record of one submitted, unanswered job."""
+
+    worker_id: int
+    kind: str
+    payload: Any
+    reissues: int = 0
 
 
 @dataclass
@@ -36,6 +85,9 @@ class PoolStats:
     states_shipped: int = 0
     wire: WireStats = field(default_factory=WireStats)
     host_time_s: float = 0.0
+    #: Pool-boundary recovery events (respawns, reissues, duplicates,
+    #: degraded flag); link-layer events merge in from the workers.
+    resilience: ResilienceStats = field(default_factory=ResilienceStats)
 
     def summary(self) -> str:
         lines = [f"[pool] workers={self.workers} leases={self.leases} "
@@ -52,11 +104,16 @@ class PoolStats:
                 if self.wire.delta_ratio != float("inf") else
                 f"[pool] snapshots shipped={self.wire.snapshots_sent} "
                 f"received={self.wire.snapshots_received} all by reference")
+        if self.resilience.any:
+            lines.append(self.resilience.summary())
         return "\n".join(lines)
 
 
 class WorkerPool:
     """N worker processes serving engine leases and fuzz batches."""
+
+    #: Result-queue poll slice; bounds how stale the liveness check can be.
+    _POLL_S = 0.05
 
     def __init__(self, recipe: SessionRecipe, workers: int,
                  start_method: Optional[str] = None):
@@ -65,38 +122,86 @@ class WorkerPool:
         if start_method is None:
             start_method = ("fork" if "fork" in mp.get_all_start_methods()
                             else "spawn")
-        ctx = mp.get_context(start_method)
+        self._ctx = mp.get_context(start_method)
+        self._recipe = recipe
         self.workers = workers
         self.stats = PoolStats(workers=workers)
-        self._jobs = [ctx.Queue() for _ in range(workers)]
-        self._results = ctx.Queue()
-        self._procs = [
-            ctx.Process(target=_worker_main,
-                        args=(i, recipe, self._jobs[i], self._results),
-                        daemon=True, name=f"repro-worker-{i}")
-            for i in range(workers)]
-        for proc in self._procs:
-            proc.start()
+        self._jobs = [self._ctx.Queue() for _ in range(workers)]
+        self._results = self._ctx.Queue()
+        self._incarnations = [0] * workers
+        self._job_seq = 0
+        self._in_flight: Dict[int, InFlightJob] = {}
+        self._procs = [self._spawn(i) for i in range(workers)]
         self._closed = False
+
+    def _spawn(self, worker_id: int) -> mp.Process:
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(worker_id, self._recipe, self._jobs[worker_id],
+                  self._results, self._incarnations[worker_id]),
+            daemon=True, name=f"repro-worker-{worker_id}")
+        proc.start()
+        return proc
 
     # -- job plumbing -------------------------------------------------------
 
-    def submit(self, worker_id: int, kind: str, payload: Any) -> None:
-        self._jobs[worker_id].put((kind, payload))
+    def submit(self, worker_id: int, kind: str, payload: Any) -> int:
+        """Queue a job; returns its id (tracked until its result lands)."""
+        self._job_seq += 1
+        job_id = self._job_seq
+        self._in_flight[job_id] = InFlightJob(worker_id, kind, payload)
+        self._jobs[worker_id].put((kind, job_id, payload))
+        return job_id
 
     def next_result(self, timeout: Optional[float] = None
                     ) -> Tuple[str, int, Any]:
-        """Blocking wait for the next worker result; re-raises worker
-        failures (with the remote traceback) as :class:`WorkerError`."""
-        kind, worker_id, payload = self._results.get(timeout=timeout)
-        if kind == "error":
-            raise WorkerError(
-                f"worker {worker_id} failed:\n{payload}")
-        return kind, worker_id, payload
+        """Blocking wait for the next worker result.
 
-    def broadcast(self, kind: str, payload: Any) -> None:
-        for i in range(self.workers):
-            self.submit(i, kind, payload)
+        Polls worker liveness while waiting: a dead worker with jobs in
+        flight raises :class:`WorkerDeath` (naming worker and leases)
+        instead of hanging forever; a missed *timeout* (all workers
+        alive) raises :class:`PoolTimeout`; a worker-reported exception
+        re-raises as :class:`WorkerError` with the remote traceback.
+        Duplicate deliveries of an already-answered job are discarded.
+        """
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        while True:
+            try:
+                message = self._results.get(timeout=self._POLL_S)
+            except queue_mod.Empty:
+                self._check_liveness()
+                if deadline is not None and time.monotonic() >= deadline:
+                    jobs = tuple(sorted(self._in_flight))
+                    raise PoolTimeout(
+                        f"no worker result within {timeout:.1f}s; "
+                        f"jobs in flight: {list(jobs)}", jobs=jobs)
+                continue
+            kind, worker_id, job_id, data = message
+            if self._in_flight.pop(job_id, None) is None:
+                self.stats.resilience.duplicate_results += 1
+                continue
+            if kind == "error":
+                raise WorkerError(f"worker {worker_id} failed:\n{data}",
+                                  worker_id=worker_id, jobs=(job_id,))
+            return kind, worker_id, data
+
+    def _check_liveness(self) -> None:
+        for worker_id, proc in enumerate(self._procs):
+            if proc.is_alive():
+                continue
+            jobs = tuple(sorted(
+                job_id for job_id, info in self._in_flight.items()
+                if info.worker_id == worker_id))
+            if jobs:
+                raise WorkerDeath(
+                    f"worker {worker_id} (pid {proc.pid}, exit code "
+                    f"{proc.exitcode}) died with lease(s) "
+                    f"{list(jobs)} in flight",
+                    worker_id=worker_id, jobs=jobs)
+
+    def broadcast(self, kind: str, payload: Any) -> List[int]:
+        return [self.submit(i, kind, payload) for i in range(self.workers)]
 
     def warm(self, harness: str) -> None:
         """Pre-build every worker's harness (target elaboration is the
@@ -106,26 +211,179 @@ class WorkerPool:
             kind, _, _ = self.next_result(timeout=120)
             assert kind == "warmed"
 
+    # -- recovery -----------------------------------------------------------
+
+    def in_flight(self, job_id: int) -> InFlightJob:
+        return self._in_flight[job_id]
+
+    def in_flight_jobs(self) -> List[int]:
+        return sorted(self._in_flight)
+
+    def take_in_flight(self) -> List[Tuple[int, InFlightJob]]:
+        """Remove and return every in-flight job (the degrade path hands
+        them to an :class:`InlinePool`)."""
+        items = sorted(self._in_flight.items())
+        self._in_flight.clear()
+        return items
+
+    def respawn(self, worker_id: int) -> List[int]:
+        """Replace a dead (or wedged) worker with a fresh process under
+        the next incarnation number. The worker gets a **fresh** job
+        queue: a process killed while blocked in ``get()`` dies holding
+        the queue's reader lock, which would wedge its successor — and
+        any queued copies of in-flight jobs are stale anyway (their
+        delta wires were encoded against the dead incarnation's chunk
+        pool) and must be re-encoded and :meth:`resubmit`-ted by the
+        caller. Returns the worker's in-flight job ids."""
+        proc = self._procs[worker_id]
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(1.0)
+        old = self._jobs[worker_id]
+        self._jobs[worker_id] = self._ctx.Queue()
+        self._drain(old)
+        try:
+            old.close()
+            old.cancel_join_thread()
+        except (OSError, ValueError):
+            pass
+        self._incarnations[worker_id] += 1
+        self._procs[worker_id] = self._spawn(worker_id)
+        self.stats.resilience.worker_respawns += 1
+        return sorted(job_id for job_id, info in self._in_flight.items()
+                      if info.worker_id == worker_id)
+
+    def resubmit(self, job_id: int, worker_id: Optional[int] = None) -> None:
+        """Re-queue an in-flight job (after a respawn or a missed
+        deadline). The payload must already be re-addressed by the
+        caller when it carries a delta wire."""
+        info = self._in_flight[job_id]
+        if worker_id is not None:
+            info.worker_id = worker_id
+        info.reissues += 1
+        self._jobs[info.worker_id].put((info.kind, job_id, info.payload))
+        self.stats.resilience.lease_reissues += 1
+
     # -- lifecycle ----------------------------------------------------------
 
+    @staticmethod
+    def _drain(queue) -> None:
+        try:
+            while True:
+                queue.get_nowait()
+        except (queue_mod.Empty, OSError, ValueError):
+            pass
+
     def close(self, timeout: float = 5.0) -> None:
+        """Shut the pool down: STOP sentinels, then join → terminate →
+        kill escalation, then drain the queues so their feeder threads
+        cannot wedge interpreter exit. Idempotent, and safe when workers
+        already crashed (joining a dead process is a no-op)."""
         if self._closed:
             return
         self._closed = True
         for queue in self._jobs:
             try:
-                queue.put(STOP)
+                queue.put_nowait(STOP)
             except (OSError, ValueError):
                 pass
         deadline = time.monotonic() + timeout
         for proc in self._procs:
-            proc.join(max(0.1, deadline - time.monotonic()))
+            try:
+                proc.join(max(0.1, deadline - time.monotonic()))
+            except (OSError, ValueError, AssertionError):
+                pass
         for proc in self._procs:
             if proc.is_alive():
                 proc.terminate()
                 proc.join(1.0)
+        for proc in self._procs:
+            if proc.is_alive():
+                # terminate (SIGTERM) was ignored: escalate to SIGKILL.
+                kill = getattr(proc, "kill", proc.terminate)
+                kill()
+                proc.join(1.0)
+        for queue in [*self._jobs, self._results]:
+            self._drain(queue)
+            try:
+                queue.close()
+                queue.cancel_join_thread()
+            except (OSError, ValueError):
+                pass
+        self._in_flight.clear()
 
     def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class InlinePool:
+    """Degraded-mode stand-in for :class:`WorkerPool`: the same submit /
+    next_result / close surface, executed synchronously in-process by
+    one harness (fault-free — there is no process left to kill).
+
+    The coordinator swaps this in when the respawn cap is exhausted and
+    :class:`~repro.resilience.RetryPolicy` allows degradation; the run
+    finishes serially with identical verdicts.
+    """
+
+    def __init__(self, recipe: SessionRecipe,
+                 stats: Optional[PoolStats] = None):
+        self._recipe = recipe
+        self.workers = 1
+        self.stats = stats if stats is not None else PoolStats(workers=1)
+        self.stats.resilience.degraded = True
+        self._harnesses: Dict[str, Any] = {}
+        self._pending: Deque[Tuple[str, int, Any]] = deque()
+
+    def _harness(self, kind: str):
+        if kind not in self._harnesses:
+            self._harnesses[kind] = _HARNESS_TYPES[kind](self._recipe)
+        return self._harnesses[kind]
+
+    def submit(self, worker_id: int, kind: str, payload: Any) -> int:
+        """Execute the job now; the result is delivered (echoing the
+        requested worker id, so coordinator bookkeeping is undisturbed)
+        on the next :meth:`next_result`."""
+        if kind == "warm":
+            self._harness(payload["kind"])
+            self._pending.append(("warmed", worker_id, None))
+        elif kind == "lease":
+            self._pending.append(
+                ("lease", worker_id, self._harness("engine").run_lease(payload)))
+        elif kind == "fuzz":
+            self._pending.append(
+                ("fuzz", worker_id, self._harness("fuzz").run_batch(payload)))
+        elif kind == "boot-digests":
+            self._pending.append(
+                ("boot-digests", worker_id,
+                 self._harness("fuzz").boot_digests()))
+        else:
+            raise VmError(f"unknown job kind {kind!r}")
+        return 0
+
+    def next_result(self, timeout: Optional[float] = None
+                    ) -> Tuple[str, int, Any]:
+        if not self._pending:
+            raise VmError("degraded pool has no pending results "
+                          "(submit executes synchronously)")
+        return self._pending.popleft()
+
+    def broadcast(self, kind: str, payload: Any) -> List[int]:
+        return [self.submit(i, kind, payload) for i in range(self.workers)]
+
+    def warm(self, harness: str) -> None:
+        self.broadcast("warm", {"kind": harness})
+        for _ in range(self.workers):
+            kind, _, _ = self.next_result()
+            assert kind == "warmed"
+
+    def close(self, timeout: float = 5.0) -> None:
+        self._pending.clear()
+
+    def __enter__(self) -> "InlinePool":
         return self
 
     def __exit__(self, *exc) -> None:

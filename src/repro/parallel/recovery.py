@@ -1,0 +1,129 @@
+"""Coordinator-side recovery: respawn, re-issue, degrade to serial.
+
+Both pool coordinators (:class:`~repro.parallel.engine.ParallelAnalysisEngine`
+and :class:`~repro.parallel.fuzzer.ParallelFuzzer`) wait on worker
+results the same way, so they share this mixin. The recovery ladder for
+one wait:
+
+1. a **dead worker** (:class:`~repro.parallel.pool.WorkerDeath` from the
+   liveness poll) is respawned under a fresh incarnation and its
+   in-flight jobs re-issued — until the
+   :attr:`~repro.resilience.RetryPolicy.respawn_cap` is spent, after
+   which the run **degrades to serial** (an in-process
+   :class:`~repro.parallel.pool.InlinePool` finishes the remaining work,
+   fault-free) or, with degradation disabled, the death propagates;
+2. a **missed deadline** (:class:`~repro.parallel.pool.PoolTimeout` —
+   every in-flight worker still alive, so a result message was lost)
+   re-issues the stalled jobs, each at most
+   :attr:`~repro.resilience.RetryPolicy.max_reissues` times.
+
+Workers serve re-issued jobs from their completed-envelope cache, never
+re-executing them, so recovery cannot perturb verdicts; see
+``docs/RESILIENCE.md``.
+
+Hosts provide ``pool``/``_pool``, ``recipe``, ``config``,
+``retry_policy`` and ``_degraded``; coordinators that ship delta-encoded
+snapshots override the :meth:`_forget_peer` / :meth:`_readdress` hooks
+to keep chunk-channel bookkeeping consistent across respawns.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Tuple
+
+from repro.parallel.pool import (InlinePool, PoolTimeout, WorkerDeath,
+                                 WorkerError)
+
+
+class PoolRecoveryMixin:
+    """Fault-tolerant result waiting for worker-pool coordinators."""
+
+    def _await_result(self, timeout: Optional[float] = None
+                      ) -> Tuple[str, int, Any]:
+        """``pool.next_result`` with the recovery ladder applied.
+
+        With an active fault plan a finite deadline
+        (:attr:`~repro.resilience.RetryPolicy.result_deadline_s`) is
+        always armed, so lost result messages cannot hang the run; with
+        no plan the wait is free (liveness polling still catches real
+        worker deaths)."""
+        while True:
+            armed = timeout
+            if armed is None and not self._degraded:
+                plan = self.config.fault_plan
+                if plan is not None and not plan.is_empty:
+                    armed = self.retry_policy.result_deadline_s
+            try:
+                return self.pool.next_result(timeout=armed)
+            except WorkerDeath as death:
+                self._recover_death(death)
+            except PoolTimeout as stalled:
+                self._reissue(stalled.jobs)
+
+    def _recover_death(self, death: WorkerDeath) -> None:
+        pool = self.pool
+        policy = self.retry_policy
+        if pool.stats.resilience.worker_respawns < policy.respawn_cap:
+            jobs = pool.respawn(death.worker_id)
+            # The dead incarnation's chunk pool died with it: forget what
+            # we believed it held and ship full payloads on re-issue.
+            self._forget_peer(death.worker_id)
+            for job_id in jobs:
+                self._readdress(pool.in_flight(job_id).payload,
+                                death.worker_id)
+                pool.resubmit(job_id)
+            return
+        if policy.degrade_to_serial:
+            self._degrade()
+            return
+        raise death
+
+    def _reissue(self, jobs: Iterable[int]) -> None:
+        """Re-queue stalled jobs on their (live) workers. The original
+        payload is already addressed to that worker and its chunk pool
+        is intact, so no re-encoding is needed; if the worker already
+        executed the job it answers from its completed cache."""
+        pool = self.pool
+        policy = self.retry_policy
+        for job_id in jobs:
+            try:
+                info = pool.in_flight(job_id)
+            except KeyError:
+                continue  # answered while the timeout was raised
+            if info.reissues >= policy.max_reissues:
+                raise WorkerError(
+                    f"job {job_id} ({info.kind}) produced no result after "
+                    f"{info.reissues} re-issues on worker {info.worker_id}",
+                    worker_id=info.worker_id, jobs=(job_id,))
+            pool.resubmit(job_id)
+
+    def _degrade(self) -> None:
+        """Respawn cap exhausted: finish the run serially in-process.
+
+        The real pool's in-flight jobs transfer to an
+        :class:`InlinePool` built from a fault-free copy of the recipe
+        (there is no worker process left to kill) that shares the pool's
+        stats object, so accounting — including the ``degraded`` flag —
+        survives the swap."""
+        pool = self.pool
+        stats = pool.stats
+        stats.resilience.degraded = True
+        pending = pool.take_in_flight()
+        pool.close()
+        inline = InlinePool(self.recipe.with_config(fault_plan=None),
+                            stats=stats)
+        self._pool = inline
+        self._degraded = True
+        for _job_id, info in pending:
+            self._readdress(info.payload, "degraded")
+            inline.submit(info.worker_id, info.kind, info.payload)
+            stats.resilience.lease_reissues += 1
+
+    # -- hooks ---------------------------------------------------------------
+
+    def _forget_peer(self, worker_id: object) -> None:
+        """A peer's process (and with it, its chunk pool) is gone."""
+
+    def _readdress(self, payload: Any, peer: object) -> None:
+        """Re-encode *payload* in place for delivery to *peer* (only
+        coordinators shipping delta wires need to do anything)."""

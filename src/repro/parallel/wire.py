@@ -19,6 +19,8 @@ from typing import Dict, Mapping, Optional, Set
 
 from repro.core.persistence import (SnapshotWire, snapshot_from_wire,
                                     snapshot_to_wire)
+from repro.core.store import chunk_digest
+from repro.errors import SnapshotIntegrityError
 from repro.targets.base import HwSnapshot
 
 
@@ -124,9 +126,19 @@ class ChunkChannel:
 
     def absorb(self, wire: SnapshotWire, peer: object) -> None:
         """Merge a received wire's chunks into the pool and credit the
-        sender with everything it referenced."""
+        sender with everything it referenced.
+
+        Every shipped payload is verified against its content address
+        before entering the pool: chunk digests *are* the transfer's
+        integrity check (delta-sized cost — references are not re-hashed,
+        their bodies were verified when they first arrived)."""
         known = self._peer(peer)
         for digest, (body, bits) in wire.chunks.items():
+            actual = chunk_digest(body)
+            if actual != digest:
+                raise SnapshotIntegrityError(
+                    f"chunk from peer {peer!r} fails verification: "
+                    f"declared {digest}, body hashes to {actual}")
             self.pool.setdefault(digest, body)
             self.chunk_bits.setdefault(digest, bits)
             known.add(digest)

@@ -20,9 +20,11 @@ and import-light so it survives ``spawn`` start methods.
 
 from __future__ import annotations
 
+import os
 import pickle
 import struct
 import traceback
+from collections import OrderedDict
 from dataclasses import replace
 from typing import Any, Dict, List, Optional, Set, Tuple
 
@@ -31,6 +33,7 @@ from repro.core.snapshot import SnapshotController
 from repro.core.store import chunk_digest
 from repro.parallel.recipe import SessionRecipe
 from repro.parallel.wire import ChunkChannel
+from repro.resilience import FaultInjector
 from repro.targets.base import HwSnapshot
 from repro.vm.state import ExecState
 
@@ -120,6 +123,7 @@ class EngineWorker:
 
         executor._sym_counter = int(payload["sym_base"])
         state = self._materialise(payload)
+        resilience0 = self.session.target.resilience.as_dict()
 
         bugs_before = len(executor.bugs)
         coverage_before = set(executor.coverage)
@@ -161,6 +165,8 @@ class EngineWorker:
             },
             "modelled_dt": timer.total_s - modelled0,
             "wire_stats": self.channel.stats,
+            "resilience":
+                self.session.target.resilience.delta(resilience0),
         }
 
 
@@ -170,6 +176,9 @@ class FuzzWorker:
     def __init__(self, recipe: SessionRecipe):
         self.program = recipe.program
         self.target = recipe.target.build()
+        plan = getattr(recipe.config, "fault_plan", None)
+        if plan is not None:
+            self.target.attach_resilience(plan, recipe.config.retry_policy)
         self.max_steps = recipe.max_steps_per_exec
         self.controller = SnapshotController(self.target)
         self._boot: Optional[HwSnapshot] = None
@@ -193,6 +202,7 @@ class FuzzWorker:
 
     def run_batch(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         modelled0 = self.target.timer.total_s
+        resilience0 = self.target.resilience.as_dict()
         results: List[Tuple[int, bytes, bytes, Optional[str], int]] = []
         for index, data in payload["items"]:
             self._fresh_hardware()
@@ -204,19 +214,44 @@ class FuzzWorker:
             "results": results,
             "modelled_dt": self.target.timer.total_s - modelled0,
             "resets": len(payload["items"]),
+            "resilience": self.target.resilience.delta(resilience0),
         }
 
 
 _HARNESS_TYPES = {"engine": EngineWorker, "fuzz": FuzzWorker}
 
+#: Completed-envelope cache depth. The coordinator can only re-issue a
+#: handful of jobs at once (bounded by in-flight jobs + reissue caps),
+#: so a shallow cache suffices to answer every duplicate delivery.
+_COMPLETED_CACHE = 32
+
 
 def _worker_main(worker_id: int, recipe: SessionRecipe,
-                 jobs, results) -> None:
+                 jobs, results, incarnation: int = 0) -> None:
     """Worker process entry point: build harnesses lazily, serve jobs
     until the STOP sentinel arrives. Any exception is reported to the
-    coordinator as an ``("error", id, traceback)`` message rather than
-    killing the process silently."""
+    coordinator as an ``("error", id, job_id, traceback)`` message
+    rather than killing the process silently.
+
+    Jobs arrive as ``(kind, job_id, payload)``; results leave as
+    ``(kind, worker_id, job_id, data)``. Completed envelopes are cached
+    by job id so a re-issued job (the coordinator missed our answer) is
+    answered from the cache instead of being re-executed — execution
+    mutates harness state (coverage baselines, chunk-channel bookkeeping),
+    so exactly-once execution is what keeps re-issues deterministic.
+
+    When the recipe's config carries a :class:`FaultPlan`, this loop is
+    also the pool-boundary fault site: scheduled/stochastic worker kills
+    (``os._exit`` before execution, as a real crash would land), lost
+    result messages (computed and cached, never sent — the coordinator's
+    deadline recovers via re-issue) and duplicated deliveries.
+    """
     harnesses: Dict[str, Any] = {}
+    plan = getattr(recipe.config, "fault_plan", None)
+    injector = (FaultInjector(plan, scope="pool")
+                if plan is not None and not plan.is_empty else None)
+    completed: "OrderedDict[int, tuple]" = OrderedDict()
+    job_index = 0
 
     def harness(kind: str):
         if kind not in harnesses:
@@ -227,21 +262,44 @@ def _worker_main(worker_id: int, recipe: SessionRecipe,
         job = jobs.get()
         if job == STOP:
             break
-        kind, payload = job
+        kind, job_id, payload = job
         try:
+            cached = completed.get(job_id)
+            if cached is not None:
+                # Re-issued job we already ran: resend, never re-execute.
+                results.put(cached)
+                continue
+            if kind in ("lease", "fuzz"):
+                index = job_index
+                job_index += 1
+                if (injector is not None
+                        and injector.should_kill(worker_id, index,
+                                                 incarnation)):
+                    os._exit(17)
             if kind == "warm":
                 harness(payload["kind"])
-                results.put(("warmed", worker_id, None))
+                envelope = ("warmed", worker_id, job_id, None)
             elif kind == "lease":
-                results.put(("lease", worker_id,
-                             harness("engine").run_lease(payload)))
+                envelope = ("lease", worker_id, job_id,
+                            harness("engine").run_lease(payload))
             elif kind == "fuzz":
-                results.put(("fuzz", worker_id,
-                             harness("fuzz").run_batch(payload)))
+                envelope = ("fuzz", worker_id, job_id,
+                            harness("fuzz").run_batch(payload))
             elif kind == "boot-digests":
-                results.put(("boot-digests", worker_id,
-                             harness("fuzz").boot_digests()))
+                envelope = ("boot-digests", worker_id, job_id,
+                            harness("fuzz").boot_digests())
             else:
                 raise ValueError(f"unknown job kind {kind!r}")
+            completed[job_id] = envelope
+            while len(completed) > _COMPLETED_CACHE:
+                completed.popitem(last=False)
+            if injector is not None and injector.roll(
+                    f"result_loss:w{worker_id}", plan.result_loss_rate):
+                continue  # cached above; the re-issue will resend it
+            results.put(envelope)
+            if injector is not None and injector.roll(
+                    f"result_dup:w{worker_id}", plan.result_dup_rate):
+                results.put(envelope)
         except BaseException:
-            results.put(("error", worker_id, traceback.format_exc()))
+            results.put(("error", worker_id, job_id,
+                         traceback.format_exc()))

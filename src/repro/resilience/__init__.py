@@ -1,0 +1,33 @@
+"""repro.resilience — deterministic fault injection + recovery policy.
+
+HardSnap's hardware link (USB3/JTAG scan shifts, MMIO forwarding) and
+the parallel runtime's worker processes are exactly the components that
+fail in real HIL setups. This package provides the three pieces the
+robustness machinery is built from:
+
+* :class:`FaultPlan` / :class:`FaultInjector` — a *seeded, replayable*
+  schedule of link faults (scan bit-flips, dropped frames, stalls,
+  lost MMIO responses, transfer timeouts, link drops) and pool faults
+  (worker kills, lost/duplicated result messages). Every decision is a
+  pure function of ``(seed, site, occurrence counter)``, so a faulty
+  run can be reproduced bit-for-bit from its plan spec,
+* :class:`RetryPolicy` — the recovery knobs: bounded retransmits with
+  exponential backoff (charged to the modelled timer), per-operation
+  deadlines, lease re-issue limits, the worker respawn cap, and
+  degraded-mode behaviour,
+* :class:`ResilienceStats` — the record of what actually happened
+  (retries, reissues, respawns, reconnects, backoff charged, degraded
+  flag), surfaced through :class:`~repro.core.engine.AnalysisReport`,
+  the pool epilogue and the CLI.
+
+The headline invariant (``tests/test_resilience.py``): with any seeded
+FaultPlan below the respawn cap, parallel verdicts stay byte-identical
+to the fault-free serial run — faults cost modelled time, never
+correctness.
+"""
+
+from repro.resilience.faults import FaultInjector, FaultPlan
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.stats import ResilienceStats
+
+__all__ = ["FaultPlan", "FaultInjector", "RetryPolicy", "ResilienceStats"]

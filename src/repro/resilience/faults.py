@@ -1,0 +1,151 @@
+"""Seeded, deterministic fault plans.
+
+A :class:`FaultPlan` describes *where* faults may strike (per-boundary
+rates plus explicit worker kills); a :class:`FaultInjector` turns the
+plan into concrete decisions. Determinism is the whole design: decision
+``n`` at site ``s`` is ``blake2b(f"{seed}:{scope}:{s}:{n}") / 2**64 <
+rate`` — no global RNG state, no ordering sensitivity between sites, and
+identical behaviour across processes given the same plan.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Tuple
+
+from repro.errors import VmError
+
+#: spec key -> FaultPlan field for :meth:`FaultPlan.parse`.
+_SPEC_KEYS = {
+    "seed": "seed",
+    "scan_corrupt": "scan_corrupt_rate",
+    "scan_drop": "scan_drop_rate",
+    "scan_stall": "scan_stall_rate",
+    "mmio_drop": "mmio_drop_rate",
+    "transfer_timeout": "transfer_timeout_rate",
+    "link_down": "link_down_rate",
+    "result_loss": "result_loss_rate",
+    "result_dup": "result_dup_rate",
+    "kill_rate": "kill_rate",
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What may go wrong, and how often. Plain frozen data — travels
+    inside :class:`~repro.core.config.SessionConfig` to every worker."""
+
+    seed: int = 0
+    #: Link boundary: scan-shift stream corruption (CRC mismatch on the
+    #: received frame), dropped frames, and stalls past the deadline.
+    scan_corrupt_rate: float = 0.0
+    scan_drop_rate: float = 0.0
+    scan_stall_rate: float = 0.0
+    #: MMIO forwarding: response lost on the debugger transport.
+    mmio_drop_rate: float = 0.0
+    #: Orchestrator cross-target transfers timing out.
+    transfer_timeout_rate: float = 0.0
+    #: Whole-link drop detected by the pre-operation health check.
+    link_down_rate: float = 0.0
+    #: Pool boundary: worker result message lost / delivered twice.
+    result_loss_rate: float = 0.0
+    result_dup_rate: float = 0.0
+    #: Stochastic worker crash per job.
+    kill_rate: float = 0.0
+    #: Explicit kills: (worker_id, job_index) pairs; the worker's
+    #: incarnation 0 dies at the start of its job_index-th lease/batch
+    #: (respawned incarnations don't re-trigger explicit kills).
+    worker_kills: Tuple[Tuple[int, int], ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan can never fire a fault."""
+        return not self.worker_kills and all(
+            getattr(self, f.name) == 0.0 for f in fields(self)
+            if f.name.endswith("_rate"))
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from a CLI spec like
+        ``"seed=3,scan_corrupt=0.1,result_loss=0.05,kill=0@1"``.
+
+        Keys are the rate names without the ``_rate`` suffix; ``kill=W@J``
+        (repeatable) appends an explicit worker kill.
+        """
+        plan = cls()
+        kills = []
+        for item in filter(None, (p.strip() for p in spec.split(","))):
+            key, sep, value = item.partition("=")
+            if not sep:
+                raise VmError(f"bad fault-plan entry {item!r}: "
+                              f"expected key=value")
+            if key == "kill":
+                worker, sep, job = value.partition("@")
+                try:
+                    kills.append((int(worker), int(job) if sep else 0))
+                except ValueError:
+                    raise VmError(f"bad kill spec {value!r}: "
+                                  f"expected WORKER[@JOB]")
+                continue
+            field_name = _SPEC_KEYS.get(key)
+            if field_name is None:
+                raise VmError(
+                    f"unknown fault-plan key {key!r}; known: "
+                    f"{', '.join(sorted(_SPEC_KEYS))}, kill=W@J")
+            caster = int if field_name == "seed" else float
+            try:
+                plan = replace(plan, **{field_name: caster(value)})
+            except ValueError:
+                raise VmError(f"bad fault-plan value {item!r}")
+        if kills:
+            plan = replace(plan, worker_kills=tuple(kills))
+        return plan
+
+
+class FaultInjector:
+    """Turns a :class:`FaultPlan` into concrete, replayable decisions.
+
+    Each *site* (a string naming one fault location, e.g.
+    ``"scan_corrupt:uart"``) keeps its own occurrence counter, so the
+    decision sequence at one site is independent of activity at every
+    other — the property that keeps recovery paths from perturbing later
+    fault decisions.
+    """
+
+    def __init__(self, plan: FaultPlan, scope: str = ""):
+        self.plan = plan
+        self.scope = scope
+        self._counts: Dict[str, int] = {}
+
+    def _hash64(self, site: str, n: int) -> int:
+        token = f"{self.plan.seed}:{self.scope}:{site}:{n}".encode("ascii")
+        return int.from_bytes(
+            hashlib.blake2b(token, digest_size=8).digest(), "big")
+
+    def roll(self, site: str, rate: float) -> bool:
+        """One Bernoulli decision at *site* (advances its counter)."""
+        n = self._counts.get(site, 0)
+        self._counts[site] = n + 1
+        if rate <= 0.0:
+            return False
+        return self._hash64(site, n) / 2.0**64 < rate
+
+    def draw(self, site: str, modulus: int) -> int:
+        """A deterministic value in ``[0, modulus)`` at *site* — used to
+        pick which bit of a transmitted frame a corruption flips."""
+        n = self._counts.get(site, 0)
+        self._counts[site] = n + 1
+        return self._hash64(site, n) % max(1, modulus)
+
+    def should_kill(self, worker_id: int, job_index: int,
+                    incarnation: int) -> bool:
+        """Does this worker die at the start of this job? Explicit kills
+        apply only to incarnation 0 (a respawned worker must not replay
+        the same crash); stochastic kills are seeded per incarnation so
+        a respawn rolls fresh decisions."""
+        if incarnation == 0 and \
+                (worker_id, job_index) in self.plan.worker_kills:
+            return True
+        return self.roll(f"kill:w{worker_id}:i{incarnation}",
+                         self.plan.kill_rate)

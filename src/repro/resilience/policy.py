@@ -1,0 +1,47 @@
+"""Recovery policy knobs.
+
+One frozen dataclass holding every bound the recovery machinery obeys:
+link retransmit counts and backoff shape, result deadlines and re-issue
+limits, the worker respawn cap, and whether an exhausted pool degrades
+to in-process execution. Backoff latencies are *modelled* time — they
+are charged to the target's :class:`~repro.bus.transport.ModelledTimer`
+so Table-1/E-series numbers stay honest under faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounds for every recovery loop. Plain frozen data — travels in
+    :class:`~repro.core.config.SessionConfig` alongside the fault plan."""
+
+    #: Retransmits allowed per link operation (scan shift, MMIO access,
+    #: cross-target transfer) before the operation raises.
+    max_link_retries: int = 4
+    #: Exponential backoff between retransmits, charged as modelled time:
+    #: ``min(cap, base * factor**attempt)``.
+    backoff_base_s: float = 1e-6
+    backoff_factor: float = 2.0
+    backoff_cap_s: float = 1e-3
+    #: Modelled cost of re-establishing a dropped link (health-check
+    #: reconnect).
+    reconnect_cost_s: float = 1e-3
+    #: Host-time deadline the coordinator waits for any worker result
+    #: before re-issuing in-flight work (only armed when a fault plan is
+    #: active — fault-free runs block indefinitely, as before).
+    result_deadline_s: float = 60.0
+    #: Re-issues allowed per job before the run gives up on it.
+    max_reissues: int = 3
+    #: Worker respawns allowed per pool before it is declared exhausted.
+    respawn_cap: int = 4
+    #: When the pool is exhausted: fall back to in-process execution
+    #: (True) or raise (False).
+    degrade_to_serial: bool = True
+
+    def backoff_s(self, attempt: int) -> float:
+        """Modelled backoff before retransmit *attempt* (0-based)."""
+        return min(self.backoff_cap_s,
+                   self.backoff_base_s * self.backoff_factor ** attempt)

@@ -1,0 +1,86 @@
+"""Resilience accounting: what the recovery machinery actually did.
+
+One mergeable record, kept per target (link-layer events) and per pool
+(worker-lifecycle events), then rolled up into
+:class:`~repro.core.engine.AnalysisReport` /
+:class:`~repro.core.fuzzer.FuzzReport`. Deliberately *excluded* from
+``verdict_summary()`` — how many retries a run needed is
+schedule-dependent; what it concluded is not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Mapping, Union
+
+
+@dataclass
+class ResilienceStats:
+    """Counts of recovery events (sum-mergeable; ``degraded`` ORs)."""
+
+    #: Scan-shift retransmits after CRC mismatch / drop / stall.
+    link_retries: int = 0
+    #: MMIO accesses retransmitted after a lost response.
+    mmio_retries: int = 0
+    #: Cross-target transfer retries after a timeout.
+    transfer_retries: int = 0
+    #: Link stalls detected (a subset of the retries above).
+    stalls: int = 0
+    #: Pre-operation link health checks performed.
+    health_checks: int = 0
+    #: Link reconnects (health check found the link down).
+    reconnects: int = 0
+    #: Snapshot integrity digests verified on restore/load.
+    integrity_checks: int = 0
+    #: Modelled backoff time charged by all retry loops.
+    backoff_s: float = 0.0
+    #: Worker processes respawned after a crash.
+    worker_respawns: int = 0
+    #: Jobs re-issued (after a worker death or a missed deadline).
+    lease_reissues: int = 0
+    #: Duplicate result messages discarded by the coordinator.
+    duplicate_results: int = 0
+    #: True once the pool was exhausted and the run fell back to
+    #: in-process execution.
+    degraded: bool = False
+
+    @property
+    def any(self) -> bool:
+        """True when any recovery event occurred."""
+        return self.degraded or any(
+            getattr(self, f.name) for f in fields(self)
+            if f.name != "degraded")
+
+    def as_dict(self) -> Dict[str, Union[int, float, bool]]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def merge(self, other: Union["ResilienceStats", Mapping]) -> None:
+        data = other if isinstance(other, Mapping) else other.as_dict()
+        for f in fields(self):
+            value = data.get(f.name, 0)
+            if f.name == "degraded":
+                self.degraded = self.degraded or bool(value)
+            else:
+                setattr(self, f.name, getattr(self, f.name) + value)
+
+    def delta(self, baseline: Mapping) -> Dict[str, Union[int, float, bool]]:
+        """This record minus a previous :meth:`as_dict` snapshot —
+        workers ship per-lease deltas, not lifetime totals."""
+        out: Dict[str, Union[int, float, bool]] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "degraded":
+                out[f.name] = bool(value)
+            else:
+                out[f.name] = value - baseline.get(f.name, 0)
+        return out
+
+    def summary(self) -> str:
+        parts = [f"{f.name}={getattr(self, f.name)}" for f in fields(self)
+                 if f.name not in ("backoff_s", "degraded")
+                 and getattr(self, f.name)]
+        if self.backoff_s:
+            parts.append(f"backoff={self.backoff_s:.2e}s")
+        if self.degraded:
+            parts.append("DEGRADED")
+        return "[resilience] " + (" ".join(parts) if parts else "clean")

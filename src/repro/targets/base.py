@@ -26,7 +26,8 @@ from repro.bus.axi4lite import Axi4LiteMaster
 from repro.bus.memory_map import MemoryMap, Region
 from repro.bus.wishbone import WishboneMaster
 from repro.bus.transport import ModelledTimer, Transport
-from repro.errors import TargetError
+from repro.errors import LinkError, SnapshotIntegrityError, TargetError
+from repro.resilience import FaultInjector, FaultPlan, ResilienceStats, RetryPolicy
 from repro.hdl.ir import Design
 from repro.peripherals.catalog import PeripheralSpec
 from repro.sim.base import BaseSimulation
@@ -61,6 +62,10 @@ class HwSnapshot:
     dirty: Optional[frozenset] = None
     #: The store's :class:`~repro.core.store.SnapshotRecord`, once interned.
     record: Optional[object] = None
+    #: Integrity digest over the canonical state bodies (cycle counters
+    #: excluded — they are transport metadata, not state). None until
+    #: :meth:`seal` runs; verified by :meth:`verify` before a restore.
+    digest: Optional[str] = None
 
     def clone(self) -> "HwSnapshot":
         if self.record is not None:
@@ -68,11 +73,47 @@ class HwSnapshot:
             # copy of the instance map is a safe, O(instances) clone.
             return HwSnapshot(dict(self.states), self.method, self.bits,
                               self.modelled_cost_s, self.snapshot_id,
-                              self.parent_id, self.dirty, self.record)
+                              self.parent_id, self.dirty, self.record,
+                              self.digest)
         import copy
         return HwSnapshot(copy.deepcopy(self.states), self.method, self.bits,
                           self.modelled_cost_s, self.snapshot_id,
-                          self.parent_id, self.dirty)
+                          self.parent_id, self.dirty, digest=self.digest)
+
+    # -- integrity ----------------------------------------------------------
+
+    def compute_digest(self) -> str:
+        """blake2b over every instance's canonical (cycle-less) body,
+        in name order — the per-chunk content addresses the snapshot
+        store deduplicates on, combined into one image digest."""
+        import hashlib
+
+        from repro.core.store import chunk_digest  # lazy: avoids a cycle
+        h = hashlib.blake2b(digest_size=16)
+        for name in sorted(self.states):
+            h.update(name.encode("utf-8"))
+            h.update(chunk_digest(self.states[name]).encode("ascii"))
+        return h.hexdigest()
+
+    def seal(self) -> "HwSnapshot":
+        """Stamp the integrity digest (idempotent on unchanged content)."""
+        self.digest = self.compute_digest()
+        return self
+
+    def verify(self) -> None:
+        """Check the content against the sealed digest.
+
+        No-op for unsealed snapshots; raises
+        :class:`~repro.errors.SnapshotIntegrityError` on mismatch so
+        corrupt state is rejected instead of silently loaded.
+        """
+        if self.digest is None:
+            return
+        actual = self.compute_digest()
+        if actual != self.digest:
+            raise SnapshotIntegrityError(
+                f"snapshot integrity digest mismatch: sealed "
+                f"{self.digest}, content hashes to {actual}")
 
 
 @dataclass
@@ -125,6 +166,83 @@ class HardwareTarget:
         #: Bumped on every capture/restore; lets the snapshot controller
         #: detect out-of-band save/restore calls and distrust dirty sets.
         self.capture_epoch = 0
+        #: Recovery accounting for this target's link (always present;
+        #: stays zero without an attached fault plan).
+        self.resilience = ResilienceStats()
+        self._injector: Optional[FaultInjector] = None
+        self._retry_policy = RetryPolicy()
+        #: Last snapshot whose save/restore completed verification — the
+        #: image a reconnect re-syncs the board to (link state after a
+        #: drop is untrusted).
+        self._last_verified: Optional[HwSnapshot] = None
+
+    # -- resilience ---------------------------------------------------------
+
+    def attach_resilience(self, plan: Optional[FaultPlan],
+                          policy: Optional[RetryPolicy] = None) -> None:
+        """Arm fault injection + recovery on this target's link. With a
+        plan attached, snapshots are sealed with integrity digests and
+        every link operation runs under the retry policy; ``None``
+        detaches (the infallible-hardware fast path)."""
+        # An empty plan can never fire: stay on the fast path (no
+        # sealing, no health checks) so a blanket --fault-plan default
+        # costs nothing.
+        self._injector = (FaultInjector(plan, scope=self.name)
+                          if plan is not None and not plan.is_empty
+                          else None)
+        if policy is not None:
+            self._retry_policy = policy
+
+    def health_check(self) -> bool:
+        """Probe the link; reconnect if it dropped. Returns True when a
+        reconnect was needed."""
+        inj = self._injector
+        if inj is None:
+            return False
+        self.resilience.health_checks += 1
+        if inj.roll("link_down", inj.plan.link_down_rate):
+            self._reconnect(resync=True)
+            return True
+        return False
+
+    def _check_link(self, operation: str) -> None:
+        """Pre-operation health check: a dropped link is re-established
+        before the snapshot operation proceeds. Before a *restore* the
+        board is also re-synced to the last verified image (the restore
+        overwrites it anyway, but the scan logic must be in a known
+        state); before a *save* the board kept its live state — only the
+        link is re-established."""
+        inj = self._injector
+        if inj is None:
+            return
+        self.resilience.health_checks += 1
+        if inj.roll("link_down", inj.plan.link_down_rate):
+            self._reconnect(resync=(operation == "restore"))
+
+    def _reconnect(self, resync: bool) -> None:
+        self.resilience.reconnects += 1
+        self.timer.add_fixed(self._retry_policy.reconnect_cost_s)
+        if resync and self._last_verified is not None:
+            for name, state in self._last_verified.states.items():
+                instance = self.instances.get(name)
+                if instance is not None:
+                    self._load_instance(instance, state)
+            self._note_restored(self._last_verified)
+
+    def _load_instance(self, instance: "PeripheralInstance",
+                       state: dict) -> None:
+        """Load one instance's canonical state (reconnect re-sync path);
+        targets with a non-trivial mechanism override this."""
+        instance.sim.load_state(state)
+
+    def _verify_integrity(self, snapshot: "HwSnapshot") -> None:
+        if snapshot.digest is not None:
+            snapshot.verify()
+            self.resilience.integrity_checks += 1
+
+    def _mark_verified(self, snapshot: "HwSnapshot") -> None:
+        if self._injector is not None:
+            self._last_verified = snapshot
 
     # -- construction ------------------------------------------------------
 
@@ -205,6 +323,29 @@ class HardwareTarget:
         self.cycles += cycles
         self.timer.add_cycles(cycles, self.clock_hz)
         self.timer.add_transport(self.transport.access_latency_s(1))
+        if self._injector is not None:
+            self._mmio_retransmit(accessed)
+
+    def _mmio_retransmit(self, accessed: PeripheralInstance) -> None:
+        """Recover a lost MMIO response: the bus transaction completed on
+        the peripheral (the access is not re-executed — that would
+        double its side effects); only the *response* crosses the link
+        again, priced at one transport access plus backoff."""
+        inj = self._injector
+        policy = self._retry_policy
+        site = f"mmio_drop:{accessed.name}"
+        attempt = 0
+        while inj.roll(site, inj.plan.mmio_drop_rate):
+            if attempt >= policy.max_link_retries:
+                raise LinkError(
+                    f"{self.name}: MMIO response from {accessed.name!r} "
+                    f"lost; {attempt} retransmits exhausted")
+            backoff = policy.backoff_s(attempt)
+            attempt += 1
+            self.timer.add_transport(self.transport.access_latency_s(1))
+            self.timer.add_fixed(backoff)
+            self.resilience.mmio_retries += 1
+            self.resilience.backoff_s += backoff
 
     # -- interrupts -------------------------------------------------------------------
 

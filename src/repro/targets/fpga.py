@@ -34,10 +34,12 @@ Inception debugger that translates USB commands to AXI transactions).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import json
+import zlib
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.bus.transport import USB3, Transport
-from repro.errors import SnapshotError, TargetError
+from repro.errors import ScanShiftError, SnapshotError, TargetError
 from repro.hdl.ir import Design
 from repro.instrument.readback import ReadbackModel
 from repro.instrument.scan_chain import ScanChainResult, insert_scan_chain
@@ -102,7 +104,75 @@ class FpgaTarget(HardwareTarget):
     def _chain(self, instance: PeripheralInstance) -> ScanChainResult:
         return instance.extra["scan"]
 
+    # -- CRC-verified link (fault injection + bounded retransmit) -----------
+
+    def _link_fault(self, instance: PeripheralInstance, operation: str,
+                    state: dict) -> Optional[str]:
+        """Model the scan stream crossing the CRC-framed debugger link.
+
+        The canonical state is serialised into a frame, the injector may
+        flip one bit of the *transmitted copy*, and the receiver's CRC32
+        is checked against the sender's — a real end-to-end check, not a
+        coin toss. Returns a fault description (CRC mismatch, dropped
+        frame, stall) or None when the frame verified.
+        """
+        inj = self._injector
+        site = f"scan_{operation}:{instance.name}"
+        frame = json.dumps(state, sort_keys=True,
+                           separators=(",", ":")).encode("ascii")
+        sent_crc = zlib.crc32(frame)
+        received = frame
+        if inj.roll(f"{site}:corrupt", inj.plan.scan_corrupt_rate):
+            flipped = bytearray(frame)
+            bit = inj.draw(f"{site}:bit", len(flipped) * 8)
+            flipped[bit // 8] ^= 1 << (bit % 8)
+            received = bytes(flipped)
+        if zlib.crc32(received) != sent_crc:
+            return "CRC mismatch on received stream"
+        if inj.roll(f"{site}:drop", inj.plan.scan_drop_rate):
+            return "frame dropped by the link"
+        if inj.roll(f"{site}:stall", inj.plan.scan_stall_rate):
+            self.resilience.stalls += 1
+            return "link stalled past the operation deadline"
+        return None
+
+    def _shift_verified(self, instance: PeripheralInstance, operation: str,
+                        fn: Callable[[], Optional[dict]],
+                        payload: Optional[dict] = None) -> Optional[dict]:
+        """Run one scan operation with CRC verification and bounded
+        retransmit + exponential backoff. Each retransmit re-runs the
+        physical shift (a circular rotation preserves the state, so a
+        re-shift is safe) and charges the full chain shift plus backoff
+        to the modelled timer. Exhaustion raises
+        :class:`~repro.errors.ScanShiftError` with context.
+        """
+        if self._injector is None:
+            return fn()
+        policy = self._retry_policy
+        chain_bits = self._chain(instance).chain_length
+        attempts = 0
+        while True:
+            attempts += 1
+            result = fn()
+            fault = self._link_fault(
+                instance, operation,
+                payload if payload is not None else (result or {}))
+            if fault is None:
+                return result
+            if attempts > policy.max_link_retries:
+                raise ScanShiftError(fault, instance=instance.name,
+                                     operation=operation, attempts=attempts)
+            backoff = policy.backoff_s(attempts - 1)
+            self.timer.add_fixed(self.ip.shift_cost_s(chain_bits) + backoff)
+            self.resilience.link_retries += 1
+            self.resilience.backoff_s += backoff
+
     def _capture_instance(self, instance: PeripheralInstance) -> dict:
+        return self._shift_verified(
+            instance, "capture",
+            lambda: self._capture_instance_raw(instance))
+
+    def _capture_instance_raw(self, instance: PeripheralInstance) -> dict:
         """Scan the instance's state out (circular, state-preserving) and
         return the canonical state dict."""
         scan = self._chain(instance)
@@ -194,6 +264,13 @@ class FpgaTarget(HardwareTarget):
         }
 
     def _load_instance(self, instance: PeripheralInstance, state: dict) -> None:
+        self._shift_verified(
+            instance, "load",
+            lambda: self._load_instance_raw(instance, state),
+            payload=state)
+
+    def _load_instance_raw(self, instance: PeripheralInstance,
+                           state: dict) -> None:
         scan = self._chain(instance)
         sim = instance.sim
         if self.scan_mode == "functional":
@@ -271,6 +348,7 @@ class FpgaTarget(HardwareTarget):
         instances whose sim state is untouched (identical content, same
         modelled cost).
         """
+        self._check_link("save")
         states, dirty = self.capture_states(
             force_capture=self.scan_mode in ("shift", "shift-perbit"))
         total_bits = sum(self._chain(inst).chain_length
@@ -286,15 +364,21 @@ class FpgaTarget(HardwareTarget):
         slot, cost = self.ip.save(total_bits, stored_bits=stored_bits)
         self.timer.add_fixed(cost)
         self.snapshots_taken += 1
-        return HwSnapshot(states, method="scan", bits=total_bits,
-                          modelled_cost_s=cost, snapshot_id=slot,
-                          dirty=dirty)
+        snapshot = HwSnapshot(states, method="scan", bits=total_bits,
+                              modelled_cost_s=cost, snapshot_id=slot,
+                              dirty=dirty)
+        if self._injector is not None:
+            snapshot.seal()
+        self._mark_verified(snapshot)
+        return snapshot
 
     def restore_snapshot(self, snapshot: HwSnapshot) -> None:
         missing = set(snapshot.states) - set(self.instances)
         if missing:
             raise SnapshotError(
                 f"snapshot references unknown instances {sorted(missing)}")
+        self._check_link("restore")
+        self._verify_integrity(snapshot)
         total_bits = 0
         for name, state in snapshot.states.items():
             instance = self.instances[name]
@@ -304,6 +388,7 @@ class FpgaTarget(HardwareTarget):
         self.timer.add_fixed(cost)
         self.snapshots_restored += 1
         self._note_restored(snapshot)
+        self._mark_verified(snapshot)
         if self.sram_dedup:
             self._sram_changed(snapshot.states)  # re-baseline
 

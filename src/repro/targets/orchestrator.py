@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.store import SnapshotStore
-from repro.errors import TargetError
+from repro.errors import LinkError, TargetError
 from repro.targets.base import HardwareTarget, HwSnapshot
 
 
@@ -118,6 +118,7 @@ class TargetOrchestrator:
                    key=lambda t: t.per_access_s)
         link_cost = link.bulk_latency_s(max(delta_bits, 1))
         dst.timer.add_transport(link_cost)
+        link_cost += self._retry_transfer(src, dst, link_cost)
         dst.restore_snapshot(snapshot)
         total = snapshot.modelled_cost_s + link_cost
         self.transfers.append(TransferRecord(source, destination,
@@ -126,6 +127,33 @@ class TargetOrchestrator:
         if switch_active:
             self._active = destination
         return snapshot
+
+    @staticmethod
+    def _retry_transfer(src: HardwareTarget, dst: HardwareTarget,
+                        link_cost: float) -> float:
+        """Bounded retry for cross-target transfers timing out on the
+        link (decided by the destination's fault injector — it owns the
+        receiving end). Each retry re-streams the delta and charges
+        backoff; returns the extra modelled cost."""
+        inj = dst._injector
+        if inj is None:
+            return 0.0
+        policy = dst._retry_policy
+        extra = 0.0
+        attempt = 0
+        while inj.roll("transfer_timeout", inj.plan.transfer_timeout_rate):
+            if attempt >= policy.max_link_retries:
+                raise LinkError(
+                    f"transfer {src.name!r} -> {dst.name!r} timed out; "
+                    f"{attempt} retries exhausted")
+            backoff = policy.backoff_s(attempt)
+            attempt += 1
+            dst.timer.add_transport(link_cost)
+            dst.timer.add_fixed(backoff)
+            extra += link_cost + backoff
+            dst.resilience.transfer_retries += 1
+            dst.resilience.backoff_s += backoff
+        return extra
 
     def modelled_time_s(self) -> float:
         """Total modelled time across all registered targets."""

@@ -128,14 +128,19 @@ class SimulatorTarget(HardwareTarget):
             self._tracking = True
         self.timer.add_fixed(cost)
         self.snapshots_taken += 1
-        return HwSnapshot(states, method="criu", bits=bits,
-                          modelled_cost_s=cost, dirty=dirty)
+        snapshot = HwSnapshot(states, method="criu", bits=bits,
+                              modelled_cost_s=cost, dirty=dirty)
+        if self._injector is not None:
+            snapshot.seal()
+        self._mark_verified(snapshot)
+        return snapshot
 
     def restore_snapshot(self, snapshot: HwSnapshot) -> None:
         missing = set(snapshot.states) - set(self.instances)
         if missing:
             raise SnapshotError(
                 f"snapshot references unknown instances {sorted(missing)}")
+        self._verify_integrity(snapshot)
         bits = 0
         for name, state in snapshot.states.items():
             instance = self.instances[name]
@@ -145,3 +150,4 @@ class SimulatorTarget(HardwareTarget):
         self.timer.add_fixed(cost)
         self.snapshots_restored += 1
         self._note_restored(snapshot)
+        self._mark_verified(snapshot)

@@ -15,10 +15,20 @@ class TestExceptionHierarchy:
                      "ElaborationError", "SimulationError",
                      "CombinationalLoopError", "InstrumentationError",
                      "BusError", "TargetError", "SnapshotError",
+                     "SnapshotIntegrityError", "LinkError", "ScanShiftError",
                      "AssemblerError", "VmError", "ConcretizationError",
                      "FirmwarePanic"):
             cls = getattr(errors, name)
             assert issubclass(cls, errors.ReproError), name
+
+    def test_scan_shift_error_carries_context(self):
+        err = errors.ScanShiftError("CRC mismatch", instance="uart",
+                                    operation="capture", attempts=5)
+        assert err.instance == "uart"
+        assert err.operation == "capture"
+        assert err.attempts == 5
+        for fragment in ("uart", "capture", "5", "CRC mismatch"):
+            assert fragment in str(err)
 
     def test_hdl_error_carries_line(self):
         err = errors.ParseError("boom", line=17)
