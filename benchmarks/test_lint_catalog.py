@@ -14,7 +14,9 @@ summary table and the machine-readable JSON report
 (``benchmarks/out/lint_catalog.json``), the artifact downstream tooling
 consumes.
 
-Expected shapes: the shipped corpus lints fully clean; instrumented
+Expected shapes: the shipped corpus is free of errors and warnings
+(info-level dataflow observations are allowed — uart/intc carry
+write-latch bits that never reach an output); instrumented
 designs keep zero errors (the pass's own scan logic must satisfy its
 own gating rules); a deliberately under-covered chain is flagged.
 """
@@ -50,7 +52,12 @@ def test_lint_catalog(benchmark):
 
     assert len(reports) == len(catalog.EXTENDED_CORPUS)
     for report in reports:
-        assert report.clean, report.render_text()
+        # Error/warning free; info-severity dataflow observations (dead
+        # state bits the scan chain still carries) are expected findings.
+        assert report.errors == 0 and report.warnings == 0, (
+            report.render_text())
+        for diag in report.diagnostics:
+            assert diag.rule.startswith("df-"), report.render_text()
 
 
 def test_lint_instrumented_corpus(benchmark, corpus):

@@ -144,6 +144,19 @@ def cmd_lint(args) -> int:
     return 0 if all(r.ok for r in reports) else 1
 
 
+def _print_opt_report(target) -> None:
+    """One line per hosted peripheral the netlist optimizer touched."""
+    lines = []
+    for name, instance in getattr(target, "instances", {}).items():
+        report = getattr(instance.sim, "opt_report", None)
+        if report is not None and report.total:
+            lines.append(f"  {name}: {report.summary()}")
+    if lines:
+        print("netlist optimization (disable with --no-opt):")
+        for line in lines:
+            print(line)
+
+
 def cmd_run(args) -> int:
     firmware = open(args.firmware).read()
     pool_stats = None
@@ -159,6 +172,7 @@ def cmd_run(args) -> int:
                 target=args.target, searcher=args.searcher,
                 concretization=args.concretization, scan_mode="functional",
                 snapshot_flatten_threshold=args.flatten_threshold,
+                opt=not args.no_opt,
                 **resilience) as engine:
             report = engine.run(max_instructions=args.max_instructions,
                                 stop_after_bugs=args.stop_after_bugs)
@@ -170,9 +184,11 @@ def cmd_run(args) -> int:
             searcher=args.searcher,
             concretization=args.concretization, scan_mode="functional",
             snapshot_flatten_threshold=args.flatten_threshold,
+            opt=not args.no_opt,
             **resilience)
         report = session.run(max_instructions=args.max_instructions,
                              stop_after_bugs=args.stop_after_bugs)
+        _print_opt_report(session.target)
     print(report.summary())
     for path in report.halted_paths:
         print(f"  path {path.state_id}: halt {path.halt_code} "
@@ -200,14 +216,16 @@ def cmd_fuzz(args) -> int:
         with ParallelFuzzer(firmware, _parse_peripherals(args.peripheral),
                             seeds=seeds, workers=args.workers,
                             batch_size=args.batch_size,
-                            seed=args.rng_seed, **resilience) as fuzzer:
+                            seed=args.rng_seed, opt=not args.no_opt,
+                            **resilience) as fuzzer:
             report = fuzzer.run(executions=args.executions)
             pool_stats = fuzzer.pool_stats
     else:
         program = assemble(open(args.firmware).read())
-        target = FpgaTarget(scan_mode="functional")
+        target = FpgaTarget(scan_mode="functional", opt=not args.no_opt)
         for spec, base in _parse_peripherals(args.peripheral):
             target.add_peripheral(spec, base)
+        _print_opt_report(target)
         if resilience.get("fault_plan") is not None:
             target.attach_resilience(resilience["fault_plan"],
                                      resilience.get("retry_policy"))
@@ -312,6 +330,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1,
                    help="shard exploration across N worker processes "
                         "(hardsnap strategy only)")
+    p.add_argument("--no-opt", action="store_true",
+                   help="skip the netlist optimizer (repro.opt) for "
+                        "hosted designs")
     p.add_argument("--flatten-threshold", type=int, default=8,
                    help="delta-chain length before the snapshot store "
                         "materialises a full record")
@@ -330,6 +351,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1,
                    help="shard executions across N worker processes "
                         "(snapshot reset only)")
+    p.add_argument("--no-opt", action="store_true",
+                   help="skip the netlist optimizer (repro.opt) for "
+                        "hosted designs")
     p.add_argument("--batch-size", type=int, default=32,
                    help="mutation scheduling granularity; a parallel run "
                         "reproduces a serial run with the same batch size")

@@ -47,6 +47,10 @@ class SessionConfig:
     #: SRAM (occupancy = dirty chains only; the shift still pays full
     #: price).
     sram_dedup: bool = False
+    #: Run hosted designs through the repro.opt netlist optimizer
+    #: before compilation (FPGA target only; the simulator target keeps
+    #: full visibility and never optimizes).
+    opt: bool = True
     #: Random seed for stochastic searchers.
     seed: int = 0
     #: Seeded fault schedule for the hardware link and the worker pool

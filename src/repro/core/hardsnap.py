@@ -57,7 +57,8 @@ def make_strategy(name: str, config: SessionConfig) -> ConsistencyStrategy:
 def make_target(config: SessionConfig) -> HardwareTarget:
     if config.target == "fpga":
         return FpgaTarget(scan_mode=config.scan_mode,
-                          sram_dedup=config.sram_dedup)
+                          sram_dedup=config.sram_dedup,
+                          opt=config.opt)
     if config.target == "simulator":
         return SimulatorTarget()
     raise VmError(f"unknown target kind {config.target!r}")

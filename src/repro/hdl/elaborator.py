@@ -447,11 +447,11 @@ class _ModuleCtx:
     def lower_expr(self, expr: A.Expr, env: Dict[str, int]) -> ir.Expr:
         if isinstance(expr, A.Number):
             width = expr.width if expr.width is not None else 32
-            return ir.Const(expr.value, width=width)
+            return ir.const(expr.value, width)
         if isinstance(expr, A.Identifier):
             sym = self._lookup(expr.name, env)
             if isinstance(sym, int):
-                return ir.Const(sym & 0xFFFFFFFF, width=32)
+                return ir.const(sym & 0xFFFFFFFF, 32)
             if isinstance(sym, ir.Net):
                 return ir.Ref(sym, width=sym.width)
             raise ElaborationError(
@@ -562,7 +562,7 @@ def _widen(expr: ir.Expr, width: int) -> ir.Expr:
     if width <= expr.width:
         return expr
     if isinstance(expr, ir.Const):
-        return ir.Const(expr.value, width=width)
+        return ir.const(expr.value, width)
     if isinstance(expr, ir.Binary):
         if expr.op in _CONTEXT_OPS:
             return ir.Binary(expr.op, _widen(expr.left, width),
@@ -587,23 +587,23 @@ def _fold_unary(node: ir.Unary) -> ir.Expr:
     mask = (1 << w) - 1
     op = node.op
     if op == "~":
-        return ir.Const(~value & ((1 << node.width) - 1), width=node.width)
+        return ir.const(~value & ((1 << node.width) - 1), node.width)
     if op == "-":
-        return ir.Const(-value & ((1 << node.width) - 1), width=node.width)
+        return ir.const(-value & ((1 << node.width) - 1), node.width)
     if op == "!":
-        return ir.Const(int(value == 0), width=1)
+        return ir.const(int(value == 0), 1)
     if op == "&":
-        return ir.Const(int(value == mask), width=1)
+        return ir.const(int(value == mask), 1)
     if op == "|":
-        return ir.Const(int(value != 0), width=1)
+        return ir.const(int(value != 0), 1)
     if op == "^":
-        return ir.Const(bin(value).count("1") & 1, width=1)
+        return ir.const(bin(value).count("1") & 1, 1)
     if op == "~&":
-        return ir.Const(int(value != mask), width=1)
+        return ir.const(int(value != mask), 1)
     if op == "~|":
-        return ir.Const(int(value == 0), width=1)
+        return ir.const(int(value == 0), 1)
     if op == "~^":
-        return ir.Const((bin(value).count("1") + 1) & 1, width=1)
+        return ir.const((bin(value).count("1") + 1) & 1, 1)
     return node
 
 
@@ -614,41 +614,41 @@ def _fold_binary(node: ir.Binary) -> ir.Expr:
     mask = (1 << node.width) - 1
     op = node.op
     if op == "+":
-        return ir.Const((a + b) & mask, width=node.width)
+        return ir.const((a + b) & mask, node.width)
     if op == "-":
-        return ir.Const((a - b) & mask, width=node.width)
+        return ir.const((a - b) & mask, node.width)
     if op == "*":
-        return ir.Const((a * b) & mask, width=node.width)
+        return ir.const((a * b) & mask, node.width)
     if op == "/":
-        return ir.Const((a // b) & mask if b else mask, width=node.width)
+        return ir.const((a // b) & mask if b else mask, node.width)
     if op == "%":
-        return ir.Const((a % b) & mask if b else a & mask, width=node.width)
+        return ir.const((a % b) & mask if b else a & mask, node.width)
     if op == "&":
-        return ir.Const(a & b, width=node.width)
+        return ir.const(a & b, node.width)
     if op == "|":
-        return ir.Const(a | b, width=node.width)
+        return ir.const(a | b, node.width)
     if op == "^":
-        return ir.Const(a ^ b, width=node.width)
+        return ir.const(a ^ b, node.width)
     if op == "<<":
-        return ir.Const((a << b) & mask if b < 64 else 0, width=node.width)
+        return ir.const((a << b) & mask if b < 64 else 0, node.width)
     if op == ">>":
-        return ir.Const(a >> b if b < 64 else 0, width=node.width)
+        return ir.const(a >> b if b < 64 else 0, node.width)
     if op == ">>>":
-        return ir.Const(a >> b if b < 64 else 0, width=node.width)
+        return ir.const(a >> b if b < 64 else 0, node.width)
     if op == "==":
-        return ir.Const(int(a == b), width=1)
+        return ir.const(int(a == b), 1)
     if op == "!=":
-        return ir.Const(int(a != b), width=1)
+        return ir.const(int(a != b), 1)
     if op == "<":
-        return ir.Const(int(a < b), width=1)
+        return ir.const(int(a < b), 1)
     if op == "<=":
-        return ir.Const(int(a <= b), width=1)
+        return ir.const(int(a <= b), 1)
     if op == ">":
-        return ir.Const(int(a > b), width=1)
+        return ir.const(int(a > b), 1)
     if op == ">=":
-        return ir.Const(int(a >= b), width=1)
+        return ir.const(int(a >= b), 1)
     if op == "&&":
-        return ir.Const(int(bool(a) and bool(b)), width=1)
+        return ir.const(int(bool(a) and bool(b)), 1)
     if op == "||":
-        return ir.Const(int(bool(a) or bool(b)), width=1)
+        return ir.const(int(bool(a) or bool(b)), 1)
     return node

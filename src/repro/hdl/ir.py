@@ -79,24 +79,44 @@ class Memory:
 # Expressions
 # ---------------------------------------------------------------------------
 
-@dataclass
+@dataclass(eq=False)
 class Expr:
     width: int = field(default=0, kw_only=True)
 
 
-@dataclass
+@dataclass(eq=False)
 class Const(Expr):
     value: int
 
 
-@dataclass
+#: Interning cache for :func:`const`.  Elaboration and constant folding
+#: produce the same small literals over and over; sharing one node per
+#: (value, width) keeps IR memory flat.  Nodes are immutable by
+#: convention — no pass rewrites a Const in place.
+_CONST_CACHE: Dict[Tuple[int, int], "Const"] = {}
+_CONST_CACHE_LIMIT = 65536
+
+
+def const(value: int, width: int) -> "Const":
+    """An interned constant node, masked to *width* bits."""
+    value &= (1 << width) - 1
+    key = (value, width)
+    node = _CONST_CACHE.get(key)
+    if node is None:
+        node = Const(value, width=width)
+        if len(_CONST_CACHE) < _CONST_CACHE_LIMIT:
+            _CONST_CACHE[key] = node
+    return node
+
+
+@dataclass(eq=False)
 class Ref(Expr):
     """Read of a net's current value."""
 
     net: Net
 
 
-@dataclass
+@dataclass(eq=False)
 class MemRead(Expr):
     """Read ``memory[index]``; out-of-range indexes read as 0."""
 
@@ -104,34 +124,34 @@ class MemRead(Expr):
     index: Expr
 
 
-@dataclass
+@dataclass(eq=False)
 class Unary(Expr):
     op: str  # ~ ! - & | ^ ~& ~| ~^
     operand: Expr
 
 
-@dataclass
+@dataclass(eq=False)
 class Binary(Expr):
     op: str  # + - * / % & | ^ << >> >>> < <= > >= == != && ||
     left: Expr
     right: Expr
 
 
-@dataclass
+@dataclass(eq=False)
 class Ternary(Expr):
     cond: Expr
     then: Expr
     other: Expr
 
 
-@dataclass
+@dataclass(eq=False)
 class Concat(Expr):
     """First part is most significant, as in Verilog ``{a, b}``."""
 
     parts: List[Expr]
 
 
-@dataclass
+@dataclass(eq=False)
 class Slice(Expr):
     """Constant part-select ``value[hi:lo]`` (LSB-based bit indices)."""
 
@@ -140,7 +160,7 @@ class Slice(Expr):
     lo: int
 
 
-@dataclass
+@dataclass(eq=False)
 class DynBit(Expr):
     """Dynamic bit-select ``value[index]`` with non-constant index."""
 
@@ -152,12 +172,12 @@ class DynBit(Expr):
 # L-values
 # ---------------------------------------------------------------------------
 
-@dataclass
+@dataclass(eq=False)
 class LValue:
     pass
 
 
-@dataclass
+@dataclass(eq=False)
 class LNet(LValue):
     """Assignment to net bits [hi:lo]; full width when hi/lo are None."""
 
@@ -172,7 +192,7 @@ class LNet(LValue):
         return self.hi - self.lo + 1
 
 
-@dataclass
+@dataclass(eq=False)
 class LNetDyn(LValue):
     """Assignment to a single, dynamically selected bit of a net."""
 
@@ -184,7 +204,7 @@ class LNetDyn(LValue):
         return 1
 
 
-@dataclass
+@dataclass(eq=False)
 class LMem(LValue):
     memory: Memory
     index: Expr
@@ -194,7 +214,7 @@ class LMem(LValue):
         return self.memory.width
 
 
-@dataclass
+@dataclass(eq=False)
 class LConcat(LValue):
     """``{a, b} = ...`` — first part receives the most significant bits."""
 
@@ -209,12 +229,12 @@ class LConcat(LValue):
 # Statements
 # ---------------------------------------------------------------------------
 
-@dataclass
+@dataclass(eq=False)
 class Stmt:
     pass
 
 
-@dataclass
+@dataclass(eq=False)
 class SAssign(Stmt):
     target: LValue
     value: Expr
@@ -222,20 +242,20 @@ class SAssign(Stmt):
     line: int = 0
 
 
-@dataclass
+@dataclass(eq=False)
 class SIf(Stmt):
     cond: Expr
     then: List[Stmt] = field(default_factory=list)
     other: List[Stmt] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(eq=False)
 class SCaseItem:
     labels: List[Tuple[int, int]]  # (value, care_mask) pairs; casez wildcards
     body: List[Stmt] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(eq=False)
 class SCase(Stmt):
     subject: Expr
     items: List[SCaseItem] = field(default_factory=list)

@@ -298,7 +298,7 @@ def insert_scan_chain(design: ir.Design, clock: str = "clk",
         else:
             mem = new_design.memories[element.name]
             temp = mem_temps[element.name]
-            index = ir.Const(element.word, width=max(1, _clog2(mem.depth)))
+            index = ir.const(element.word, max(1, _clog2(mem.depth)))
             # temp = mem[word]  (blocking: reads the pre-edge word)
             shift_stmts.append(ir.SAssign(
                 ir.LNet(temp), ir.MemRead(mem, index, width=mem.width),
@@ -338,7 +338,7 @@ def insert_scan_chain(design: ir.Design, clock: str = "clk",
         mem = new_design.memories[last.name]
         tap = ir.Net("scan_tap", mem.width, "wire")
         new_design.nets[tap.name] = tap
-        index = ir.Const(last.word, width=max(1, _clog2(mem.depth)))
+        index = ir.const(last.word, max(1, _clog2(mem.depth)))
         tap_stmt = ir.SAssign(ir.LNet(tap),
                               ir.MemRead(mem, index, width=mem.width),
                               blocking=True)

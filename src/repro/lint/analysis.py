@@ -38,15 +38,39 @@ def _merge_and(a: Dict[str, int], b: Dict[str, int]) -> Dict[str, int]:
 
 
 def _case_is_full(stmt: ir.SCase) -> bool:
-    """Conservatively decide whether a case covers every subject value."""
-    width = stmt.subject.width
+    """Decide (exactly) whether a case covers every subject value.
+
+    Labels are ``(match, care)`` cubes: a subject value hits a label when
+    ``value & care == match``. Coverage is checked by recursive care-bit
+    elimination — split on one cared bit, keep only the labels consistent
+    with each polarity, and require both halves to be covered. Labels
+    with an empty care mask match everything, which both terminates the
+    recursion and prunes aggressively, so wide subjects (the old
+    implementation gave up above 12 bits) are decided exactly.
+    """
     labels = [lab for item in stmt.items for lab in item.labels]
-    if any(care == 0 for _, care in labels):
-        return True
-    if width > 12:  # enumeration would be too expensive; assume not full
+    mask = (1 << stmt.subject.width) - 1
+    return _labels_cover([(match & mask, care & mask)
+                          for match, care in labels])
+
+
+def _labels_cover(labels: List[Tuple[int, int]]) -> bool:
+    if not labels:
         return False
-    return all(any(value & care == match for match, care in labels)
-               for value in range(1 << width))
+    cared = 0
+    for match, care in labels:
+        if care == 0:
+            return True  # wildcard cube matches every value
+        cared |= care
+    # Split on the lowest bit any remaining label cares about.
+    bit = cared & -cared
+    for polarity in (0, bit):
+        subset = [(match & ~bit, care & ~bit)
+                  for match, care in labels
+                  if not (care & bit) or (match & bit) == polarity]
+        if not _labels_cover(subset):
+            return False
+    return True
 
 
 def _assign_masks(stmts) -> Tuple[Dict[str, int], Dict[str, int], Set[str]]:
@@ -83,7 +107,11 @@ def _assign_masks(stmts) -> Tuple[Dict[str, int], Dict[str, int], Set[str]]:
         elif isinstance(stmt, ir.SCase):
             branches = [item.body for item in stmt.items]
             if stmt.default or _case_is_full(stmt):
-                branches.append(stmt.default)
+                if stmt.default:
+                    # A full case without a default has no reachable
+                    # default branch — folding the empty list in would
+                    # wipe every definite assignment.
+                    branches.append(stmt.default)
                 branch_defs = None
                 for body in branches:
                     d, m, mm = _assign_masks(body)
@@ -182,6 +210,9 @@ class LintContext:
     reset_covered: Set[str] = field(default_factory=set)
     #: Nets written by any init block.
     init_written: Set[str] = field(default_factory=set)
+    #: Lazy caches for the dataflow-backed rules (repro.opt analyses).
+    _const_env: Optional[dict] = field(default=None, repr=False)
+    _live_cache: Dict[bool, object] = field(default_factory=dict, repr=False)
 
     # -- construction ----------------------------------------------------------
 
@@ -243,6 +274,24 @@ class LintContext:
                 for item in stmt.items:
                     self._walk_reset(item.body, under_reset)
                 self._walk_reset(stmt.default, under_reset)
+
+    # -- dataflow analyses (shared by the df-* rules) ---------------------------
+
+    def constants(self) -> dict:
+        """Forward constant propagation result (net -> BitsVal), cached."""
+        if self._const_env is None:
+            from repro.opt.dataflow import constant_map
+            self._const_env = constant_map(self.design)
+        return self._const_env
+
+    def liveness(self, include_state_sinks: bool = True):
+        """Backward bit-liveness result (:class:`repro.opt.liveness.LiveSets`),
+        cached per sink configuration."""
+        if include_state_sinks not in self._live_cache:
+            from repro.opt.liveness import live_masks
+            self._live_cache[include_state_sinks] = live_masks(
+                self.design, include_state_sinks=include_state_sinks)
+        return self._live_cache[include_state_sinks]
 
     # -- lookups ---------------------------------------------------------------
 

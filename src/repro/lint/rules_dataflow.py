@@ -1,0 +1,172 @@
+"""Dataflow-backed lint rules (``df-*``).
+
+These rules need :mod:`repro.opt` to exist: they query forward constant
+propagation (which bits of which nets are provably fixed) and backward
+bit-liveness (which bits can ever reach an observable sink).  They are
+flow-aware where it matters — a net blocking-written inside the process
+under inspection is treated as unknown there, so mid-block shadowing
+can't produce false positives.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Tuple
+
+from repro.hdl import ir
+from repro.lint.analysis import BlockInfo, LintContext
+from repro.lint.framework import INFO, WARNING, Diagnostic, rule
+from repro.opt.dataflow import _labels_match
+from repro.opt.lattice import BitsVal, eval_expr, top
+
+DF_CONST_NET = "df-const-net"
+DF_CONST_GUARD = "df-const-guard"
+DF_UNREACHABLE_CASE = "df-unreachable-case"
+DF_DEAD_STATE = "df-dead-state"
+DF_CONST_TRUNC = "df-const-trunc"
+
+_SCAN_INTERNAL = re.compile(r"^(scan_p|scan_tap|scan_t\d+)$")
+
+
+def _block_lookup(ctx: LintContext, info: BlockInfo):
+    """Env lookup for expressions inside *info*: nets the process itself
+    blocking-writes are unknown at any point within it."""
+    env = ctx.constants()
+    blocked = set()
+    for stmt in ir._walk_stmts(info.stmts):
+        if isinstance(stmt, ir.SAssign) and stmt.blocking:
+            for lv in ir._leaf_lvalues(stmt.target):
+                if isinstance(lv, (ir.LNet, ir.LNetDyn)):
+                    blocked.add(lv.net.name)
+
+    def lookup(name: str) -> BitsVal:
+        if name in blocked:
+            return top(ctx.design.nets[name].width)
+        return env[name]
+
+    return lookup
+
+
+@rule(DF_CONST_NET, INFO, "Provably constant net",
+      "Constant propagation proves every bit of this net holds one fixed "
+      "value at every observable instant; the logic reading it is "
+      "effectively hard-wired and the optimizer will fold it away.")
+def check_const_net(ctx: LintContext) -> Iterable[Diagnostic]:
+    env = ctx.constants()
+    for name, net in sorted(ctx.design.nets.items()):
+        if net.kind == "input":
+            continue
+        if ctx.readers.get(name, 0) == 0:
+            continue  # dead-net territory, not ours
+        bits = env[name]
+        if bits.is_const:
+            yield ctx.diag(
+                DF_CONST_NET, INFO,
+                f"net {name!r} is provably constant "
+                f"({net.width}'h{bits.value:x})",
+                subject=name)
+
+
+@rule(DF_CONST_GUARD, WARNING, "Dead logic behind constant guard",
+      "The guard of this if-statement is provably constant, so one branch "
+      "can never execute — usually a disabled feature or a comparison "
+      "that can never be true.")
+def check_const_guard(ctx: LintContext) -> Iterable[Diagnostic]:
+    for info in ctx.comb + ctx.seq + ctx.init:
+        lookup = _block_lookup(ctx, info)
+        for stmt in ir._walk_stmts(info.stmts):
+            if not isinstance(stmt, ir.SIf):
+                continue
+            cond = eval_expr(stmt.cond, lookup)
+            if cond.known_nonzero and stmt.other:
+                yield ctx.diag(
+                    DF_CONST_GUARD, WARNING,
+                    f"guard in {info.label} is provably true; the else "
+                    f"branch is dead logic",
+                    subject=info.label, line=info.line or None)
+            elif cond.known_zero and stmt.then:
+                yield ctx.diag(
+                    DF_CONST_GUARD, WARNING,
+                    f"guard in {info.label} is provably false; the then "
+                    f"branch is dead logic",
+                    subject=info.label, line=info.line or None)
+
+
+@rule(DF_UNREACHABLE_CASE, WARNING, "Unreachable case item",
+      "Propagated constants prove the case subject can never match this "
+      "item's labels; its body is dead logic.")
+def check_unreachable_case(ctx: LintContext) -> Iterable[Diagnostic]:
+    for info in ctx.comb + ctx.seq + ctx.init:
+        lookup = _block_lookup(ctx, info)
+        for stmt in ir._walk_stmts(info.stmts):
+            if not isinstance(stmt, ir.SCase):
+                continue
+            subject = eval_expr(stmt.subject, lookup)
+            if not subject.known:
+                continue
+            for pos, item in enumerate(stmt.items):
+                _, possible = _labels_match(subject, item.labels)
+                if not possible:
+                    labels = ", ".join(_label_text(lab, stmt.subject.width)
+                                       for lab in item.labels[:4])
+                    yield ctx.diag(
+                        DF_UNREACHABLE_CASE, WARNING,
+                        f"case item #{pos + 1} ({labels}) in {info.label} "
+                        f"can never match; its body is dead logic",
+                        subject=info.label, line=info.line or None)
+
+
+def _label_text(label: Tuple[int, int], width: int) -> str:
+    value, care = label
+    if care == (1 << width) - 1:
+        return f"{width}'h{value:x}"
+    return f"{width}'h{value:x}/care:{care:#x}"
+
+
+@rule(DF_DEAD_STATE, INFO, "Snapshot state never observable",
+      "These flip-flop bits can never influence an output, yet they are "
+      "part of S_hw: every scan-chain shift and snapshot diff pays for "
+      "bits whose value the outside world cannot distinguish.")
+def check_dead_state(ctx: LintContext) -> Iterable[Diagnostic]:
+    live = ctx.liveness(include_state_sinks=False)
+    for net in ctx.design.state_nets:
+        if _SCAN_INTERNAL.match(net.name.split(".")[-1]):
+            continue  # chain plumbing is live via scan_out by design
+        dead = net.mask & ~live.net_masks.get(net.name, 0)
+        if dead:
+            what = ("all bits" if dead == net.mask
+                    else f"bits {dead:#x}")
+            yield ctx.diag(
+                DF_DEAD_STATE, INFO,
+                f"state register {net.name!r}: {what} never reach an "
+                f"output, but the scan chain still carries them",
+                subject=net.name)
+
+
+@rule(DF_CONST_TRUNC, WARNING, "Truncation drops provably-set bits",
+      "The assigned value has bits that are provably 1 above the target "
+      "width; the truncation always destroys information (the structural "
+      "width-trunc rule only says it *might*).")
+def check_const_trunc(ctx: LintContext) -> Iterable[Diagnostic]:
+    for info in ctx.comb + ctx.seq + ctx.init:
+        lookup = _block_lookup(ctx, info)
+        for stmt in ir._walk_stmts(info.stmts):
+            if not isinstance(stmt, ir.SAssign):
+                continue
+            target_w = stmt.target.width
+            if stmt.value.width <= target_w:
+                continue
+            bits = eval_expr(stmt.value, lookup)
+            lost = bits.value & ~((1 << target_w) - 1)
+            if lost:
+                subject = ""
+                leaves = list(ir._leaf_lvalues(stmt.target))
+                if leaves and isinstance(leaves[0], (ir.LNet, ir.LNetDyn)):
+                    subject = leaves[0].net.name
+                elif leaves and isinstance(leaves[0], ir.LMem):
+                    subject = leaves[0].memory.name
+                yield ctx.diag(
+                    DF_CONST_TRUNC, WARNING,
+                    f"assignment in {info.label} truncates a value whose "
+                    f"bits {lost:#x} are provably set",
+                    subject=subject, line=stmt.line or info.line or None)

@@ -5,7 +5,8 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Union
 
 from repro.hdl import elaborate, ir
-from repro.lint import rules_snapshot, rules_structural  # noqa: F401 (register)
+from repro.lint import (rules_dataflow, rules_snapshot,  # noqa: F401 (register)
+                        rules_structural)
 from repro.lint.framework import (Diagnostic, LintConfig, LintReport,
                                   all_rules, apply_policy)
 from repro.lint.analysis import LintContext

@@ -1,0 +1,254 @@
+"""Combinational cone extraction and single-use wire fusion.
+
+A *cone* is the transitive combinational fan-in of a set of nets — the
+blocks that must run, in dependency order, to (re)compute them.  The
+optimizer uses the inverse idea for fusion: a wire driven by one
+continuous assignment and read from exactly one combinational site is
+pure plumbing, so its defining expression is grafted into the consumer
+and the intermediate net disappears from the compiled netlist.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.hdl import ir
+
+#: Refuse to graft defining expressions larger than this many nodes —
+#: duplicating work is cheap, but exploding a consumer expression isn't.
+_INLINE_NODE_LIMIT = 64
+
+
+def comb_cone(design: ir.Design, targets: Iterable[str]) -> List[ir.CombBlock]:
+    """Combinational blocks feeding *targets*, in evaluation order.
+
+    The returned list is a sub-sequence of the full topological comb
+    schedule: running exactly these blocks recomputes the target nets
+    from the current values of registers, inputs and memories.
+    """
+    from repro.sim.scheduler import order_comb_blocks
+    ordered = order_comb_blocks(design)
+    writer_of: Dict[str, List[ir.CombBlock]] = {}
+    for block in ordered:
+        for name in block.writes:
+            writer_of.setdefault(name, []).append(block)
+    needed: Set[int] = set()
+    frontier = list(targets)
+    seen_nets: Set[str] = set()
+    while frontier:
+        name = frontier.pop()
+        if name in seen_nets:
+            continue
+        seen_nets.add(name)
+        for block in writer_of.get(name, ()):
+            if id(block) in needed:
+                continue
+            needed.add(id(block))
+            frontier.extend(block.reads)
+    return [block for block in ordered if id(block) in needed]
+
+
+def flatten_cone(blocks: Iterable[ir.CombBlock]) -> List[ir.Stmt]:
+    """The cone's statements as one straight-line list (already ordered)."""
+    stmts: List[ir.Stmt] = []
+    for block in blocks:
+        stmts.extend(block.stmts)
+    return stmts
+
+
+# ---------------------------------------------------------------------------
+# Single-use wire fusion
+# ---------------------------------------------------------------------------
+
+def _expr_size(expr: ir.Expr) -> int:
+    size = 0
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        size += 1
+        if isinstance(node, ir.Unary):
+            stack.append(node.operand)
+        elif isinstance(node, ir.Binary):
+            stack.extend((node.left, node.right))
+        elif isinstance(node, ir.Ternary):
+            stack.extend((node.cond, node.then, node.other))
+        elif isinstance(node, ir.Concat):
+            stack.extend(node.parts)
+        elif isinstance(node, ir.Slice):
+            stack.append(node.value)
+        elif isinstance(node, ir.DynBit):
+            stack.extend((node.value, node.index))
+        elif isinstance(node, ir.MemRead):
+            stack.append(node.index)
+    return size
+
+
+def _find_single_ref(design: ir.Design,
+                     name: str) -> Optional[Tuple[ir.CombBlock, ir.Ref]]:
+    """The unique comb-block Ref site of *name*, or None if the net is
+    referenced zero times, more than once, or from a non-comb process."""
+    found: List[Tuple[Optional[ir.CombBlock], ir.Ref]] = []
+
+    def scan(expr: ir.Expr, block) -> None:
+        stack = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ir.Ref):
+                if node.net.name == name:
+                    found.append((block, node))
+            elif isinstance(node, ir.Unary):
+                stack.append(node.operand)
+            elif isinstance(node, ir.Binary):
+                stack.extend((node.left, node.right))
+            elif isinstance(node, ir.Ternary):
+                stack.extend((node.cond, node.then, node.other))
+            elif isinstance(node, ir.Concat):
+                stack.extend(node.parts)
+            elif isinstance(node, ir.Slice):
+                stack.append(node.value)
+            elif isinstance(node, ir.DynBit):
+                stack.extend((node.value, node.index))
+            elif isinstance(node, ir.MemRead):
+                stack.append(node.index)
+
+    for block in design.comb_blocks:
+        for stmt in ir._walk_stmts(block.stmts):
+            for expr in _stmt_exprs(stmt):
+                scan(expr, block)
+    for seq in design.seq_blocks:
+        for stmt in ir._walk_stmts(seq.stmts):
+            for expr in _stmt_exprs(stmt):
+                scan(expr, None)
+    for init in design.init_blocks:
+        for stmt in ir._walk_stmts(init.stmts):
+            for expr in _stmt_exprs(stmt):
+                scan(expr, None)
+    if len(found) != 1 or found[0][0] is None:
+        return None
+    return found[0]  # type: ignore[return-value]
+
+
+def _stmt_exprs(stmt: ir.Stmt):
+    if isinstance(stmt, ir.SAssign):
+        yield stmt.value
+        for lv in ir._leaf_lvalues(stmt.target):
+            if isinstance(lv, (ir.LNetDyn, ir.LMem)):
+                yield lv.index
+    elif isinstance(stmt, ir.SIf):
+        yield stmt.cond
+    elif isinstance(stmt, ir.SCase):
+        yield stmt.subject
+
+
+def _replace_ref(stmts: List[ir.Stmt], ref: ir.Ref,
+                 replacement: ir.Expr) -> None:
+    """Substitute the exact *ref* node (by identity) in place."""
+
+    def sub(expr: ir.Expr) -> ir.Expr:
+        if expr is ref:
+            return replacement
+        if isinstance(expr, ir.Unary):
+            expr.operand = sub(expr.operand)
+        elif isinstance(expr, ir.Binary):
+            expr.left = sub(expr.left)
+            expr.right = sub(expr.right)
+        elif isinstance(expr, ir.Ternary):
+            expr.cond = sub(expr.cond)
+            expr.then = sub(expr.then)
+            expr.other = sub(expr.other)
+        elif isinstance(expr, ir.Concat):
+            expr.parts = [sub(p) for p in expr.parts]
+        elif isinstance(expr, ir.Slice):
+            expr.value = sub(expr.value)
+        elif isinstance(expr, ir.DynBit):
+            expr.value = sub(expr.value)
+            expr.index = sub(expr.index)
+        elif isinstance(expr, ir.MemRead):
+            expr.index = sub(expr.index)
+        return expr
+
+    for stmt in ir._walk_stmts(stmts):
+        if isinstance(stmt, ir.SAssign):
+            stmt.value = sub(stmt.value)
+            for lv in ir._leaf_lvalues(stmt.target):
+                if isinstance(lv, ir.LNetDyn):
+                    lv.index = sub(lv.index)
+                elif isinstance(lv, ir.LMem):
+                    lv.index = sub(lv.index)
+        elif isinstance(stmt, ir.SIf):
+            stmt.cond = sub(stmt.cond)
+        elif isinstance(stmt, ir.SCase):
+            stmt.subject = sub(stmt.subject)
+
+
+def inline_single_use_wires(design: ir.Design,
+                            protected: Set[str]) -> List[str]:
+    """Fuse single-writer, single-reader wires into their consumers.
+
+    Mutates *design* in place and returns the names of fused wires.
+    Only wires whose sole driver is a one-statement full-width blocking
+    continuous assignment, and whose sole reference sits in another
+    combinational block, are considered.
+    """
+    inlined: List[str] = []
+    for _ in range(16):  # chains resolve over a few passes
+        progress = False
+        writers: Dict[str, List] = {}
+        for block in design.comb_blocks:
+            for name in block.writes:
+                writers.setdefault(name, []).append(block)
+        for seq in design.seq_blocks:
+            _, w = ir.stmt_reads_writes(seq.stmts)
+            for name in w:
+                writers.setdefault(name, []).append(seq)
+        for init in design.init_blocks:
+            _, w = ir.stmt_reads_writes(init.stmts)
+            for name in w:
+                writers.setdefault(name, []).append(init)
+
+        for name, net in list(design.nets.items()):
+            if name in protected:
+                continue
+            blocks = writers.get(name, [])
+            if len(blocks) != 1 or not isinstance(blocks[0], ir.CombBlock):
+                continue
+            producer = blocks[0]
+            if len(producer.stmts) != 1:
+                continue
+            stmt = producer.stmts[0]
+            if not (isinstance(stmt, ir.SAssign)
+                    and isinstance(stmt.target, ir.LNet)
+                    and stmt.target.net.name == name
+                    and stmt.target.hi is None):
+                continue
+            if _expr_size(stmt.value) > _INLINE_NODE_LIMIT:
+                continue
+            site = _find_single_ref(design, name)
+            if site is None:
+                continue
+            consumer, ref = site
+            if consumer is producer:
+                continue
+            replacement = stmt.value
+            if replacement.width != net.width:
+                # Reads see the stored (masked) value; a slice reproduces
+                # both the truncation and the zero extension.
+                replacement = ir.Slice(replacement, net.width - 1, 0,
+                                       width=net.width)
+            _replace_ref(consumer.stmts, ref, replacement)
+            design.comb_blocks.remove(producer)
+            del design.nets[name]
+            inlined.append(name)
+            progress = True
+            # The writer index stays valid: the producer wrote only this
+            # net, and its expression moved (not vanished) into the
+            # consumer, so other candidates' ref counts are unchanged.
+        if not progress:
+            break
+
+    if inlined:
+        for block in design.comb_blocks:
+            reads, writes = ir.stmt_reads_writes(block.stmts)
+            block.reads = frozenset(reads)
+            block.writes = frozenset(writes)
+    return inlined

@@ -30,6 +30,10 @@ class TargetRecipe:
     kind: str  # "fpga" | "simulator"
     scan_mode: str = "functional"
     sram_dedup: bool = False
+    #: Netlist optimization for the worker's compiled backend (FPGA
+    #: kind only) — must match the coordinator so snapshots transport
+    #: between bit-identical simulations.
+    opt: bool = True
     #: (catalog name, base address, instance name) per peripheral.
     peripherals: Tuple[Tuple[str, int, str], ...] = ()
 
@@ -41,10 +45,11 @@ class TargetRecipe:
         travels as names, not modules.
         """
         if isinstance(target, FpgaTarget):
-            kind, scan_mode, sram_dedup = \
-                "fpga", target.scan_mode, target.sram_dedup
+            kind, scan_mode, sram_dedup, opt = \
+                "fpga", target.scan_mode, target.sram_dedup, target.opt
         elif isinstance(target, SimulatorTarget):
-            kind, scan_mode, sram_dedup = "simulator", "functional", False
+            kind, scan_mode, sram_dedup, opt = \
+                "simulator", "functional", False, True
         else:
             raise TargetError(
                 f"cannot describe target {type(target).__name__} for "
@@ -60,12 +65,13 @@ class TargetRecipe:
                     f"parallel workers rebuild targets by catalog name")
             peripherals.append((spec_name, instance.region.base, name))
         return cls(kind=kind, scan_mode=scan_mode, sram_dedup=sram_dedup,
-                   peripherals=tuple(peripherals))
+                   opt=opt, peripherals=tuple(peripherals))
 
     def build(self) -> HardwareTarget:
         if self.kind == "fpga":
             target: HardwareTarget = FpgaTarget(
-                scan_mode=self.scan_mode, sram_dedup=self.sram_dedup)
+                scan_mode=self.scan_mode, sram_dedup=self.sram_dedup,
+                opt=self.opt)
         elif self.kind == "simulator":
             target = SimulatorTarget()
         else:
@@ -119,7 +125,8 @@ class SessionRecipe:
             bindings.append((spec.name, base, spec.name))
         target = TargetRecipe(
             kind=config.target, scan_mode=config.scan_mode,
-            sram_dedup=config.sram_dedup, peripherals=tuple(bindings))
+            sram_dedup=config.sram_dedup, opt=config.opt,
+            peripherals=tuple(bindings))
         return cls(program=program, target=target, config=config,
                    max_steps_per_exec=max_steps_per_exec)
 

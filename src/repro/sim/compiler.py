@@ -27,10 +27,28 @@ from repro.sim.scheduler import clock_domain, order_comb_blocks
 
 
 class CompiledSimulation(BaseSimulation):
-    """Cycle-based simulation through generated Python code."""
+    """Cycle-based simulation through generated Python code.
 
-    def __init__(self, design: ir.Design, clock: str = "clk"):
-        gen = _CodeGen(design, clock)
+    With ``opt=True`` the design first runs through the
+    :mod:`repro.opt` netlist optimizer (constant folding, dead-logic
+    elimination, single-use wire fusion — all state elements and ports
+    preserved) and the code generator switches to its fast scheme:
+    combinational and flip-flop values live in function locals instead
+    of dict slots for the duration of ``settle``/``edge``, and whole
+    multi-cycle runs execute inside one generated ``run`` loop. The
+    optimization report is exposed as :attr:`opt_report`.
+    """
+
+    def __init__(self, design: ir.Design, clock: str = "clk",
+                 opt: bool = False):
+        self.opt = opt
+        self.opt_report = None
+        if opt:
+            from repro.opt import run_opt
+            result = run_opt(design, clock)
+            design = result.design
+            self.opt_report = result.report
+        gen = _CodeGen(design, clock, fast=opt)
         self.source = gen.generate()
         namespace: Dict[str, object] = {}
         code = compile(self.source, f"<compiled:{design.name}>", "exec")
@@ -39,8 +57,21 @@ class CompiledSimulation(BaseSimulation):
         self._edge_fn = namespace["edge"]
         self._edge_neg_fn = namespace["edge_neg"]
         self._init_fn = namespace["init"]
+        self._run_fn = namespace.get("run")
         self._has_negedge = gen.has_negedge
         super().__init__(design, clock)
+
+    def step(self, cycles: int = 1) -> None:
+        # Multi-cycle fast path: one call into the generated loop.  The
+        # base implementation stays authoritative whenever anything
+        # wants per-cycle hooks (VCD sampling, negedge evaluation).
+        if (self._run_fn is None or cycles <= 1 or self._has_negedge
+                or self._vcd is not None):
+            super().step(cycles)
+            return
+        self.state_version += 1
+        self._run_fn(self.values, self.memories, cycles)
+        self.cycle += cycles
 
     def _run_init_blocks(self) -> None:
         self._init_fn(self.values, self.memories)
@@ -56,13 +87,19 @@ class CompiledSimulation(BaseSimulation):
 
 
 class _CodeGen:
-    def __init__(self, design: ir.Design, clock: str):
+    def __init__(self, design: ir.Design, clock: str, fast: bool = False):
         self.design = design
         self.clock = clock
+        self.fast = fast
         self.lines: List[str] = []
         self.indent = 0
         self.temp_count = 0
         self.has_negedge = False
+        #: net name -> local variable text, active while generating the
+        #: fused ``run`` loop; None elsewhere.
+        self.vmap: Optional[Dict[str, str]] = None
+        self.run_sentinel_at = 0
+        self.run_sentinel_indent = 0
 
     # -- emit helpers ---------------------------------------------------------
 
@@ -81,7 +118,72 @@ class _CodeGen:
         self._gen_settle()
         self._gen_edge("edge", "posedge")
         self._gen_edge("edge_neg", "negedge")
+        if self.fast:
+            self._gen_run()
         return "\n".join(self.lines) + "\n"
+
+    def _gen_run(self) -> None:
+        """Fused multi-cycle loop.
+
+        Every net value is hoisted into a Python local before the loop
+        and stored back after it, so the hot path (posedge + settle per
+        iteration, same ordering as :meth:`BaseSimulation.step`) runs
+        entirely on ``LOAD_FAST``/``STORE_FAST`` — no dict traffic.
+        Inputs cannot change mid-run (pokes happen between calls), and
+        the VCD / negedge cases never reach this path.
+        """
+        self.emit("def run(V, M, n):")
+        self.indent += 1
+        names = sorted(self.design.nets)
+        self.vmap = {name: f"_v{i}" for i, name in enumerate(names)}
+        for name in names:
+            self.emit(f"{self.vmap[name]} = V[{name!r}]")
+        self.emit("for _ in range(n):")
+        self.indent += 1
+        self.emit(f"{self.vmap[self.clock]} = 1")
+        self.run_sentinel_at = len(self.lines)
+        self.run_sentinel_indent = self.indent
+        self._gen_run_edge()
+        self.emit(f"{self.vmap[self.clock]} = 0")
+        ctx = _RunCombCtx(self, self.vmap)
+        for block in order_comb_blocks(self.design):
+            ctx.gen_stmts(block.stmts)
+        self.indent -= 1
+        for name in names:
+            self.emit(f"V[{name!r}] = {self.vmap[name]}")
+        self.indent -= 1
+        self.emit("")
+        self.vmap = None
+
+    def _gen_run_edge(self) -> None:
+        domain = clock_domain(self.design, self.clock)
+        blocks = [b for b in self.design.seq_blocks
+                  if b.clock.name in domain and b.clock_edge == "posedge"]
+        if not blocks:
+            return
+        commits: List[str] = []
+        nb_nets = sorted({name for b in blocks
+                          for name in _nonblocking_net_writes(b.stmts)})
+        nb_map = {name: f"_s{i}" for i, name in enumerate(nb_nets)}
+        for name, local in nb_map.items():
+            self.emit(f"{local} = {self.vmap[name]}")
+        for block in blocks:
+            blocking = _blocking_net_writes(block.stmts)
+            local_map = {}
+            if blocking:
+                local_map = {name: self.fresh("l")
+                             for name in sorted(blocking)}
+                for name, local in local_map.items():
+                    self.emit(f"{local} = {self.vmap[name]}")
+            ctx = _RunSeqCtx(self, commits, local_map, nb_map)
+            ctx.gen_stmts(block.stmts)
+            for name, local in local_map.items():
+                net = self.design.nets[name]
+                commits.append(f"{self.vmap[name]} = {local} & {net.mask}")
+        for line in commits:
+            self.emit(line)
+        for name, local in nb_map.items():
+            self.emit(f"{self.vmap[name]} = {local}")
 
     def _gen_init(self) -> None:
         self.emit("def init(V, M):")
@@ -101,8 +203,25 @@ class _CodeGen:
         ordered = order_comb_blocks(self.design)
         if not ordered:
             self.emit("pass")
-        for block in ordered:
-            self._gen_stmts_direct(block.stmts)
+        elif self.fast:
+            # Every comb-written net lives in a local for the whole
+            # settle: loaded once, updated in dependency order, stored
+            # back unconditionally.  Initialising from V preserves
+            # read-modify-write and latched bits exactly like the
+            # direct scheme (V holds last settle's value).
+            written = sorted({name for b in ordered for name in b.writes
+                              if name in self.design.nets})
+            local_map = {name: f"_c{i}" for i, name in enumerate(written)}
+            for name, local in local_map.items():
+                self.emit(f"{local} = V[{name!r}]")
+            ctx = _FastCombCtx(self, local_map)
+            for block in ordered:
+                ctx.gen_stmts(block.stmts)
+            for name, local in local_map.items():
+                self.emit(f"V[{name!r}] = {local}")
+        else:
+            for block in ordered:
+                self._gen_stmts_direct(block.stmts)
         self.indent -= 1
         self.emit("")
 
@@ -121,18 +240,34 @@ class _CodeGen:
             self.emit("")
             return
         commits: List[str] = []
+        nb_map: Dict[str, str] = {}
+        if self.fast:
+            # Shared write-locals: every non-blocking-written net gets
+            # one local seeded with the pre-edge value.  Writes update
+            # the local in program order (RHS evaluated at write time,
+            # like the buffered scheme); sibling reads keep going to V,
+            # which still holds the pre-edge value until the final
+            # unconditional stores.
+            nb_nets = sorted({name for b in blocks
+                              for name in _nonblocking_net_writes(b.stmts)})
+            nb_map = {name: f"_s{i}" for i, name in enumerate(nb_nets)}
+            for name, local in nb_map.items():
+                self.emit(f"{local} = V[{name!r}]")
         for i, block in enumerate(blocks):
             self.emit(f"# seq block {block.name or i}")
-            self._gen_seq_block(block, commits)
+            self._gen_seq_block(block, commits, nb_map)
         self.emit("# commit non-blocking updates")
         for line in commits:
             self.emit(line)
+        for name, local in nb_map.items():
+            self.emit(f"V[{name!r}] = {local}")
         self.indent -= 1
         self.emit("")
 
     # -- sequential blocks --------------------------------------------------------
 
-    def _gen_seq_block(self, block: ir.SeqBlock, commits: List[str]) -> None:
+    def _gen_seq_block(self, block: ir.SeqBlock, commits: List[str],
+                       nb_map: Optional[Dict[str, str]] = None) -> None:
         blocking_nets = _blocking_net_writes(block.stmts)
         if blocking_nets:
             # Locals shadow every blocking-written net so sibling blocks
@@ -140,13 +275,13 @@ class _CodeGen:
             local_map = {name: self.fresh("l") for name in sorted(blocking_nets)}
             for name, local in local_map.items():
                 self.emit(f"{local} = V[{name!r}]")
-            ctx = _SeqCtx(self, commits, local_map)
+            ctx = _SeqCtx(self, commits, local_map, nb_map or {})
             ctx.gen_stmts(block.stmts)
             for name, local in local_map.items():
                 net = self.design.nets[name]
                 commits.append(f"V[{name!r}] = {local} & {net.mask}")
         else:
-            ctx = _SeqCtx(self, commits, {})
+            ctx = _SeqCtx(self, commits, {}, nb_map or {})
             ctx.gen_stmts(block.stmts)
 
     # -- direct (combinational / initial) statements ------------------------------------
@@ -332,14 +467,16 @@ class _StmtCtx:
                 part_mask = (1 << part.width) - 1
                 piece = f"(({temp} >> {offset}) & {part_mask})" if offset \
                     else f"({temp} & {part_mask})"
-                self.write_leaf(part, piece, stmt.blocking)
+                self.write_leaf(part, piece, stmt.blocking, part.width)
                 offset += part.width
             return
         value_text = self.gen.gen_expr(stmt.value, self.rd)
-        self.write_leaf(stmt.target, value_text, stmt.blocking)
+        self.write_leaf(stmt.target, value_text, stmt.blocking,
+                        stmt.value.width)
 
     def write_leaf(self, target: ir.LValue, value_text: str,
-                   blocking: bool) -> None:
+                   blocking: bool,
+                   value_width: Optional[int] = None) -> None:
         raise NotImplementedError
 
 
@@ -350,7 +487,8 @@ class _CombCtx(_StmtCtx):
         return f"V[{name!r}]"
 
     def write_leaf(self, target: ir.LValue, value_text: str,
-                   blocking: bool) -> None:
+                   blocking: bool,
+                   value_width: Optional[int] = None) -> None:
         gen = self.gen
         if isinstance(target, ir.LNet):
             net = target.net
@@ -386,13 +524,12 @@ class _CombCtx(_StmtCtx):
             raise SimulationError(f"codegen: unknown lvalue {target!r}")
 
 
-class _SeqCtx(_StmtCtx):
-    """Sequential context: buffered non-blocking writes, local blocking."""
+class _FastCombCtx(_CombCtx):
+    """Settle-locals context: every comb-written net lives in a local
+    loaded once at function entry and stored back once at the end."""
 
-    def __init__(self, gen: _CodeGen, commits: List[str],
-                 local_map: Dict[str, str]):
+    def __init__(self, gen: _CodeGen, local_map: Dict[str, str]):
         super().__init__(gen)
-        self.commits = commits
         self.local_map = local_map
 
     def rd(self, name: str) -> str:
@@ -402,15 +539,96 @@ class _SeqCtx(_StmtCtx):
         return f"V[{name!r}]"
 
     def write_leaf(self, target: ir.LValue, value_text: str,
-                   blocking: bool) -> None:
+                   blocking: bool,
+                   value_width: Optional[int] = None) -> None:
+        gen = self.gen
+        if isinstance(target, ir.LNet):
+            net = target.net
+            local = self.local_map[net.name]
+            if target.hi is None:
+                # Generated expressions never exceed their node width,
+                # so the store mask is redundant when the value is no
+                # wider than the net.
+                if value_width is not None and value_width <= net.width:
+                    gen.emit(f"{local} = {value_text}")
+                else:
+                    gen.emit(f"{local} = ({value_text}) & {net.mask}")
+            else:
+                width = target.hi - target.lo + 1
+                field_mask = ((1 << width) - 1) << target.lo
+                gen.emit(
+                    f"{local} = (({local} & {~field_mask & net.mask}) "
+                    f"| ((({value_text}) << {target.lo}) & {field_mask}))")
+        elif isinstance(target, ir.LNetDyn):
+            net = target.net
+            local = self.local_map[net.name]
+            idx = gen.gen_expr(target.index, self.rd)
+            temp = gen.fresh("i")
+            gen.emit(f"{temp} = {idx}")
+            gen.emit(f"if {temp} < {net.width}:")
+            gen.indent += 1
+            gen.emit(f"{local} = (({local} & ~(1 << {temp})) "
+                     f"| ((({value_text}) & 1) << {temp}))")
+            gen.indent -= 1
+        else:
+            super().write_leaf(target, value_text, blocking, value_width)
+
+
+class _SeqCtx(_StmtCtx):
+    """Sequential context: buffered non-blocking writes, local blocking."""
+
+    def __init__(self, gen: _CodeGen, commits: List[str],
+                 local_map: Dict[str, str],
+                 nb_map: Optional[Dict[str, str]] = None):
+        super().__init__(gen)
+        self.commits = commits
+        self.local_map = local_map
+        self.nb_map = nb_map or {}
+
+    def rd(self, name: str) -> str:
+        local = self.local_map.get(name)
+        if local is not None:
+            return local
+        return f"V[{name!r}]"
+
+    def write_leaf(self, target: ir.LValue, value_text: str,
+                   blocking: bool,
+                   value_width: Optional[int] = None) -> None:
         gen = self.gen
         if blocking:
             self._write_blocking(target, value_text)
             return
+        if isinstance(target, ir.LNet) and target.net.name in self.nb_map:
+            net = target.net
+            local = self.nb_map[net.name]
+            if target.hi is None:
+                if value_width is not None and value_width <= net.width:
+                    gen.emit(f"{local} = {value_text}")
+                else:
+                    gen.emit(f"{local} = ({value_text}) & {net.mask}")
+            else:
+                width = target.hi - target.lo + 1
+                field_mask = ((1 << width) - 1) << target.lo
+                gen.emit(
+                    f"{local} = (({local} & {~field_mask & net.mask}) "
+                    f"| ((({value_text}) << {target.lo}) & {field_mask}))")
+            return
+        if isinstance(target, ir.LNetDyn) and target.net.name in self.nb_map:
+            net = target.net
+            local = self.nb_map[net.name]
+            idx = gen.gen_expr(target.index, self.rd)
+            temp = gen.fresh("i")
+            gen.emit(f"{temp} = {idx}")
+            gen.emit(f"if {temp} < {net.width}:")
+            gen.indent += 1
+            gen.emit(f"{local} = (({local} & ~(1 << {temp})) "
+                     f"| ((({value_text}) & 1) << {temp}))")
+            gen.indent -= 1
+            return
         if isinstance(target, ir.LNet):
             net = target.net
             temp = gen.fresh("nb")
-            gen.lines.insert(self._prologue_index(), f"    {temp} = None")
+            self._emit_sentinel(temp)
             gen.emit(f"{temp} = {value_text}")
             if target.hi is None:
                 self.commits.append(
@@ -426,7 +644,7 @@ class _SeqCtx(_StmtCtx):
             net = target.net
             idx = gen.gen_expr(target.index, self.rd)
             temp = gen.fresh("nb")
-            gen.lines.insert(self._prologue_index(), f"    {temp} = None")
+            self._emit_sentinel(temp)
             gen.emit(f"{temp} = (({idx}), ({value_text}))")
             self.commits.append(
                 f"if {temp} is not None and {temp}[0] < {net.width}: "
@@ -436,7 +654,7 @@ class _SeqCtx(_StmtCtx):
             mem = target.memory
             idx = gen.gen_expr(target.index, self.rd)
             temp = gen.fresh("nb")
-            gen.lines.insert(self._prologue_index(), f"    {temp} = None")
+            self._emit_sentinel(temp)
             gen.emit(f"{temp} = (({idx}), ({value_text}))")
             self.commits.append(
                 f"if {temp} is not None and {temp}[0] < {mem.depth}: "
@@ -444,13 +662,14 @@ class _SeqCtx(_StmtCtx):
         else:
             raise SimulationError(f"codegen: unknown lvalue {target!r}")
 
-    def _prologue_index(self) -> int:
-        """Index right after the current edge function's header, where
-        non-blocking temporaries are initialised to None."""
+    def _emit_sentinel(self, temp: str) -> None:
+        """Initialise a non-blocking commit temporary to None at the top
+        of the edge function (a conditional write site may not execute)."""
         header = f"def {self.gen._edge_fn_name}("
         for i, line in enumerate(self.gen.lines):
             if line.startswith(header):
-                return i + 1
+                self.gen.lines.insert(i + 1, f"    {temp} = None")
+                return
         raise SimulationError("edge function header not found")
 
     def _write_blocking(self, target: ir.LValue, value_text: str) -> None:
@@ -497,11 +716,47 @@ class _SeqCtx(_StmtCtx):
             raise SimulationError(f"codegen: unknown lvalue {target!r}")
 
 
+class _RunCombCtx(_FastCombCtx):
+    """Settle section of the fused run loop: the local map covers every
+    net, so no V access happens inside the loop at all."""
+
+
+class _RunSeqCtx(_SeqCtx):
+    """Edge section of the fused run loop: reads resolve to the hoisted
+    net locals, commit sentinels are re-armed every iteration."""
+
+    def rd(self, name: str) -> str:
+        local = self.local_map.get(name)
+        if local is not None:
+            return local
+        vmap = self.gen.vmap or {}
+        return vmap.get(name) or f"V[{name!r}]"
+
+    def _emit_sentinel(self, temp: str) -> None:
+        gen = self.gen
+        gen.lines.insert(
+            gen.run_sentinel_at,
+            "    " * gen.run_sentinel_indent + f"{temp} = None")
+        gen.run_sentinel_at += 1
+
+
 def _blocking_net_writes(stmts: List[ir.Stmt]) -> set:
     """Names of nets written with blocking assignments anywhere in *stmts*."""
     names: set = set()
     for stmt in ir._walk_stmts(stmts):
         if isinstance(stmt, ir.SAssign) and stmt.blocking:
+            for leaf in ir._leaf_lvalues(stmt.target):
+                if isinstance(leaf, (ir.LNet, ir.LNetDyn)):
+                    names.add(leaf.net.name)
+    return names
+
+
+def _nonblocking_net_writes(stmts: List[ir.Stmt]) -> set:
+    """Names of nets written non-blocking anywhere in *stmts* (memories
+    keep the buffered commit scheme and are not collected here)."""
+    names: set = set()
+    for stmt in ir._walk_stmts(stmts):
+        if isinstance(stmt, ir.SAssign) and not stmt.blocking:
             for leaf in ir._leaf_lvalues(stmt.target):
                 if isinstance(leaf, (ir.LNet, ir.LNetDyn)):
                     names.add(leaf.net.name)

@@ -50,6 +50,13 @@ from repro.targets.snapshot_ip import SnapshotIp
 
 DEFAULT_FPGA_CLOCK_HZ = 100e6
 
+#: Whether newly built FPGA targets run hosted designs through the
+#: :mod:`repro.opt` netlist optimizer before compiling — the synthesis
+#: step of the flow.  Scan state, ports and observable behaviour are
+#: preserved (enforced by the differential gate in
+#: ``tests/test_opt_differential.py``), so this is on by default.
+DEFAULT_OPT = True
+
 
 class FpgaTarget(HardwareTarget):
     """Compiled-backend target with scan-chain snapshotting."""
@@ -64,11 +71,15 @@ class FpgaTarget(HardwareTarget):
                  readback: Optional[ReadbackModel] = None,
                  has_readback: bool = True,
                  scan_include: Optional[Tuple[str, ...]] = None,
-                 sram_dedup: bool = False):
+                 sram_dedup: bool = False,
+                 opt: bool = DEFAULT_OPT):
         super().__init__(name, clock_hz, transport)
         if scan_mode not in ("shift", "shift-perbit", "functional"):
             raise TargetError(f"unknown scan_mode {scan_mode!r}")
         self.scan_mode = scan_mode
+        #: Run the dataflow optimizer over each hosted (instrumented)
+        #: design before code generation.
+        self.opt = opt
         #: When enabled, the snapshot IP stores delta-compressed streams:
         #: SRAM occupancy per snapshot is the chain footprint of the
         #: instances that changed since the previous capture (the shift
@@ -97,7 +108,7 @@ class FpgaTarget(HardwareTarget):
         return scan.design, {"scan": scan, "original": design}
 
     def _make_sim(self, design: Design) -> CompiledSimulation:
-        return CompiledSimulation(design)
+        return CompiledSimulation(design, opt=self.opt)
 
     # -- scan plumbing -----------------------------------------------------------
 
