@@ -11,9 +11,11 @@ target). This experiment measures the worker-pool runtime two ways:
 * **DSE verdict identity** — the leased :class:`ParallelAnalysisEngine`
   reproduces the serial engine's verdicts on a forking workload.
 
-Speedup is only asserted when the host actually has multiple cores
-(single-core machines still verify all identity properties); CI runs
-this on 2 cores and requires >= 1.5x.
+Speedup is only asserted for worker counts the host can actually run
+concurrently (``effective cores >= workers``); other counts still
+verify every identity property, and the skipped gate is recorded in
+the artifact — never silently dropped. CI runs this on 2 cores and
+requires >= 1.5x at the eligible counts.
 
 Emits ``benchmarks/out/BENCH_parallel.json`` with the scaling table.
 """
@@ -39,7 +41,15 @@ SEEDS = [bytes([1, 4, 0x41, 0x42, 0x43, 0x44]), bytes([2, 31])]
 EXECUTIONS = 600
 BATCH = 64
 WORKER_COUNTS = [1, 2, 4]
-MIN_SPEEDUP = 1.5  # asserted at the best worker count when cores allow
+MIN_SPEEDUP = 1.5  # asserted per worker count when cores >= workers
+
+
+def _effective_cores() -> int:
+    """Cores this process may actually run on (affinity/cgroup aware) —
+    the number that decides whether a speedup gate is meaningful."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
 
 
 def _serial_fuzz():
@@ -81,12 +91,14 @@ def test_parallel_scaling(benchmark):
                      "identical" if identical else "DIVERGED"])
 
     cores = os.cpu_count() or 1
+    effective_cores = _effective_cores()
     table = format_table(
         ["runtime", "workers", "host s", "speedup", "crashes", "edges",
          "verdict vs serial"],
         rows,
         title=f"E9: input-sharded fuzzing, {EXECUTIONS} executions "
-              f"(batch {BATCH}, {cores} host cores)")
+              f"(batch {BATCH}, {cores} host cores, "
+              f"{effective_cores} effective)")
     emit("parallel_scaling", table)
 
     # DSE verdict identity (leased engine vs serial Algorithm 1).
@@ -100,10 +112,25 @@ def test_parallel_scaling(benchmark):
     dse_identical = (dse_parallel.verdict_summary()
                      == dse_serial.verdict_summary())
 
+    # Speedup gate eligibility per worker count: judging scaling on a
+    # runner without the cores to scale onto is meaningless, but the
+    # skipped gate must be visible in the artifact (no-silent-caps).
+    eligible = [w for w in WORKER_COUNTS
+                if w >= 2 and effective_cores >= w]
+    gate = {"min_speedup": MIN_SPEEDUP, "eligible_workers": eligible,
+            "enforced": bool(eligible)}
+    if not eligible:
+        gate["note"] = (
+            f"speedup gate SKIPPED: {effective_cores} effective core(s) "
+            f"cannot host >= 2 concurrent workers; identity properties "
+            f"still asserted")
+        print(gate["note"])
+
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / "BENCH_parallel.json").write_text(json.dumps({
         "experiment": "parallel_scaling",
         "host_cores": cores,
+        "effective_cores": effective_cores,
         "executions": EXECUTIONS,
         "batch_size": BATCH,
         "serial_host_s": serial_s,
@@ -114,8 +141,10 @@ def test_parallel_scaling(benchmark):
                 "crashes": len(report.crashes),
                 "edges": report.edges_covered,
                 "verdict_identical": identical,
+                "speedup_gate_eligible": w in eligible,
             } for w, (report, elapsed, identical) in results.items()
         },
+        "speedup_gate": gate,
         "dse_verdict_identical": dse_identical,
     }, indent=1) + "\n")
 
@@ -128,10 +157,10 @@ def test_parallel_scaling(benchmark):
     assert dse_identical
     assert serial.crashes and serial.crashes[0].input_bytes[1] >= 0x80
 
-    # Scaling is only meaningful with real cores to scale onto.
-    if cores >= 2:
+    # Scaling gate: only where the host can truly run the workers.
+    if eligible:
         best = min(elapsed for w, (_, elapsed, _) in results.items()
-                   if w >= 2)
+                   if w in eligible)
         assert serial_s / best >= MIN_SPEEDUP, (
-            f"best parallel speedup {serial_s / best:.2f}x "
-            f"< {MIN_SPEEDUP}x on {cores} cores")
+            f"best eligible parallel speedup {serial_s / best:.2f}x "
+            f"< {MIN_SPEEDUP}x ({effective_cores} effective cores)")

@@ -1,0 +1,157 @@
+"""E12 — VM dispatch throughput: predecoded/batched tiers vs the legacy
+stepper.
+
+After PR 6 made the RTL simulator ~4x faster, the fuzz/DSE loop became
+dominated by the symbolic VM's per-instruction dispatch (ROADMAP item
+1). This experiment measures what the predecoded instruction table,
+per-opcode handler dispatch, and batched ``step_block`` entry buy on a
+fully concrete workload — the configuration the fuzzer and the concrete
+stretches of DSE paths run in:
+
+* **legacy** — original fetch → decode → if/elif chain (``dispatch="legacy"``),
+* **fast, per-step** — predecoded table + handler dispatch, one
+  ``step()`` call per instruction,
+* **fast, batched** — the same tier through ``step_block`` bursts (the
+  engine's lane entry).
+
+CI gates on batched ≥ 2x legacy (instructions/second). The concrete
+``Cpu`` core (the fuzzer's executor) is measured in the same shape:
+predecoded fetch vs forced byte-accurate fetch. All tiers must agree on
+the halt code — verdict identity is recorded in ``BENCH_vm.json``.
+"""
+
+import json
+import os
+import time
+
+from benchmarks.conftest import OUT_DIR, emit
+from repro.analysis import format_table
+from repro.isa import Cpu, assemble
+from repro.vm import SymbolicExecutor
+
+LOOP_COUNT = 12_000
+MIN_SPEEDUP = 2.0  # batched fast tier vs legacy stepper, instructions/s
+
+CHECKSUM_SRC = f"""
+start:
+    movi r1, 0          ; checksum accumulator
+    movi r2, 0x2000     ; data pointer
+    movi r3, {LOOP_COUNT}
+loop:
+    lw   r4, 0(r2)
+    add  r1, r1, r4
+    xor  r1, r1, r3
+    addi r2, r2, 4
+    dec  r3
+    bne  r3, r0, loop
+    halt r1
+"""
+
+MAX_STEPS = LOOP_COUNT * 8 + 64
+
+
+def _program():
+    return assemble(CHECKSUM_SRC)
+
+
+def _run_stepped(dispatch):
+    """Instructions/s driving the executor one step() at a time."""
+    executor = SymbolicExecutor(_program(), bridge=None, dispatch=dispatch)
+    state = executor.make_initial_state()
+    start = time.perf_counter()
+    while state.is_active and state.steps < MAX_STEPS:
+        executor.step(state)
+    elapsed = time.perf_counter() - start
+    assert state.status == "halted"
+    return state.steps / elapsed, state
+
+
+def _run_batched():
+    """Instructions/s through step_block bursts (the lane entry)."""
+    executor = SymbolicExecutor(_program(), bridge=None)
+    state = executor.make_initial_state()
+    start = time.perf_counter()
+    while state.is_active and state.steps < MAX_STEPS:
+        executor.step_block(state, 1_000_000)
+    elapsed = time.perf_counter() - start
+    assert state.status == "halted"
+    return state.steps / elapsed, state
+
+
+def _run_cpu(predecoded):
+    """The concrete fuzzing core, predecoded vs forced slow fetch."""
+    cpu = Cpu(_program())
+    if not predecoded:
+        cpu._code_clean = False
+    start = time.perf_counter()
+    exit_ = None
+    while exit_ is None and cpu.steps < MAX_STEPS:
+        exit_ = cpu.step()
+    elapsed = time.perf_counter() - start
+    assert exit_ is not None
+    return cpu.steps / elapsed, exit_
+
+
+def test_vm_throughput(benchmark):
+    (legacy_ips, legacy_state), (fast_ips, fast_state), \
+        (batched_ips, batched_state) = benchmark.pedantic(
+            lambda: (_run_stepped("legacy"), _run_stepped("fast"),
+                     _run_batched()),
+            rounds=1, iterations=1)
+
+    cpu_slow_ips, cpu_slow_exit = _run_cpu(predecoded=False)
+    cpu_fast_ips, cpu_fast_exit = _run_cpu(predecoded=True)
+
+    verdict_identical = (
+        legacy_state.halt_code == fast_state.halt_code
+        == batched_state.halt_code
+        and legacy_state.regs == fast_state.regs == batched_state.regs
+        and cpu_slow_exit.code == cpu_fast_exit.code
+        == legacy_state.halt_code)
+    step_speedup = fast_ips / legacy_ips
+    batch_speedup = batched_ips / legacy_ips
+    cpu_speedup = cpu_fast_ips / cpu_slow_ips
+
+    rows = [
+        ["executor, legacy step", f"{legacy_ips:,.0f} instr/s", "1.00x",
+         "reference"],
+        ["executor, fast step", f"{fast_ips:,.0f} instr/s",
+         f"{step_speedup:.2f}x", "predecode + handler table"],
+        ["executor, fast batched", f"{batched_ips:,.0f} instr/s",
+         f"{batch_speedup:.2f}x", "step_block lane entry"],
+        ["cpu core, slow fetch", f"{cpu_slow_ips:,.0f} instr/s", "1.00x",
+         "byte-accurate fetch"],
+        ["cpu core, predecoded", f"{cpu_fast_ips:,.0f} instr/s",
+         f"{cpu_speedup:.2f}x",
+         "identical verdict" if verdict_identical else "DIVERGED"],
+    ]
+    emit("vm_throughput", format_table(
+        ["configuration", "throughput", "speedup", "notes"], rows,
+        title=f"E12: VM dispatch tiers on the concrete checksum loop "
+              f"({LOOP_COUNT} iterations)"))
+
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_vm.json").write_text(json.dumps({
+        "experiment": "vm_throughput",
+        "workload": f"concrete checksum loop, {LOOP_COUNT} iterations",
+        "host_cores": os.cpu_count(),
+        "instructions_per_s": {
+            "executor_legacy": legacy_ips,
+            "executor_fast_step": fast_ips,
+            "executor_fast_batched": batched_ips,
+            "cpu_slow_fetch": cpu_slow_ips,
+            "cpu_predecoded": cpu_fast_ips,
+        },
+        "speedup": {
+            "fast_step": step_speedup,
+            "fast_batched": batch_speedup,
+            "cpu_predecoded": cpu_speedup,
+        },
+        "min_speedup": MIN_SPEEDUP,
+        "verdict_identical": verdict_identical,
+    }, indent=1) + "\n")
+
+    assert verdict_identical, "dispatch tiers diverged on the workload"
+    assert batch_speedup >= MIN_SPEEDUP, (
+        f"batched fast tier {batch_speedup:.2f}x below the "
+        f"{MIN_SPEEDUP}x instructions/s gate")

@@ -97,7 +97,8 @@ class HardSnapSession:
         self.bridge = MmioBridge(self.target, self.solver, policy)
         self.executor = SymbolicExecutor(
             self.program, self.bridge, self.solver,
-            ram_size=config.ram_size, mmio_base=config.mmio_base)
+            ram_size=config.ram_size, mmio_base=config.mmio_base,
+            dispatch=config.dispatch)
         searcher_kwargs = {}
         if config.searcher == "random":
             searcher_kwargs["seed"] = config.seed
@@ -126,7 +127,9 @@ class HardSnapSession:
                                max_instructions=max_instructions,
                                max_states=max_states,
                                stop_after_bugs=stop_after_bugs,
-                               host_time_limit_s=host_time_limit_s)
+                               host_time_limit_s=host_time_limit_s,
+                               lane_width=self.config.lane_width,
+                               lane_steps=self.config.lane_steps)
 
 
 def run_all_strategies(firmware: Union[str, Program],

@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.errors import FirmwarePanic, VmError
 from repro.isa import encoding as enc
 from repro.isa.assembler import Program
+from repro.isa.predecode import decoded_image
 
 MASK32 = 0xFFFFFFFF
 
@@ -43,10 +44,13 @@ class Cpu:
                  irq_poll: Optional[Callable[[], bool]] = None,
                  sym_values: Optional[List[int]] = None):
         self.ram_size = ram_size
-        self.ram = bytearray(ram_size)
-        for addr, byte in program.as_bytes().items():
-            if addr < ram_size:
-                self.ram[addr] = byte
+        image = decoded_image(program)
+        self.ram = image.ram_image(ram_size)
+        # Predecoded dispatch: instruction words come from the shared
+        # per-program table while no store has touched the code region.
+        self._itab = image.itab
+        self._code_limit = min(image.code_limit, ram_size)
+        self._code_clean = True
         self.regs: List[int] = [0] * enc.NUM_REGS
         self.regs[enc.REG_SP] = ram_size - 16
         self.pc = program.entry
@@ -93,6 +97,8 @@ class Cpu:
         if addr + size > self.ram_size or addr < 0:
             raise FirmwarePanic(
                 f"out-of-bounds store at 0x{addr:08x} (pc=0x{self.pc:08x})")
+        if addr < self._code_limit:
+            self._code_clean = False  # self-modifying code: stop predecoding
         self.ram[addr:addr + size] = (value & ((1 << (8 * size)) - 1)) \
             .to_bytes(size, "little")
 
@@ -108,8 +114,12 @@ class Cpu:
 
     def step(self) -> Optional[CpuExit]:
         self._maybe_interrupt()
-        word = self.load(self.pc, 4)
-        instr = enc.decode(word)
+        instr = self._itab.get(self.pc) if self._code_clean else None
+        if instr is None:
+            # Slow path: data words, modified code, out-of-image pcs —
+            # byte-accurate fetch with the usual bounds faults.
+            word = self.load(self.pc, 4)
+            instr = enc.decode(word)
         self.steps += 1
         return self._execute(instr)
 
@@ -270,3 +280,46 @@ def _branch_taken(op: int, a: int, b: int) -> bool:
 
 def _signed_byte(value: int) -> int:
     return (value - 256 if value & 0x80 else value) & MASK32
+
+
+# ---------------------------------------------------------------------------
+# Per-opcode concrete semantics tables. One dict lookup replaces the
+# if-chains above on hot paths (the symbolic executor's concrete fast
+# path dispatches through these).
+# ---------------------------------------------------------------------------
+
+ALU_R_OPS: Dict[int, Callable[[int, int], int]] = {
+    enc.ADD: lambda a, b: (a + b) & MASK32,
+    enc.SUB: lambda a, b: (a - b) & MASK32,
+    enc.AND: lambda a, b: a & b,
+    enc.OR: lambda a, b: a | b,
+    enc.XOR: lambda a, b: a ^ b,
+    enc.SLL: lambda a, b: (a << (b & 31)) & MASK32,
+    enc.SRL: lambda a, b: a >> (b & 31),
+    enc.SRA: lambda a, b: (_signed(a) >> (b & 31)) & MASK32,
+    enc.MUL: lambda a, b: (a * b) & MASK32,
+    enc.DIVU: lambda a, b: MASK32 if b == 0 else (a // b) & MASK32,
+    enc.REMU: lambda a, b: a if b == 0 else a % b,
+    enc.SLT: lambda a, b: int(_signed(a) < _signed(b)),
+    enc.SLTU: lambda a, b: int(a < b),
+}
+
+ALU_I_OPS: Dict[int, Callable[[int, int], int]] = {
+    enc.ADDI: lambda a, imm: (a + imm) & MASK32,
+    enc.ANDI: lambda a, imm: a & (imm & MASK32),
+    enc.ORI: lambda a, imm: a | (imm & MASK32),
+    enc.XORI: lambda a, imm: a ^ (imm & MASK32),
+    enc.SLLI: lambda a, imm: (a << (imm & 31)) & MASK32,
+    enc.SRLI: lambda a, imm: a >> (imm & 31),
+    enc.SRAI: lambda a, imm: (_signed(a) >> (imm & 31)) & MASK32,
+    enc.LUI: lambda a, imm: (imm & 0xFFFF) << 16,
+}
+
+BRANCH_OPS: Dict[int, Callable[[int, int], bool]] = {
+    enc.BEQ: lambda a, b: a == b,
+    enc.BNE: lambda a, b: a != b,
+    enc.BLT: lambda a, b: _signed(a) < _signed(b),
+    enc.BGE: lambda a, b: _signed(a) >= _signed(b),
+    enc.BLTU: lambda a, b: a < b,
+    enc.BGEU: lambda a, b: a >= b,
+}

@@ -18,12 +18,119 @@ stored value is already masked to its net's width.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import dataclasses
+import hashlib
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.hdl import ir
 from repro.sim.base import BaseSimulation
 from repro.sim.scheduler import clock_domain, order_comb_blocks
+
+
+# ---------------------------------------------------------------------------
+# Design fingerprinting and the compiled-artifact cache
+# ---------------------------------------------------------------------------
+#
+# Optimising + code-generating + byte-compiling a design is by far the most
+# expensive part of constructing a CompiledSimulation, and callers rebuild
+# simulations for the *same* design all the time: every benchmark variant,
+# every strategy in run_all_strategies, every parallel worker booting the
+# same target. The cache below keys compiled artifacts on a content hash of
+# the IR, so only the first construction pays for run_opt/codegen/compile.
+
+#: Fields that never affect generated code — source bookkeeping only.
+_FP_SKIP_FIELDS = frozenset({"line", "source_file"})
+
+
+def _fp_walk(obj: Any, emit) -> None:
+    """Feed a canonical byte encoding of an IR object tree to *emit*.
+
+    Generic recursive walk over the dataclass nodes of
+    :mod:`repro.hdl.ir`: class names delimit structure, scalar fields are
+    encoded with type tags, and dict/set containers are visited in sorted
+    key order so iteration order cannot leak into the fingerprint.
+    """
+    if obj is None:
+        emit(b"~")
+    elif obj is True:
+        emit(b"T")
+    elif obj is False:
+        emit(b"F")
+    elif isinstance(obj, int):
+        emit(b"i%d;" % obj)
+    elif isinstance(obj, str):
+        data = obj.encode("utf-8")
+        emit(b"s%d:" % len(data))
+        emit(data)
+    elif isinstance(obj, (list, tuple)):
+        emit(b"[")
+        for item in obj:
+            _fp_walk(item, emit)
+        emit(b"]")
+    elif isinstance(obj, (set, frozenset)):
+        emit(b"{")
+        for item in sorted(obj):
+            _fp_walk(item, emit)
+        emit(b"}")
+    elif isinstance(obj, dict):
+        emit(b"<")
+        for key in sorted(obj):
+            _fp_walk(key, emit)
+            _fp_walk(obj[key], emit)
+        emit(b">")
+    elif dataclasses.is_dataclass(obj):
+        emit(type(obj).__name__.encode("ascii"))
+        emit(b"(")
+        for f in dataclasses.fields(obj):
+            if f.name not in _FP_SKIP_FIELDS:
+                _fp_walk(getattr(obj, f.name), emit)
+        emit(b")")
+    else:
+        raise SimulationError(
+            f"cannot fingerprint {type(obj).__name__!r} in design IR")
+
+
+def design_fingerprint(design: ir.Design) -> str:
+    """Content hash of an elaborated design.
+
+    Two designs with identical structure (nets, memories, processes,
+    expressions — everything the code generator consumes) fingerprint
+    identically regardless of object identity or source location.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    _fp_walk(design, digest.update)
+    return digest.hexdigest()
+
+
+@dataclasses.dataclass
+class _CompiledArtifact:
+    """Everything construction-time work produces for one (design, clock,
+    opt) combination. ``design`` is the post-optimisation design when
+    opt was requested — it is shared read-only between simulations."""
+
+    design: ir.Design
+    source: str
+    code: Any
+    has_negedge: bool
+    opt_report: Any
+
+
+_ARTIFACT_CACHE: Dict[Tuple[str, str, bool], _CompiledArtifact] = {}
+_ARTIFACT_CACHE_LIMIT = 64
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def compile_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters plus current entry count (diagnostics/tests)."""
+    return {**_CACHE_STATS, "entries": len(_ARTIFACT_CACHE)}
+
+
+def clear_compile_cache() -> None:
+    """Drop all cached artifacts and reset the counters."""
+    _ARTIFACT_CACHE.clear()
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0
 
 
 class CompiledSimulation(BaseSimulation):
@@ -42,30 +149,48 @@ class CompiledSimulation(BaseSimulation):
     def __init__(self, design: ir.Design, clock: str = "clk",
                  opt: bool = False):
         self.opt = opt
-        self.opt_report = None
-        if opt:
-            from repro.opt import run_opt
-            result = run_opt(design, clock)
-            design = result.design
-            self.opt_report = result.report
-        gen = _CodeGen(design, clock, fast=opt)
-        self.source = gen.generate()
+        key = (design_fingerprint(design), clock, opt)
+        artifact = _ARTIFACT_CACHE.get(key)
+        if artifact is None:
+            _CACHE_STATS["misses"] += 1
+            opt_report = None
+            if opt:
+                from repro.opt import run_opt
+                result = run_opt(design, clock)
+                design = result.design
+                opt_report = result.report
+            gen = _CodeGen(design, clock, fast=opt)
+            source = gen.generate()
+            code = compile(source, f"<compiled:{design.name}>", "exec")
+            artifact = _CompiledArtifact(
+                design=design, source=source, code=code,
+                has_negedge=gen.has_negedge, opt_report=opt_report)
+            if len(_ARTIFACT_CACHE) >= _ARTIFACT_CACHE_LIMIT:
+                _ARTIFACT_CACHE.pop(next(iter(_ARTIFACT_CACHE)))
+            _ARTIFACT_CACHE[key] = artifact
+        else:
+            _CACHE_STATS["hits"] += 1
+        self.opt_report = artifact.opt_report
+        self.source = artifact.source
         namespace: Dict[str, object] = {}
-        code = compile(self.source, f"<compiled:{design.name}>", "exec")
-        exec(code, namespace)  # noqa: S102 - code generated from our own IR
+        exec(artifact.code, namespace)  # noqa: S102 - generated from our IR
         self._settle_fn = namespace["settle"]
         self._edge_fn = namespace["edge"]
         self._edge_neg_fn = namespace["edge_neg"]
         self._init_fn = namespace["init"]
         self._run_fn = namespace.get("run")
-        self._has_negedge = gen.has_negedge
-        super().__init__(design, clock)
+        self._has_negedge = artifact.has_negedge
+        super().__init__(artifact.design, clock)
 
     def step(self, cycles: int = 1) -> None:
-        # Multi-cycle fast path: one call into the generated loop.  The
-        # base implementation stays authoritative whenever anything
-        # wants per-cycle hooks (VCD sampling, negedge evaluation).
-        if (self._run_fn is None or cycles <= 1 or self._has_negedge
+        # Fast path: one call into the generated loop.  Worth taking
+        # even for a single cycle — the fused loop's hoisted locals beat
+        # the per-phase dict traffic of settle/edge, and single-cycle
+        # stepping is exactly what the fuzzer's interrupt-poll hook
+        # does.  The base implementation stays authoritative whenever
+        # anything wants per-cycle hooks (VCD sampling, negedge
+        # evaluation).
+        if (self._run_fn is None or cycles < 1 or self._has_negedge
                 or self._vcd is not None):
             super().step(cycles)
             return

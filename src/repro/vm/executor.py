@@ -12,33 +12,59 @@ re-execute the access against their own hardware snapshot when
 scheduled. Only the currently scheduled state ever touches live
 hardware, which is what keeps Algorithm 1's per-state hardware ownership
 sound.
+
+Dispatch tiers (``dispatch=`` constructor argument):
+
+* ``"fast"`` (default) — the firmware image is predecoded once into a
+  pc-keyed instruction table shared by every state, instructions
+  dispatch through a per-opcode handler table built at construction,
+  and fully-concrete ALU/branch operations run through plain-int
+  semantics tables without touching BitVec boxing or the solver.
+  :meth:`step_block` exposes the batched entry: up to *n* instructions
+  on one state per call with per-instruction engine hooks.
+* ``"legacy"`` — the original fetch → decode → if/elif chain, kept as
+  the differential oracle (``tests/test_vm_dispatch_differential.py``).
+
+Both tiers share every helper that carries semantics (branch forking,
+memory, intrinsics, bug reporting), so they can only diverge in fetch
+and dispatch — exactly what the differential suite pins down.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple, Union
+from typing import Callable, Dict, List, Optional, Set, Tuple, Union
 
 from repro.errors import VmError
 from repro.isa import encoding as enc
 from repro.isa.assembler import Program
+from repro.isa.cpu import (ALU_I_OPS, ALU_R_OPS, BRANCH_OPS, _alu_i, _alu_r,
+                           _branch_taken)
+from repro.isa.predecode import DecodedImage, decoded_image
 from repro.solver import Solver
 from repro.solver import expr as E
 from repro.vm import detectors as D
 from repro.vm.forwarding import MmioBridge
 from repro.vm.memory import SymbolicMemory, Value
-from repro.vm.state import (STATUS_ERROR, STATUS_HALTED, STATUS_TERMINATED,
-                            ExecState)
+from repro.vm.state import (STATUS_ACTIVE, STATUS_ERROR, STATUS_HALTED,
+                            STATUS_TERMINATED, ExecState)
 
 MASK32 = 0xFFFFFFFF
+
+DISPATCH_MODES = ("fast", "legacy")
 
 
 @dataclass
 class StepOutcome:
-    """Result of executing one instruction on one state."""
+    """Result of executing one instruction (or one batched block) on one
+    state."""
 
     forks: List[ExecState] = field(default_factory=list)
     bug: Optional[D.Bug] = None
+    #: Engine-visible instruction slots consumed (fetch faults included,
+    #: matching the per-step engine loop's accounting). Always 1 for
+    #: :meth:`SymbolicExecutor.step`; up to *n* for ``step_block``.
+    executed: int = 1
 
 
 class SymbolicExecutor:
@@ -48,7 +74,11 @@ class SymbolicExecutor:
                  solver: Optional[Solver] = None,
                  ram_size: int = 64 * 1024,
                  mmio_base: int = 0x4000_0000,
-                 max_forks_per_branch: int = 2):
+                 max_forks_per_branch: int = 2,
+                 dispatch: str = "fast"):
+        if dispatch not in DISPATCH_MODES:
+            raise VmError(f"unknown dispatch mode {dispatch!r}; "
+                          f"have {DISPATCH_MODES}")
         self.program = program
         self.bridge = bridge
         self.solver = solver or (bridge.solver if bridge else Solver())
@@ -59,12 +89,38 @@ class SymbolicExecutor:
         self._sym_counter = 0
         self.instructions_executed = 0
         self.sat_forks = 0
+        self.dispatch = dispatch
+        #: The program predecoded once: pc -> Instruction for every
+        #: valid word of the (static) image, shared across all states.
+        self._image: DecodedImage = decoded_image(program)
+        self._itab = self._image.itab
+        self._handlers = self._build_handlers()
+
+    def _build_handlers(self) -> Dict[int, Callable[..., None]]:
+        """Per-opcode handler table (built once at construction)."""
+        handlers: Dict[int, Callable[..., None]] = {}
+        for op in enc.R_TYPE:
+            handlers[op] = self._op_alu_r
+        for op in enc.I_ALU:
+            handlers[op] = self._op_alu_i
+        for op in enc.LOADS:
+            handlers[op] = self._op_load
+        for op in enc.STORES:
+            handlers[op] = self._op_store
+        for op in enc.BRANCHES:
+            handlers[op] = self._op_branch
+        handlers[enc.JAL] = self._op_jal
+        handlers[enc.JALR] = self._op_jalr
+        handlers[enc.HALT] = self._op_halt
+        handlers[enc.IRET] = self._op_iret
+        handlers[enc.HS] = self._op_hs
+        return handlers
 
     # -- state construction ---------------------------------------------------
 
     def make_initial_state(self) -> ExecState:
         memory = SymbolicMemory(self.ram_size)
-        memory.load_image(self.program.as_bytes())
+        memory.load_image(self._image.image)
         state = ExecState(memory=memory, pc=self.program.entry)
         state.set_reg(enc.REG_SP, self.ram_size - 16)
         return state
@@ -90,6 +146,13 @@ class SymbolicExecutor:
 
     def step(self, state: ExecState) -> StepOutcome:
         """Execute one instruction; may fork, halt, or record a bug."""
+        if self.dispatch == "legacy":
+            return self._legacy_step(state)
+        return self.step_block(state, 1)
+
+    def _legacy_step(self, state: ExecState) -> StepOutcome:
+        """The original per-instruction stepper: byte fetch, fresh
+        decode, if/elif dispatch. Differential oracle for the fast tier."""
         outcome = StepOutcome()
         word = self._fetch(state, outcome)
         if word is None:
@@ -104,6 +167,101 @@ class SymbolicExecutor:
         state.steps += 1
         self.instructions_executed += 1
         self._execute(state, instr, outcome)
+        return outcome
+
+    def step_block(self, state: ExecState, max_steps: int,
+                   pre_step: Optional[Callable[[ExecState], None]] = None,
+                   post_step: Optional[Callable[[], None]] = None,
+                   finish_irq: bool = False) -> StepOutcome:
+        """Execute up to *max_steps* instructions on one state in a
+        tight loop — the batched lane entry.
+
+        The loop shares the predecode and handler tables across every
+        iteration and hoists the hot lookups into locals, so dispatch
+        overhead is paid once per block instead of once per instruction.
+        It stops early on a fork, a bug, or any status change, so the
+        caller observes exactly the same event boundaries as *max_steps*
+        calls to :meth:`step`.
+
+        ``pre_step``/``post_step`` are the engine's per-instruction
+        hooks (interrupt polling before, hardware clocking after); both
+        also run for fetch-fault slots, matching the per-step engine
+        loop. With ``finish_irq`` the block keeps executing past
+        *max_steps* while the state is inside an interrupt handler
+        (searcher-level interrupt atomicity for multi-lane scheduling).
+        """
+        if self.dispatch == "legacy":
+            return self._legacy_block(state, max_steps, pre_step, post_step,
+                                      finish_irq)
+        outcome = StepOutcome()
+        itab = self._itab
+        handlers = self._handlers
+        coverage_add = self.coverage.add
+        recent = state.recent_pcs.append
+        mem = state.memory
+        predecodable = mem.image_digest == self._image.digest
+        executed = 0
+        decoded = 0
+        while True:
+            if pre_step is not None:
+                pre_step(state)
+            executed += 1
+            instr = itab.get(state.pc) \
+                if (predecodable and mem.code_clean) else None
+            if instr is None:
+                # Slow tier: unmatched image, touched code region, data
+                # words, out-of-image pcs — byte-accurate fetch with the
+                # same faults the legacy stepper raises.
+                word = self._fetch(state, outcome)
+                if word is not None:
+                    fetched = enc.decode(word)
+                    if enc.is_valid_opcode(fetched.opcode):
+                        instr = fetched
+                    else:
+                        self._bug(state, outcome, D.KIND_ILLEGAL_INSTR,
+                                  f"opcode 0x{fetched.opcode:02x}")
+            if instr is not None:
+                coverage_add(state.pc)
+                recent(state.pc)
+                state.steps += 1
+                decoded += 1
+                handlers[instr.opcode](state, instr, outcome)
+            if post_step is not None:
+                post_step()
+            if (outcome.forks or outcome.bug is not None
+                    or state.status != STATUS_ACTIVE):
+                break
+            if executed >= max_steps and not (finish_irq and state.in_irq):
+                break
+        self.instructions_executed += decoded
+        outcome.executed = executed
+        return outcome
+
+    def _legacy_block(self, state: ExecState, max_steps: int,
+                      pre_step: Optional[Callable[[ExecState], None]],
+                      post_step: Optional[Callable[[], None]],
+                      finish_irq: bool) -> StepOutcome:
+        """Batched entry in legacy mode: the original stepper in the
+        same hook/stop-condition envelope, so engine-level runs are
+        byte-comparable across dispatch tiers."""
+        outcome = StepOutcome()
+        executed = 0
+        while True:
+            if pre_step is not None:
+                pre_step(state)
+            executed += 1
+            step_out = self._legacy_step(state)
+            outcome.forks.extend(step_out.forks)
+            if step_out.bug is not None:
+                outcome.bug = step_out.bug
+            if post_step is not None:
+                post_step()
+            if (outcome.forks or outcome.bug is not None
+                    or state.status != STATUS_ACTIVE):
+                break
+            if executed >= max_steps and not (finish_irq and state.in_irq):
+                break
+        outcome.executed = executed
         return outcome
 
     def _fetch(self, state: ExecState, outcome: StepOutcome) -> Optional[int]:
@@ -174,6 +332,95 @@ class SymbolicExecutor:
         else:  # pragma: no cover - guarded by is_valid_opcode
             raise VmError(f"unhandled opcode {op:#x}")
         state.pc = next_pc
+
+    # -- per-opcode handlers (fast tier) ------------------------------------------------
+    #
+    # Same semantics as the _execute chain above, reached through the
+    # handler table with the fully-concrete cases inlined over the
+    # plain-int semantics tables (no BitVec boxing, no solver).
+
+    def _op_alu_r(self, state: ExecState, instr: enc.Instruction,
+                  outcome: StepOutcome) -> None:
+        regs = state.regs
+        a, b = regs[instr.rs1], regs[instr.rs2]
+        if isinstance(a, int) and isinstance(b, int):
+            regs[instr.rd] = ALU_R_OPS[instr.opcode](a, b)
+        else:
+            state.set_reg(instr.rd, _symbolic_alu_r(
+                instr.opcode, state.reg_expr(instr.rs1),
+                state.reg_expr(instr.rs2)))
+        state.pc += 4
+
+    def _op_alu_i(self, state: ExecState, instr: enc.Instruction,
+                  outcome: StepOutcome) -> None:
+        regs = state.regs
+        a = regs[instr.rs1]
+        if isinstance(a, int):
+            regs[instr.rd] = ALU_I_OPS[instr.opcode](a, instr.imm)
+        else:
+            state.set_reg(instr.rd, _symbolic_alu_i(
+                instr.opcode, state.reg_expr(instr.rs1), instr.imm))
+        state.pc += 4
+
+    def _op_load(self, state: ExecState, instr: enc.Instruction,
+                 outcome: StepOutcome) -> None:
+        if self._load(state, instr, outcome):
+            state.pc += 4
+
+    def _op_store(self, state: ExecState, instr: enc.Instruction,
+                  outcome: StepOutcome) -> None:
+        if self._store(state, instr, outcome):
+            state.pc += 4
+
+    def _op_branch(self, state: ExecState, instr: enc.Instruction,
+                   outcome: StepOutcome) -> None:
+        regs = state.regs
+        a, b = regs[instr.rd], regs[instr.rs1]
+        if isinstance(a, int) and isinstance(b, int):
+            if BRANCH_OPS[instr.opcode](a, b):
+                state.pc = (state.pc + instr.imm) & MASK32
+            else:
+                state.pc += 4
+            return
+        self._branch(state, instr, (state.pc + instr.imm) & MASK32,
+                     state.pc + 4, outcome)
+
+    def _op_jal(self, state: ExecState, instr: enc.Instruction,
+                outcome: StepOutcome) -> None:
+        if instr.rd:
+            state.regs[instr.rd] = (state.pc + 4) & MASK32
+        state.pc = (state.pc + instr.imm) & MASK32
+
+    def _op_jalr(self, state: ExecState, instr: enc.Instruction,
+                 outcome: StepOutcome) -> None:
+        target = self._jalr_target(state, instr, outcome)
+        if target is None:
+            return
+        if instr.rd:
+            state.regs[instr.rd] = (state.pc + 4) & MASK32
+        state.pc = target
+
+    def _op_halt(self, state: ExecState, instr: enc.Instruction,
+                 outcome: StepOutcome) -> None:
+        code = state.reg(instr.rs1)
+        if not isinstance(code, int):
+            code = self.solver.eval_one(code, state.constraints) or 0
+        state.status = STATUS_HALTED
+        state.halt_code = code
+
+    def _op_iret(self, state: ExecState, instr: enc.Instruction,
+                 outcome: StepOutcome) -> None:
+        if not state.in_irq:
+            self._bug(state, outcome, D.KIND_ILLEGAL_INSTR,
+                      "iret outside interrupt")
+            return
+        state.in_irq = False
+        state.pc = state.irq_return_pc
+
+    def _op_hs(self, state: ExecState, instr: enc.Instruction,
+               outcome: StepOutcome) -> None:
+        if self._intrinsic(state, instr, outcome):
+            state.pc += 4
 
     # -- ALU -------------------------------------------------------------------------------
 
@@ -425,17 +672,14 @@ class SymbolicExecutor:
 # ---------------------------------------------------------------------------
 
 def _concrete_alu_r(op: int, a: int, b: int) -> int:
-    from repro.isa.cpu import _alu_r
     return _alu_r(op, a, b, 0)
 
 
 def _concrete_alu_i(op: int, a: int, imm: int) -> int:
-    from repro.isa.cpu import _alu_i
     return _alu_i(op, a, imm, 0)
 
 
 def _concrete_branch(op: int, a: int, b: int) -> bool:
-    from repro.isa.cpu import _branch_taken
     return _branch_taken(op, a, b)
 
 

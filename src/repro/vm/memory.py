@@ -31,6 +31,13 @@ class SymbolicMemory:
         self.size = size
         self._pages: Dict[int, List[Value]] = {}
         self._owned: set = set()
+        # Predecode support: digest of the loaded firmware image (stamped
+        # by load_image) and a clean flag cleared by any write below the
+        # image extent. Executors fetch through their predecode table
+        # only while (digest matches, code_clean) both hold.
+        self.image_digest: Optional[bytes] = None
+        self.code_limit = 0
+        self.code_clean = True
 
     # -- forking -----------------------------------------------------------
 
@@ -40,6 +47,9 @@ class SymbolicMemory:
         child.size = self.size
         child._pages = dict(self._pages)
         child._owned = set()
+        child.image_digest = self.image_digest
+        child.code_limit = self.code_limit
+        child.code_clean = self.code_clean
         self._owned = set()  # parent must also COW from now on
         return child
 
@@ -77,6 +87,8 @@ class SymbolicMemory:
             value &= 0xFF
         elif value.width != 8:
             raise VmError(f"write_byte needs an 8-bit value, got {value.width}")
+        if addr < self.code_limit:
+            self.code_clean = False  # self-modifying code: stop predecoding
         page = self._page_for_write(addr // PAGE_SIZE)
         page[addr % PAGE_SIZE] = value
 
@@ -111,9 +123,16 @@ class SymbolicMemory:
     # -- bulk helpers ---------------------------------------------------------------
 
     def load_image(self, image: Dict[int, int]) -> None:
-        """Load a byte-addressed concrete image (e.g. assembled firmware)."""
+        """Load a byte-addressed concrete image (e.g. assembled firmware).
+
+        Stamps the memory with the image's content digest and extent so
+        executors can prove their predecode table matches this memory."""
+        from repro.isa.predecode import image_digest
         for addr, byte in image.items():
             self.write_byte(addr, byte)
+        self.image_digest = image_digest(image)
+        self.code_limit = min((max(image) + 1) if image else 0, self.size)
+        self.code_clean = True
 
     def concrete_bytes(self, addr: int, size: int) -> bytes:
         """Read a concrete byte string; raises if any byte is symbolic."""

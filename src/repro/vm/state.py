@@ -81,7 +81,8 @@ class ExecState:
             pc=self.pc,
             regs=list(self.regs),
             constraints=list(self.constraints),
-            hw_snapshot=self.hw_snapshot.clone() if self.hw_snapshot else None,
+            hw_snapshot=(self.hw_snapshot.clone()
+                         if self.hw_snapshot is not None else None),
             irq_enabled=self.irq_enabled,
             irq_handler=self.irq_handler,
             in_irq=self.in_irq,

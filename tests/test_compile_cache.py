@@ -1,0 +1,82 @@
+"""Compiled-artifact cache regression tests (the opt fuzz-bench fix).
+
+Constructing a CompiledSimulation used to re-run the optimizer and code
+generator every time, even for a design already compiled this session —
+which made ``opt=True`` benchmark sessions pay run_opt+codegen per
+variant and showed up as the opt fuzz throughput regression. These tests
+pin the fix: the second construction of a content-identical design must
+reuse the cached artifact and behave byte-identically.
+"""
+
+import pytest
+
+from repro.instrument import insert_scan_chain
+from repro.peripherals import catalog
+from repro.sim.compiler import (
+    CompiledSimulation,
+    clear_compile_cache,
+    compile_cache_stats,
+    design_fingerprint,
+)
+
+
+def _design():
+    return insert_scan_chain(catalog.TIMER.elaborate()).design
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_compile_cache()
+    yield
+    clear_compile_cache()
+
+
+def test_second_build_reuses_cache():
+    CompiledSimulation(_design(), opt=True)
+    stats = compile_cache_stats()
+    assert stats["misses"] == 1 and stats["hits"] == 0
+    CompiledSimulation(_design(), opt=True)
+    stats = compile_cache_stats()
+    assert stats["misses"] == 1 and stats["hits"] == 1
+
+
+def test_opt_and_no_opt_are_distinct_entries():
+    CompiledSimulation(_design(), opt=False)
+    CompiledSimulation(_design(), opt=True)
+    stats = compile_cache_stats()
+    assert stats["misses"] == 2 and stats["entries"] == 2
+
+
+def test_warm_build_behaves_identically():
+    cold = CompiledSimulation(_design(), opt=True)
+    warm = CompiledSimulation(_design(), opt=True)
+    assert compile_cache_stats()["hits"] == 1
+    cold.step(200)
+    warm.step(200)
+    assert cold.values == warm.values
+    assert cold.memories == warm.memories
+    assert warm.source == cold.source
+
+
+def test_warm_instances_do_not_share_runtime_state():
+    a = CompiledSimulation(_design(), opt=True)
+    b = CompiledSimulation(_design(), opt=True)
+    a.step(37)
+    assert a.cycle == 37 and b.cycle == 0
+    assert a.values is not b.values
+
+
+def test_fingerprint_ignores_identity_but_not_content():
+    d1, d2 = _design(), _design()
+    assert d1 is not d2
+    assert design_fingerprint(d1) == design_fingerprint(d2)
+    d2.nets[next(iter(d2.nets))].width += 1
+    assert design_fingerprint(d1) != design_fingerprint(d2)
+
+
+def test_content_change_misses_cache():
+    CompiledSimulation(_design(), opt=False)
+    changed = _design()
+    changed.name = "other"
+    CompiledSimulation(changed, opt=False)
+    assert compile_cache_stats()["misses"] == 2
