@@ -168,7 +168,7 @@ def cmd_run(args) -> int:
                              "(snapshots make states portable)")
         with ParallelAnalysisEngine(
                 firmware, _parse_peripherals(args.peripheral),
-                workers=args.workers,
+                workers=args.workers, transport=args.transport,
                 target=args.target, searcher=args.searcher,
                 concretization=args.concretization, scan_mode="functional",
                 snapshot_flatten_threshold=args.flatten_threshold,
@@ -216,6 +216,7 @@ def cmd_fuzz(args) -> int:
         firmware = open(args.firmware).read()
         with ParallelFuzzer(firmware, _parse_peripherals(args.peripheral),
                             seeds=seeds, workers=args.workers,
+                            transport=args.transport,
                             batch_size=args.batch_size,
                             seed=args.rng_seed, opt=not args.no_opt,
                             **resilience) as fuzzer:
@@ -331,6 +332,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1,
                    help="shard exploration across N worker processes "
                         "(hardsnap strategy only)")
+    p.add_argument("--transport", default="auto",
+                   choices=["auto", "shm", "queue"],
+                   help="parallel IPC transport: shared-memory slabs "
+                        "(shm), plain queues (queue), or probe (auto)")
     p.add_argument("--no-opt", action="store_true",
                    help="skip the netlist optimizer (repro.opt) for "
                         "hosted designs")
@@ -358,6 +363,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1,
                    help="shard executions across N worker processes "
                         "(snapshot reset only)")
+    p.add_argument("--transport", default="auto",
+                   choices=["auto", "shm", "queue"],
+                   help="parallel IPC transport: shared-memory slabs "
+                        "(shm), plain queues (queue), or probe (auto)")
     p.add_argument("--no-opt", action="store_true",
                    help="skip the netlist optimizer (repro.opt) for "
                         "hosted designs")

@@ -11,6 +11,16 @@ run-to-exhaustion merge reproduces the serial engine's
 ``verdict_summary()`` byte-for-byte, whatever the worker count — the
 property ``tests/test_parallel.py`` pins down.
 
+Leases travel in **coalesced batches** (up to ``lease_batch`` per
+envelope, struct-packed — see :mod:`repro.parallel.envelope`) and the
+main loop is **double-buffered**: every already-delivered result is
+drained without blocking, freed workers are re-dispatched from parked
+states *first*, and only then does the coordinator pay the decode cost
+of the drained envelopes — so workers never idle on the coordinator's
+unpacking. Per-lease ``sym_base`` assignment, lineage-keyed merging and
+the final identity renumbering are unchanged, which is why batching and
+pipelining cannot perturb verdicts.
+
 Verdict parity holds for ``irq_poll_interval=1`` (the default): larger
 intervals phase the IRQ poll against the *global* instruction stream in
 the serial engine but per-lease here.
@@ -20,13 +30,15 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import (Any, Deque, Dict, List, Optional, Sequence, Set,
+                    Tuple, Union)
 
 import pickle
 
 from repro.core.config import SessionConfig
 from repro.core.engine import AnalysisReport
 from repro.isa.assembler import Program
+from repro.parallel.envelope import pack_lease_batch, unpack_lease_results
 from repro.parallel.pool import WorkerPool
 from repro.parallel.recipe import SessionRecipe
 from repro.parallel.recovery import PoolRecoveryMixin
@@ -35,6 +47,10 @@ from repro.parallel.workers import SYM_BASE_STRIDE
 from repro.resilience import RetryPolicy
 from repro.vm.searchers import make_searcher
 from repro.vm.state import ExecState
+
+
+def _wire_digests(wire) -> List[str]:
+    return [digest for _name, (digest, _cycle, _bits) in wire.refs.items()]
 
 
 class ParallelAnalysisEngine(PoolRecoveryMixin):
@@ -52,13 +68,18 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
                  config: Optional[SessionConfig] = None,
                  workers: int = 2,
                  lease_budget: int = 0,
+                 transport: str = "auto",
+                 lease_batch: int = 4,
                  **overrides):
         self.recipe = SessionRecipe.create(firmware, peripherals,
-                                           config=config, **overrides)
+                                           config=config,
+                                           transport=transport, **overrides)
         self.config = self.recipe.config
         self.workers = workers
         #: Instructions per lease; 0 = run each lease to fork/completion.
         self.lease_budget = lease_budget
+        #: Max leases coalesced into one job envelope.
+        self.lease_batch = max(1, lease_batch)
         self.channel = ChunkChannel()
         self.retry_policy = self.config.retry_policy or RetryPolicy()
         self._coverage: Set[int] = set()
@@ -66,13 +87,17 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
         self._lease_seq = 0
         self._degraded = False
         self._worker_wire: Dict[object, object] = {}
+        #: Digests pinned on behalf of each worker's in-flight batch
+        #: (they back wires the recovery ladder may need to re-encode).
+        self._pinned: Dict[int, List[str]] = {}
 
     # -- pool lifecycle -----------------------------------------------------
 
     @property
     def pool(self) -> WorkerPool:
         if self._pool is None:
-            self._pool = WorkerPool(self.recipe, self.workers)
+            self._pool = WorkerPool(self.recipe, self.workers,
+                                    channel=self.channel)
         return self._pool
 
     @property
@@ -109,33 +134,79 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
         worker id they echo, so they share one peer identity."""
         return "degraded" if self._degraded else worker_id
 
-    def _dispatch(self, worker_id: int, state: Optional[ExecState],
-                  budget: int) -> None:
-        self._lease_seq += 1
-        payload = {"budget": budget,
-                   "sym_base": self._lease_seq * SYM_BASE_STRIDE}
-        if state is None:
-            payload["state"] = None
-            payload["wire"] = None
-        else:
-            wire = self.channel.reencode(state._wire,
-                                         self._peer(worker_id))
-            del state._wire
-            payload["state"] = pickle.dumps(
-                state, protocol=pickle.HIGHEST_PROTOCOL)
-            payload["wire"] = wire
-        self.pool.submit(worker_id, "lease", payload)
-        self.pool.stats.leases += 1
-        self.pool.stats.states_shipped += 1
+    def _pack_leases(self, payload: Dict[str, Any],
+                     worker_id: int) -> bytes:
+        """``pack`` hook for the pool: structured batch → envelope
+        bytes, with the transport's piggyback lane (shm acks owed to
+        this worker, chunk evictions it must learn about) taken at pack
+        time so a re-pack ships fresh bookkeeping."""
+        transport = self.pool.transport
+        return pack_lease_batch(
+            payload["leases"], transport, worker_id,
+            acks=transport.take_acks(worker_id),
+            evictions=self.channel.take_evictions(self._peer(worker_id)))
+
+    def _dispatch_batch(self, worker_id: int,
+                        states: Sequence[Optional[ExecState]],
+                        budget: int) -> None:
+        leases = []
+        pinned = self._pinned.setdefault(worker_id, [])
+        for state in states:
+            self._lease_seq += 1
+            lease: Dict[str, Any] = {
+                "budget": budget,
+                "sym_base": self._lease_seq * SYM_BASE_STRIDE}
+            if state is None:
+                lease["state"] = None
+                lease["wire"] = None
+            else:
+                wire = self.channel.reencode(state._wire,
+                                             self._peer(worker_id))
+                # The adopt-time pin transfers from the parked state to
+                # the in-flight batch (same refs): _readdress may need
+                # these bodies again after a respawn.
+                pinned.extend(_wire_digests(wire))
+                self.channel.unpin(_wire_digests(state._wire))
+                del state._wire
+                lease["state"] = pickle.dumps(
+                    state, protocol=pickle.HIGHEST_PROTOCOL)
+                lease["wire"] = wire
+            leases.append(lease)
+        self.pool.submit(worker_id, "lease-batch", {"leases": leases},
+                         pack=self._pack_leases)
+        self.pool.stats.leases += len(leases)
+        self.pool.stats.batches += 1
+        self.pool.stats.states_shipped += sum(
+            1 for lease in leases if lease["state"] is not None)
 
     def _adopt(self, blob: bytes, wire, worker_id: int) -> ExecState:
         """Unpickle a shipped state and remember which chunks back its
         snapshot (the snapshot itself stays as references until the
-        state is leased out again)."""
+        state is leased out again). The backing chunks are pinned
+        against LRU eviction for as long as the state is parked."""
         self.channel.absorb(wire, self._peer(worker_id))
         state: ExecState = pickle.loads(blob)
         state._wire = wire
+        self.channel.pin(_wire_digests(wire))
         return state
+
+    def _decode_batch(self, worker_id: int, data) -> List[Dict[str, Any]]:
+        """One arrived batch envelope → the list of per-lease result
+        dicts. Packed bytes come from real workers; the degraded
+        InlinePool delivers the structured form directly."""
+        if isinstance(data, (bytes, bytearray, memoryview)):
+            transport = self.pool.transport
+            t0 = time.perf_counter()
+            acks, evictions, worker_enc, worker_dec, results = \
+                unpack_lease_results(data, transport, worker_id)
+            stats = transport.stats
+            stats.decode_s += time.perf_counter() - t0
+            stats.worker_encode_s += worker_enc
+            stats.worker_decode_s += worker_dec
+            transport.absorb_acks(worker_id, acks)
+            self.channel.forget_remote(self._peer(worker_id), evictions)
+            return results
+        return data["results"]
 
     # -- recovery hooks (see PoolRecoveryMixin) -----------------------------
 
@@ -143,8 +214,13 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
         self.channel.known.pop(worker_id, None)
 
     def _readdress(self, payload, peer: object) -> None:
-        if isinstance(payload, dict) and payload.get("wire") is not None:
+        if not isinstance(payload, dict):
+            return
+        if payload.get("wire") is not None:  # legacy single-lease dict
             payload["wire"] = self.channel.reencode(payload["wire"], peer)
+        for lease in payload.get("leases", ()):
+            if lease.get("wire") is not None:
+                lease["wire"] = self.channel.reencode(lease["wire"], peer)
 
     # -- main loop ----------------------------------------------------------
 
@@ -164,7 +240,8 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
                       "capture_skips": 0}
         chain_depth = 0
         executed = 0
-        outstanding = 0
+        outstanding = 0  # leases awaiting results
+        batches_out = 0  # envelopes awaiting results
         stop: Optional[str] = None
 
         def lease_budget_now() -> int:
@@ -172,9 +249,24 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
                 return self.lease_budget
             return 0  # to fork/completion
 
+        def dispatch() -> None:
+            """Feed every idle worker from the searcher, coalescing up
+            to ``lease_batch`` leases per envelope (spread evenly so one
+            worker never hoards the backlog while others starve)."""
+            nonlocal outstanding, batches_out
+            while idle and len(searcher):
+                share = -(-len(searcher) // len(idle))  # ceil
+                take = min(self.lease_batch, max(1, share), len(searcher))
+                states = [searcher.pop_next(None) for _ in range(take)]
+                self._dispatch_batch(idle.popleft(), states,
+                                     lease_budget_now())
+                outstanding += take
+                batches_out += 1
+
         # Root lease: worker 0 builds the initial state itself.
-        self._dispatch(idle.popleft(), None, lease_budget_now())
+        self._dispatch_batch(idle.popleft(), [None], lease_budget_now())
         outstanding += 1
+        batches_out += 1
 
         while True:
             if stop is None:
@@ -184,40 +276,54 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
                 elif stop_after_bugs and len(bugs) >= stop_after_bugs:
                     stop = "bug-budget"
             if stop is None:
-                while idle and len(searcher):
-                    state = searcher.pop_next(None)
-                    self._dispatch(idle.popleft(), state,
-                                   lease_budget_now())
-                    outstanding += 1
-            if outstanding == 0:
+                dispatch()
+            if batches_out == 0:
                 break
-            _, worker_id, res = self._await_result()
-            idle.append(worker_id)
-            outstanding -= 1
-
-            executed += res["executed"]
-            self._coverage.update(res["coverage"])
-            report.modelled_time_s += res["modelled_dt"]
-            report.resilience.merge(res["resilience"])
-            for key in stats_sums:
-                stats_sums[key] += res["stats"][key]
-            chain_depth = max(chain_depth, res["stats"]["chain_depth"])
-            bugs.extend(res["bugs"])
-            self._worker_wire[self._peer(worker_id)] = res["wire_stats"]
-            if res["completed"] is not None:
-                report.paths.append(res["completed"])
-            # Serial parity: forks count before the max_states cap.
-            report.forks += len(res["children"])
-            incoming = []
-            if res["continuation"] is not None:
-                incoming.append(res["continuation"])
-            incoming.extend(res["children"])
-            for blob, wire in incoming:
-                state = self._adopt(blob, wire, worker_id)
-                if len(searcher) + outstanding < max_states:
-                    searcher.add(state)
-            report.max_live_states = max(
-                report.max_live_states, len(searcher) + outstanding)
+            # Async draining: collect every envelope already delivered
+            # (first one blocking), hand the freed workers new leases,
+            # and only then pay the decode cost.
+            # (self.pool, not the local: the recovery ladder may have
+            # swapped in an InlinePool since the loop started.)
+            arrived = [self._await_result()]
+            arrived.extend(self.pool.drain_results())
+            for _kind, worker_id, _data in arrived:
+                idle.append(worker_id)
+                batches_out -= 1
+            if stop is None:
+                dispatch()
+            for _kind, worker_id, data in arrived:
+                for res in self._decode_batch(worker_id, data):
+                    outstanding -= 1
+                    executed += res["executed"]
+                    self._coverage.update(res["coverage"])
+                    report.modelled_time_s += res["modelled_dt"]
+                    report.resilience.merge(res["resilience"])
+                    for key in stats_sums:
+                        stats_sums[key] += res["stats"][key]
+                    chain_depth = max(chain_depth,
+                                      res["stats"]["chain_depth"])
+                    bugs.extend(res["bugs"])
+                    self._worker_wire[self._peer(worker_id)] = \
+                        res["wire_stats"]
+                    if res["completed"] is not None:
+                        report.paths.append(res["completed"])
+                    # Serial parity: forks count before the
+                    # max_states cap.
+                    report.forks += len(res["children"])
+                    incoming = []
+                    if res["continuation"] is not None:
+                        incoming.append(res["continuation"])
+                    incoming.extend(res["children"])
+                    for blob, wire in incoming:
+                        state = self._adopt(blob, wire, worker_id)
+                        if len(searcher) + outstanding < max_states:
+                            searcher.add(state)
+                        else:
+                            self.channel.unpin(_wire_digests(wire))
+                    report.max_live_states = max(
+                        report.max_live_states,
+                        len(searcher) + outstanding)
+                self.channel.unpin(self._pinned.pop(worker_id, []))
 
         report.stop_reason = stop or "exhausted"
         report.instructions = executed

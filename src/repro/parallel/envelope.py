@@ -1,0 +1,357 @@
+"""Packed binary job envelopes for the batch protocol.
+
+One ``mp.Queue`` message used to carry one pickled job dict per lease or
+fuzz shard. This module replaces that with struct-packed **batch**
+envelopes: little-endian framed headers, length-prefixed bodies read
+through ``memoryview`` slices (no intermediate copies on the decode
+path), and pickle confined to the payloads that are genuinely Python
+objects (execution states, chunk bodies, stats dataclasses).
+
+Every envelope also carries the transport's piggyback lane:
+
+* **acks** — per-segment consumption counts the receiver's
+  :class:`~repro.parallel.shm.ArenaReader` owes the sender's arena,
+* **evictions** — chunk digests this endpoint dropped from its
+  :class:`~repro.parallel.wire.ChunkChannel` pool under the LRU cap, so
+  the peer stops sending reference-only wires for them.
+
+Snapshot wires are packed field-by-field (refs table, method, bits) with
+their chunk plane delegated to the :class:`Transport` — inline pickled
+bodies on the queue path, shared-memory references on the shm path. The
+receiving side reassembles a :class:`SnapshotWire` whose bodies then
+pass through ``ChunkChannel.absorb``'s digest verification exactly as
+before: the envelope changes how bytes travel, not what is trusted.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.persistence import SnapshotWire
+
+_U8 = struct.Struct("<B")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+
+_PICKLE = pickle.HIGHEST_PROTOCOL
+
+
+class _Cursor:
+    """Sequential reader over an envelope's memoryview."""
+
+    __slots__ = ("mv", "pos")
+
+    def __init__(self, buf) -> None:
+        self.mv = memoryview(buf)
+        self.pos = 0
+
+    def _take(self, fmt: struct.Struct) -> int:
+        value, = fmt.unpack_from(self.mv, self.pos)
+        self.pos += fmt.size
+        return value
+
+    def u8(self) -> int:
+        return self._take(_U8)
+
+    def u16(self) -> int:
+        return self._take(_U16)
+
+    def u32(self) -> int:
+        return self._take(_U32)
+
+    def u64(self) -> int:
+        return self._take(_U64)
+
+    def i64(self) -> int:
+        return self._take(_I64)
+
+    def f64(self) -> float:
+        value, = _F64.unpack_from(self.mv, self.pos)
+        self.pos += _F64.size
+        return value
+
+    def blob(self) -> bytes:
+        n = self.u32()
+        data = bytes(self.mv[self.pos:self.pos + n])
+        self.pos += n
+        return data
+
+    def text(self) -> str:
+        n = self.u16()
+        data = bytes(self.mv[self.pos:self.pos + n])
+        self.pos += n
+        return data.decode("utf-8")
+
+    def obj(self) -> Any:
+        return pickle.loads(self.blob())
+
+
+def _put_blob(out: List[bytes], data: bytes) -> None:
+    out.append(_U32.pack(len(data)))
+    out.append(data)
+
+
+def _put_text(out: List[bytes], text: str) -> None:
+    data = text.encode("utf-8")
+    out.append(_U16.pack(len(data)))
+    out.append(data)
+
+
+def _put_obj(out: List[bytes], obj: Any) -> None:
+    _put_blob(out, pickle.dumps(obj, protocol=_PICKLE))
+
+
+# -- piggyback lane (acks + evictions) --------------------------------------
+
+def _put_piggyback(out: List[bytes], acks: Dict[str, int],
+                   evictions: Sequence[str]) -> None:
+    out.append(_U32.pack(len(acks)))
+    for segment, count in acks.items():
+        _put_text(out, segment)
+        out.append(_U32.pack(count))
+    out.append(_U32.pack(len(evictions)))
+    for digest in evictions:
+        _put_text(out, digest)
+
+
+def _read_piggyback(cur: _Cursor) -> Tuple[Dict[str, int], List[str]]:
+    acks = {cur.text(): cur.u32() for _ in range(cur.u32())}
+    evictions = [cur.text() for _ in range(cur.u32())]
+    return acks, evictions
+
+
+# -- snapshot wires ----------------------------------------------------------
+
+def _put_wire(out: List[bytes], wire: SnapshotWire,
+              transport, peer: object) -> None:
+    """Pack *wire*, staging its chunk bodies through *transport* (inline
+    on the queue path, shared memory on the shm path)."""
+    _put_text(out, wire.method)
+    out.append(_U64.pack(wire.bits))
+    out.append(_U32.pack(len(wire.refs)))
+    for name, (digest, cycle, bits) in wire.refs.items():
+        _put_text(out, name)
+        _put_text(out, digest)
+        out.append(_U64.pack(cycle))
+        out.append(_U64.pack(bits))
+    mode, payload = transport.place_chunks(wire.chunks, peer)
+    _put_text(out, mode)
+    _put_obj(out, payload)
+
+
+def _read_wire(cur: _Cursor, transport, peer: object) -> SnapshotWire:
+    method = cur.text()
+    bits = cur.u64()
+    refs = {}
+    for _ in range(cur.u32()):
+        name = cur.text()
+        digest = cur.text()
+        cycle = cur.u64()
+        ref_bits = cur.u64()
+        refs[name] = (digest, cycle, ref_bits)
+    mode = cur.text()
+    payload = cur.obj()
+    chunks = transport.resolve_chunks(mode, payload, peer)
+    return SnapshotWire(refs=refs, chunks=chunks, method=method, bits=bits)
+
+
+def _put_shipped(out: List[bytes], shipped: Tuple[bytes, SnapshotWire],
+                 transport, peer: object) -> None:
+    blob, wire = shipped
+    _put_blob(out, blob)
+    _put_wire(out, wire, transport, peer)
+
+
+def _read_shipped(cur: _Cursor, transport,
+                  peer: object) -> Tuple[bytes, SnapshotWire]:
+    return cur.blob(), _read_wire(cur, transport, peer)
+
+
+# -- lease batches (coordinator -> worker) -----------------------------------
+
+def pack_lease_batch(leases: Sequence[Dict[str, Any]], transport,
+                     peer: object, acks: Dict[str, int],
+                     evictions: Sequence[str] = ()) -> bytes:
+    """Each lease: ``{budget, sym_base, state: bytes|None,
+    wire: SnapshotWire|None}`` (the structured form the recovery ladder
+    re-addresses)."""
+    out: List[bytes] = []
+    _put_piggyback(out, acks, evictions)
+    out.append(_U32.pack(len(leases)))
+    for lease in leases:
+        out.append(_U64.pack(lease["budget"]))
+        out.append(_U64.pack(lease["sym_base"]))
+        state = lease.get("state")
+        if state is None:
+            out.append(_U8.pack(0))
+        else:
+            out.append(_U8.pack(1))
+            _put_blob(out, state)
+            _put_wire(out, lease["wire"], transport, peer)
+    return b"".join(out)
+
+
+def unpack_lease_batch(buf, transport, peer: object
+                       ) -> Tuple[Dict[str, int], List[str],
+                                  List[Dict[str, Any]]]:
+    cur = _Cursor(buf)
+    acks, evictions = _read_piggyback(cur)
+    leases = []
+    for _ in range(cur.u32()):
+        lease: Dict[str, Any] = {"budget": cur.u64(),
+                                 "sym_base": cur.u64()}
+        if cur.u8():
+            lease["state"] = cur.blob()
+            lease["wire"] = _read_wire(cur, transport, peer)
+        else:
+            lease["state"] = None
+            lease["wire"] = None
+        leases.append(lease)
+    return acks, evictions, leases
+
+
+# -- lease results (worker -> coordinator) -----------------------------------
+
+def pack_lease_results(results: Sequence[Dict[str, Any]], transport,
+                       peer: object, acks: Dict[str, int],
+                       evictions: Sequence[str] = (),
+                       encode_s: float = 0.0,
+                       decode_s: float = 0.0) -> bytes:
+    """Each result is one ``EngineWorker.run_lease`` dict; shipped
+    states (continuation + children) are packed as (state blob, wire)
+    pairs, everything else rides as one pickled meta blob.
+
+    The two timing floats sit at offset 0 so the sender can
+    :func:`stamp_encode_time` *after* packing (the pack time is only
+    known once packing finished)."""
+    out: List[bytes] = []
+    out.append(_F64.pack(encode_s))
+    out.append(_F64.pack(decode_s))
+    _put_piggyback(out, acks, evictions)
+    out.append(_U32.pack(len(results)))
+    for res in results:
+        meta = {k: v for k, v in res.items()
+                if k not in ("continuation", "children")}
+        _put_obj(out, meta)
+        continuation = res["continuation"]
+        if continuation is None:
+            out.append(_U8.pack(0))
+        else:
+            out.append(_U8.pack(1))
+            _put_shipped(out, continuation, transport, peer)
+        children = res["children"]
+        out.append(_U32.pack(len(children)))
+        for child in children:
+            _put_shipped(out, child, transport, peer)
+    return b"".join(out)
+
+
+def unpack_lease_results(buf, transport, peer: object
+                         ) -> Tuple[Dict[str, int], List[str],
+                                    float, float, List[Dict[str, Any]]]:
+    cur = _Cursor(buf)
+    encode_s = cur.f64()
+    decode_s = cur.f64()
+    acks, evictions = _read_piggyback(cur)
+    results = []
+    for _ in range(cur.u32()):
+        res = cur.obj()
+        res["continuation"] = (_read_shipped(cur, transport, peer)
+                               if cur.u8() else None)
+        res["children"] = [_read_shipped(cur, transport, peer)
+                           for _ in range(cur.u32())]
+        results.append(res)
+    return acks, evictions, encode_s, decode_s, results
+
+
+# -- fuzz batches (coordinator -> worker) ------------------------------------
+
+def pack_fuzz_batch(items: Sequence[Tuple[int, bytes]],
+                    acks: Dict[str, int],
+                    evictions: Sequence[str] = ()) -> bytes:
+    out: List[bytes] = []
+    _put_piggyback(out, acks, evictions)
+    out.append(_U32.pack(len(items)))
+    for index, data in items:
+        out.append(_U32.pack(index))
+        _put_blob(out, data)
+    return b"".join(out)
+
+
+def unpack_fuzz_batch(buf) -> Tuple[Dict[str, int], List[str],
+                                    List[Tuple[int, bytes]]]:
+    cur = _Cursor(buf)
+    acks, evictions = _read_piggyback(cur)
+    items = [(cur.u32(), cur.blob()) for _ in range(cur.u32())]
+    return acks, evictions, items
+
+
+# -- fuzz results (worker -> coordinator) ------------------------------------
+
+def pack_fuzz_results(res: Dict[str, Any], acks: Dict[str, int],
+                      evictions: Sequence[str] = (),
+                      encode_s: float = 0.0,
+                      decode_s: float = 0.0) -> bytes:
+    """*res* is one ``FuzzWorker.run_batch`` dict: results are
+    ``(index, data, packed_edges, crash|None, pc)`` rows. Timing floats
+    sit at offset 0 for :func:`stamp_encode_time`."""
+    out: List[bytes] = []
+    out.append(_F64.pack(encode_s))
+    out.append(_F64.pack(decode_s))
+    _put_piggyback(out, acks, evictions)
+    out.append(_F64.pack(res["modelled_dt"]))
+    out.append(_U32.pack(res["resets"]))
+    _put_obj(out, res["resilience"])
+    out.append(_U32.pack(len(res["results"])))
+    for index, data, edges, crash, pc in res["results"]:
+        out.append(_U32.pack(index))
+        _put_blob(out, data)
+        _put_blob(out, edges)
+        if crash is None:
+            out.append(_U8.pack(0))
+        else:
+            out.append(_U8.pack(1))
+            _put_text(out, crash)
+        out.append(_I64.pack(pc))
+    return b"".join(out)
+
+
+def unpack_fuzz_results(buf) -> Tuple[Dict[str, int], List[str],
+                                      float, float, Dict[str, Any]]:
+    cur = _Cursor(buf)
+    encode_s = cur.f64()
+    decode_s = cur.f64()
+    acks, evictions = _read_piggyback(cur)
+    res: Dict[str, Any] = {"modelled_dt": cur.f64(),
+                           "resets": cur.u32(),
+                           "resilience": cur.obj()}
+    results: List[Tuple[int, bytes, bytes, Optional[str], int]] = []
+    for _ in range(cur.u32()):
+        index = cur.u32()
+        data = cur.blob()
+        edges = cur.blob()
+        crash = cur.text() if cur.u8() else None
+        pc = cur.i64()
+        results.append((index, data, edges, crash, pc))
+    res["results"] = results
+    return acks, evictions, encode_s, decode_s, res
+
+
+def stamp_encode_time(buf: bytearray, seconds: float) -> None:
+    """Patch a result envelope's ``encode_s`` field (offset 0) after
+    packing — the pack time is only measurable once packing is done."""
+    _F64.pack_into(buf, 0, seconds)
+
+
+__all__ = [
+    "pack_lease_batch", "unpack_lease_batch",
+    "pack_lease_results", "unpack_lease_results",
+    "pack_fuzz_batch", "unpack_fuzz_batch",
+    "pack_fuzz_results", "unpack_fuzz_results",
+    "stamp_encode_time",
+]

@@ -13,17 +13,26 @@ are corpus-independent; merging them back **in global input order**
 makes the run bit-identical to a serial run with the same ``batch_size``
 (see :meth:`~repro.core.fuzzer.FuzzReport.verdict_summary`), whatever
 the worker count.
+
+Shards travel as packed ``fuzz-batch`` envelopes over the pool's
+transport (shared-memory slabs by default), each worker gets one
+**contiguous** slice of the batch (one envelope per worker instead of
+round-robin message-per-input), and the coordinator merges **streamed**:
+as each shard lands, every result whose global index is next in line
+feeds the scheduler immediately, so merge work overlaps the stragglers.
+The merge *order* is still the global input order — identical verdicts.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import SessionConfig
 from repro.core.fuzzer import CorpusScheduler, FuzzReport
 from repro.errors import VmError
 from repro.isa.assembler import Program
+from repro.parallel.envelope import pack_fuzz_batch, unpack_fuzz_results
 from repro.parallel.pool import WorkerPool
 from repro.parallel.recipe import SessionRecipe
 from repro.parallel.recovery import PoolRecoveryMixin
@@ -44,12 +53,14 @@ class ParallelFuzzer(PoolRecoveryMixin):
                  seed: int = 0,
                  max_steps_per_exec: int = 20_000,
                  config: Optional[SessionConfig] = None,
+                 transport: str = "auto",
                  **overrides):
         if batch_size < 1:
             raise VmError(f"batch_size must be >= 1, got {batch_size}")
         self.recipe = SessionRecipe.create(
             firmware, peripherals, config=config,
-            max_steps_per_exec=max_steps_per_exec, **overrides)
+            max_steps_per_exec=max_steps_per_exec, transport=transport,
+            **overrides)
         self.workers = workers
         self.batch_size = batch_size
         self.scheduler = CorpusScheduler(seeds, seed)
@@ -97,13 +108,40 @@ class ParallelFuzzer(PoolRecoveryMixin):
 
     # -- main loop ----------------------------------------------------------
 
+    def _pack_items(self, payload: Dict[str, Any],
+                    worker_id: int) -> bytes:
+        """``pack`` hook for the pool: shard dict → envelope bytes, with
+        shm acks owed to this worker piggybacked at pack time (a re-pack
+        ships fresh bookkeeping)."""
+        return pack_fuzz_batch(
+            payload["items"],
+            acks=self.pool.transport.take_acks(worker_id))
+
+    def _decode_shard(self, data) -> Dict[str, Any]:
+        """One arrived shard → the structured result dict. Packed bytes
+        come from real workers; the degraded InlinePool delivers the
+        structured form directly."""
+        if isinstance(data, (bytes, bytearray, memoryview)):
+            transport = self.pool.transport
+            t0 = time.perf_counter()
+            _acks, _evictions, worker_enc, worker_dec, res = \
+                unpack_fuzz_results(data)
+            stats = transport.stats
+            stats.decode_s += time.perf_counter() - t0
+            stats.worker_encode_s += worker_enc
+            stats.worker_decode_s += worker_dec
+            return res
+        return data
+
     def run(self, executions: int = 200) -> FuzzReport:
         """Fuzz for *executions* inputs across the pool.
 
         Equivalent to ``SnapshotFuzzer.run(executions,
         batch_size=self.batch_size)`` with the same seeds and seed: the
         batch is generated up front from the shared scheduler, sharded
-        round-robin across workers, and merged back in input order.
+        contiguously across workers, and merged back in input order —
+        streamed, so early shards feed the scheduler while late shards
+        are still executing.
         """
         report = FuzzReport()
         pool = self.pool
@@ -114,26 +152,38 @@ class ParallelFuzzer(PoolRecoveryMixin):
             batch = self.scheduler.next_batch(
                 min(max(1, self.batch_size), executions - done))
             indexed = list(enumerate(batch))
+            per = -(-len(indexed) // self.workers)  # ceil
             shards = 0
             for worker_id in range(self.workers):
-                items = indexed[worker_id::self.workers]
+                items = indexed[worker_id * per:(worker_id + 1) * per]
                 if not items:
                     continue
-                self.pool.submit(worker_id, "fuzz", {"items": items})
+                self.pool.submit(worker_id, "fuzz-batch",
+                                 {"items": items}, pack=self._pack_items)
                 shards += 1
             pool.stats.batches += 1
             merged: Dict[int, Tuple[bytes, bytes, Optional[str], int]] = {}
-            for _ in range(shards):
-                _, _, res = self._await_result()
-                report.resets += res["resets"]
-                report.modelled_time_s += res["modelled_dt"]
-                report.resilience.merge(res["resilience"])
-                for index, data, edges, crash, pc in res["results"]:
-                    merged[index] = (data, edges, crash, pc)
-            for index in sorted(merged):
-                data, edges, crash, pc = merged[index]
-                self.scheduler.merge(report, data, unpack_edges(edges),
-                                     crash, pc, done + index)
+            next_i = 0
+            arrived = 0
+            while arrived < shards:
+                results = [self._await_result()]
+                results.extend(self.pool.drain_results())
+                for _, _, data in results:
+                    arrived += 1
+                    res = self._decode_shard(data)
+                    report.resets += res["resets"]
+                    report.modelled_time_s += res["modelled_dt"]
+                    report.resilience.merge(res["resilience"])
+                    for index, data_, edges, crash, pc in res["results"]:
+                        merged[index] = (data_, edges, crash, pc)
+                # Streaming merge: consume the longest in-order prefix
+                # available so far (scheduler order == input order).
+                while next_i in merged:
+                    data_, edges, crash, pc = merged.pop(next_i)
+                    self.scheduler.merge(report, data_,
+                                         unpack_edges(edges), crash, pc,
+                                         done + next_i)
+                    next_i += 1
             done += len(batch)
         self.scheduler.finalize(report)
         report.host_time_s = time.perf_counter() - start

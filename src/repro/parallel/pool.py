@@ -7,6 +7,17 @@ shared result queue. Fork start method is preferred (workers inherit the
 imported modules); spawn works too because every job payload and the
 recipe are plain picklable data.
 
+Bulk payloads travel through a pluggable :class:`Transport`
+(:mod:`repro.parallel.transport`): with the default shm transport,
+packed batch envelopes and snapshot chunk bodies move through
+shared-memory slabs and the queues carry fixed-size references; the
+queue transport keeps everything inline (automatic fallback when the
+host has no shared memory). Batch job kinds (``lease-batch`` /
+``fuzz-batch``) keep their *structured* payload in
+:class:`InFlightJob` next to a ``pack`` callable — packed bytes exist
+only on the queue, so the recovery ladder re-addresses and re-packs
+payloads exactly as it re-encoded dicts before.
+
 Every job carries a coordinator-assigned **job id**; the pool tracks
 jobs in flight, so:
 
@@ -14,9 +25,12 @@ jobs in flight, so:
   a dead worker raises a structured :class:`WorkerDeath` naming the
   worker and its in-flight jobs instead of blocking forever,
 * duplicate result deliveries (fault-injected, or a re-issue racing its
-  original) are discarded exactly once,
+  original) are discarded exactly once — *before* any shared-memory
+  fetch, so duplicates can never double-credit slab acks,
 * a crashed worker can be :meth:`respawned <WorkerPool.respawn>` and its
-  in-flight jobs :meth:`resubmitted <WorkerPool.resubmit>`, and
+  in-flight jobs :meth:`resubmitted <WorkerPool.resubmit>` — respawn
+  also clears the dead incarnation's chunk-channel ``known`` entry and
+  unlinks its orphaned shm segments, and
 * when the respawn cap is exhausted, :class:`InlinePool` offers the same
   surface executed in-process (graceful degradation to serial).
 """
@@ -25,16 +39,24 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import queue as queue_mod
+import secrets
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import VmError
 from repro.parallel.recipe import SessionRecipe
-from repro.parallel.wire import WireStats
+from repro.parallel.shm import ShmSegmentGone, unlink_stale
+from repro.parallel.transport import IpcStats, Transport, make_transport
+from repro.parallel.wire import ChunkChannel, WireStats
 from repro.parallel.workers import _HARNESS_TYPES, STOP, _worker_main
 from repro.resilience import ResilienceStats
+
+#: Job kinds whose payloads/results are packed envelopes (bytes on the
+#: queue, possibly shm references); everything else stays a plain
+#: pickled object for compatibility and control traffic.
+_BATCH_KINDS = ("lease-batch", "fuzz-batch")
 
 
 class WorkerError(VmError):
@@ -66,12 +88,19 @@ class PoolTimeout(VmError):
 
 @dataclass
 class InFlightJob:
-    """Coordinator-side record of one submitted, unanswered job."""
+    """Coordinator-side record of one submitted, unanswered job.
+
+    ``payload`` is always the structured form (dicts, SnapshotWires) so
+    the recovery ladder can re-address it; ``pack`` (batch kinds only)
+    turns it into envelope bytes at enqueue time — re-invoked on every
+    resubmit, so a re-issue gets fresh shm references and piggyback
+    acks rather than a stale copy."""
 
     worker_id: int
     kind: str
     payload: Any
     reissues: int = 0
+    pack: Optional[Callable[[Any, int], bytes]] = None
 
 
 @dataclass
@@ -85,13 +114,19 @@ class PoolStats:
     states_shipped: int = 0
     wire: WireStats = field(default_factory=WireStats)
     host_time_s: float = 0.0
+    #: Which transport moved the bulk bytes ("shm" or "queue").
+    transport: str = "queue"
+    #: Envelope/queue/shm byte + time accounting (coordinator side;
+    #: worker-side encode/decode times merge in from result envelopes).
+    ipc: IpcStats = field(default_factory=IpcStats)
     #: Pool-boundary recovery events (respawns, reissues, duplicates,
     #: degraded flag); link-layer events merge in from the workers.
     resilience: ResilienceStats = field(default_factory=ResilienceStats)
 
     def summary(self) -> str:
         lines = [f"[pool] workers={self.workers} leases={self.leases} "
-                 f"batches={self.batches} host={self.host_time_s:.3f}s"]
+                 f"batches={self.batches} host={self.host_time_s:.3f}s "
+                 f"transport={self.transport}"]
         if self.wire.snapshots_sent or self.wire.snapshots_received:
             lines.append(
                 f"[pool] snapshots shipped={self.wire.snapshots_sent} "
@@ -100,10 +135,15 @@ class PoolStats:
                 f"misses={self.wire.chunk_misses} "
                 f"logical={self.wire.logical_bits_sent}b "
                 f"sent={self.wire.payload_bits_sent}b "
-                f"(delta x{self.wire.delta_ratio:.1f})"
-                if self.wire.delta_ratio != float("inf") else
-                f"[pool] snapshots shipped={self.wire.snapshots_sent} "
-                f"received={self.wire.snapshots_received} all by reference")
+                f"(delta x{self.wire.delta_ratio:.1f})")
+        if self.ipc.messages_out or self.ipc.messages_in:
+            lines.append(
+                f"[pool] ipc queue={self.ipc.queue_bytes_out}B out/"
+                f"{self.ipc.queue_bytes_in}B in "
+                f"shm={self.ipc.shm_bytes_out}B out/"
+                f"{self.ipc.shm_bytes_in}B in "
+                f"enc={self.ipc.encode_s + self.ipc.worker_encode_s:.3f}s "
+                f"dec={self.ipc.decode_s + self.ipc.worker_decode_s:.3f}s")
         if self.resilience.any:
             lines.append(self.resilience.summary())
         return "\n".join(lines)
@@ -116,7 +156,9 @@ class WorkerPool:
     _POLL_S = 0.05
 
     def __init__(self, recipe: SessionRecipe, workers: int,
-                 start_method: Optional[str] = None):
+                 start_method: Optional[str] = None,
+                 transport: Optional[str] = None,
+                 channel: Optional[ChunkChannel] = None):
         if workers < 1:
             raise VmError(f"need at least one worker, got {workers}")
         if start_method is None:
@@ -125,7 +167,22 @@ class WorkerPool:
         self._ctx = mp.get_context(start_method)
         self._recipe = recipe
         self.workers = workers
-        self.stats = PoolStats(workers=workers)
+        if transport is None:
+            transport = getattr(recipe, "transport", "auto")
+        #: Unique tag naming every shm segment of this run (coordinator
+        #: and workers alike) — lets respawn/close sweep orphans by
+        #: prefix even after their owner died without cleanup.
+        self.run_tag = secrets.token_hex(4)
+        self.transport: Transport = make_transport(
+            transport, label=f"{self.run_tag}-c0")
+        #: The coordinator's chunk channel, when it ships delta wires
+        #: (engine runs). respawn() clears the dead worker's known-set
+        #: here so a fresh incarnation is never sent reference-only
+        #: wires it cannot resolve.
+        self.channel = channel
+        self.stats = PoolStats(workers=workers,
+                               transport=self.transport.kind,
+                               ipc=self.transport.stats)
         self._jobs = [self._ctx.Queue() for _ in range(workers)]
         self._results = self._ctx.Queue()
         self._incarnations = [0] * workers
@@ -138,20 +195,70 @@ class WorkerPool:
         proc = self._ctx.Process(
             target=_worker_main,
             args=(worker_id, self._recipe, self._jobs[worker_id],
-                  self._results, self._incarnations[worker_id]),
+                  self._results, self._incarnations[worker_id],
+                  self.transport.kind, self.run_tag),
             daemon=True, name=f"repro-worker-{worker_id}")
         proc.start()
         return proc
 
     # -- job plumbing -------------------------------------------------------
 
-    def submit(self, worker_id: int, kind: str, payload: Any) -> int:
+    def _encode_job(self, job_id: int, info: InFlightJob) -> Any:
+        """Structured payload → the object that rides the queue. Batch
+        kinds pack to bytes (timed) and may land in shared memory."""
+        if info.pack is None:
+            return info.payload
+        t0 = time.perf_counter()
+        blob = info.pack(info.payload, info.worker_id)
+        stats = self.transport.stats
+        stats.encode_s += time.perf_counter() - t0
+        stats.messages_out += 1
+        queued = self.transport.place_blob(blob, info.worker_id)
+        if isinstance(queued, (bytes, bytearray, memoryview)):
+            stats.queue_bytes_out += len(queued)
+        return queued
+
+    def submit(self, worker_id: int, kind: str, payload: Any,
+               pack: Optional[Callable[[Any, int], bytes]] = None) -> int:
         """Queue a job; returns its id (tracked until its result lands)."""
         self._job_seq += 1
         job_id = self._job_seq
-        self._in_flight[job_id] = InFlightJob(worker_id, kind, payload)
-        self._jobs[worker_id].put((kind, job_id, payload))
+        info = InFlightJob(worker_id, kind, payload, pack=pack)
+        self._in_flight[job_id] = info
+        self._jobs[worker_id].put((kind, job_id,
+                                   self._encode_job(job_id, info)))
         return job_id
+
+    def _accept(self, message) -> Optional[Tuple[str, int, Any]]:
+        """Common result handling: duplicate drop (before any shm
+        fetch), error re-raise, batch-envelope blob fetch. Returns the
+        ``(kind, worker_id, data)`` triple or ``None`` to keep waiting.
+        """
+        kind, worker_id, job_id, data = message
+        info = self._in_flight.pop(job_id, None)
+        if info is None:
+            self.stats.resilience.duplicate_results += 1
+            return None
+        if kind == "error":
+            raise WorkerError(f"worker {worker_id} failed:\n{data}",
+                              worker_id=worker_id, jobs=(job_id,))
+        if info.kind in _BATCH_KINDS and isinstance(
+                data, (bytes, bytearray, memoryview, tuple)):
+            stats = self.transport.stats
+            try:
+                data = self.transport.fetch_blob(data, worker_id)
+            except ShmSegmentGone:
+                # The referenced segment died with its worker before we
+                # could read it: treat as a lost result — the job goes
+                # back in flight and the deadline/respawn ladder
+                # recovers it (a respawned worker re-executes and ships
+                # fresh segments).
+                self._in_flight[job_id] = info
+                return None
+            stats.messages_in += 1
+            if isinstance(data, (bytes, bytearray, memoryview)):
+                stats.queue_bytes_in += len(data)
+        return kind, worker_id, data
 
     def next_result(self, timeout: Optional[float] = None
                     ) -> Tuple[str, int, Any]:
@@ -177,14 +284,24 @@ class WorkerPool:
                         f"no worker result within {timeout:.1f}s; "
                         f"jobs in flight: {list(jobs)}", jobs=jobs)
                 continue
-            kind, worker_id, job_id, data = message
-            if self._in_flight.pop(job_id, None) is None:
-                self.stats.resilience.duplicate_results += 1
-                continue
-            if kind == "error":
-                raise WorkerError(f"worker {worker_id} failed:\n{data}",
-                                  worker_id=worker_id, jobs=(job_id,))
-            return kind, worker_id, data
+            accepted = self._accept(message)
+            if accepted is not None:
+                return accepted
+
+    def drain_results(self) -> List[Tuple[str, int, Any]]:
+        """Non-blocking sweep of every already-delivered result — the
+        coordinator's async-draining half: collect finished work (and
+        free those workers for the next dispatch) before paying the
+        decode cost of any of it."""
+        drained: List[Tuple[str, int, Any]] = []
+        while True:
+            try:
+                message = self._results.get_nowait()
+            except (queue_mod.Empty, OSError, ValueError):
+                return drained
+            accepted = self._accept(message)
+            if accepted is not None:
+                drained.append(accepted)
 
     def _check_liveness(self) -> None:
         for worker_id, proc in enumerate(self._procs):
@@ -234,7 +351,16 @@ class WorkerPool:
         any queued copies of in-flight jobs are stale anyway (their
         delta wires were encoded against the dead incarnation's chunk
         pool) and must be re-encoded and :meth:`resubmit`-ted by the
-        caller. Returns the worker's in-flight job ids."""
+        caller.
+
+        Everything the dead incarnation held dies with it: its chunk
+        pool (the channel's ``known`` entry is cleared so the fresh
+        incarnation is never sent unresolvable reference-only wires),
+        its outstanding shm references (cancelled, so its slabs cannot
+        wedge the arena) and its own orphaned shm segments (swept by
+        run-tag prefix — the dead owner cannot unlink them).
+
+        Returns the worker's in-flight job ids."""
         proc = self._procs[worker_id]
         if proc.is_alive():
             proc.terminate()
@@ -247,6 +373,12 @@ class WorkerPool:
             old.cancel_join_thread()
         except (OSError, ValueError):
             pass
+        if self.channel is not None:
+            self.channel.known.pop(worker_id, None)
+        self.transport.forget_peer(worker_id)
+        unlink_stale(
+            f"rpr-{self.run_tag}-w{worker_id}"
+            f"i{self._incarnations[worker_id]}-")
         self._incarnations[worker_id] += 1
         self._procs[worker_id] = self._spawn(worker_id)
         self.stats.resilience.worker_respawns += 1
@@ -256,12 +388,14 @@ class WorkerPool:
     def resubmit(self, job_id: int, worker_id: Optional[int] = None) -> None:
         """Re-queue an in-flight job (after a respawn or a missed
         deadline). The payload must already be re-addressed by the
-        caller when it carries a delta wire."""
+        caller when it carries a delta wire; batch kinds are re-packed
+        (fresh envelope, fresh shm references)."""
         info = self._in_flight[job_id]
         if worker_id is not None:
             info.worker_id = worker_id
         info.reissues += 1
-        self._jobs[info.worker_id].put((info.kind, job_id, info.payload))
+        self._jobs[info.worker_id].put(
+            (info.kind, job_id, self._encode_job(job_id, info)))
         self.stats.resilience.lease_reissues += 1
 
     # -- lifecycle ----------------------------------------------------------
@@ -277,8 +411,11 @@ class WorkerPool:
     def close(self, timeout: float = 5.0) -> None:
         """Shut the pool down: STOP sentinels, then join → terminate →
         kill escalation, then drain the queues so their feeder threads
-        cannot wedge interpreter exit. Idempotent, and safe when workers
-        already crashed (joining a dead process is a no-op)."""
+        cannot wedge interpreter exit, then release the transport and
+        sweep every shm segment carrying this run's tag (a worker that
+        died before its own cleanup leaves orphans only until here).
+        Idempotent, and safe when workers already crashed (joining a
+        dead process is a no-op)."""
         if self._closed:
             return
         self._closed = True
@@ -311,6 +448,8 @@ class WorkerPool:
             except (OSError, ValueError):
                 pass
         self._in_flight.clear()
+        self.transport.close()
+        unlink_stale(f"rpr-{self.run_tag}-")
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -326,7 +465,10 @@ class InlinePool:
 
     The coordinator swaps this in when the respawn cap is exhausted and
     :class:`~repro.resilience.RetryPolicy` allows degradation; the run
-    finishes serially with identical verdicts.
+    finishes serially with identical verdicts. Batch kinds arrive here
+    in their *structured* form (the packed envelope only ever existed on
+    the real pool's queue) and their results stay structured — the
+    coordinators accept both shapes.
     """
 
     def __init__(self, recipe: SessionRecipe,
@@ -343,7 +485,8 @@ class InlinePool:
             self._harnesses[kind] = _HARNESS_TYPES[kind](self._recipe)
         return self._harnesses[kind]
 
-    def submit(self, worker_id: int, kind: str, payload: Any) -> int:
+    def submit(self, worker_id: int, kind: str, payload: Any,
+               pack: Optional[Callable[[Any, int], bytes]] = None) -> int:
         """Execute the job now; the result is delivered (echoing the
         requested worker id, so coordinator bookkeeping is undisturbed)
         on the next :meth:`next_result`."""
@@ -353,9 +496,21 @@ class InlinePool:
         elif kind == "lease":
             self._pending.append(
                 ("lease", worker_id, self._harness("engine").run_lease(payload)))
+        elif kind == "lease-batch":
+            engine = self._harness("engine")
+            self._pending.append(
+                ("lease-batch", worker_id,
+                 {"results": [engine.run_lease(lease)
+                              for lease in payload["leases"]],
+                  "encode_s": 0.0, "decode_s": 0.0}))
         elif kind == "fuzz":
             self._pending.append(
                 ("fuzz", worker_id, self._harness("fuzz").run_batch(payload)))
+        elif kind == "fuzz-batch":
+            res = self._harness("fuzz").run_batch(
+                {"items": payload["items"]})
+            res["encode_s"] = res["decode_s"] = 0.0
+            self._pending.append(("fuzz-batch", worker_id, res))
         elif kind == "boot-digests":
             self._pending.append(
                 ("boot-digests", worker_id,
@@ -370,6 +525,11 @@ class InlinePool:
             raise VmError("degraded pool has no pending results "
                           "(submit executes synchronously)")
         return self._pending.popleft()
+
+    def drain_results(self) -> List[Tuple[str, int, Any]]:
+        drained = list(self._pending)
+        self._pending.clear()
+        return drained
 
     def broadcast(self, kind: str, payload: Any) -> List[int]:
         return [self.submit(i, kind, payload) for i in range(self.workers)]

@@ -93,12 +93,17 @@ class SessionRecipe:
     config: SessionConfig = field(default_factory=SessionConfig)
     # Fuzz-harness parameters (ignored by engine workers).
     max_steps_per_exec: int = 20_000
+    #: IPC transport for the pool serving this recipe: "auto" (shm when
+    #: the host supports it, else queue), "shm", or "queue". Rides the
+    #: recipe so coordinator and workers resolve the same choice.
+    transport: str = "auto"
 
     @classmethod
     def create(cls, firmware: Union[str, Program],
                peripherals: Sequence[Tuple[object, int]] = (),
                config: Optional[SessionConfig] = None,
                max_steps_per_exec: int = 20_000,
+               transport: str = "auto",
                **overrides) -> "SessionRecipe":
         """Build a recipe from the same arguments
         :class:`~repro.core.hardsnap.HardSnapSession` takes."""
@@ -128,7 +133,8 @@ class SessionRecipe:
             sram_dedup=config.sram_dedup, opt=config.opt,
             peripherals=tuple(bindings))
         return cls(program=program, target=target, config=config,
-                   max_steps_per_exec=max_steps_per_exec)
+                   max_steps_per_exec=max_steps_per_exec,
+                   transport=transport)
 
     def build_session(self):
         """Construct a full HardSnapSession from this recipe (worker

@@ -1,0 +1,375 @@
+"""Shared-memory chunk arena: zero-copy payload transport.
+
+``multiprocessing.Queue`` moves every payload through pickle → pipe →
+feeder thread → unpickle — at least two copies plus per-object pickling,
+paid *per message*. Once the VM is fast (E12), that fixed cost dominates
+the parallel runtime (E9). This module keeps bulk payloads out of the
+queue entirely:
+
+* a **writer** appends payload bytes into epoch-tagged, ref-counted
+  **slabs** (``multiprocessing.shared_memory`` segments) via a bump
+  allocator — one copy, into memory the receiver can map directly,
+* the queue then carries a fixed-size :class:`ShmRef` (segment name,
+  offset, length, digest) instead of the payload,
+* a **reader** attaches segments on demand, slices the payload straight
+  out of the mapping, and accumulates per-segment **acks** that ride
+  back to the writer on the next message in the opposite direction,
+* the writer **reclaims** (unlinks) a sealed slab once every reference
+  issued from it has been acked — and cancels a peer's outstanding
+  references wholesale when that peer's process dies
+  (:meth:`ChunkArena.forget_peer`), so a killed worker can neither leak
+  nor wedge a slab.
+
+Lifetime discipline: every segment has exactly one owner (its creating
+arena). Readers attach but never unlink — except the coordinator's
+reader, which unlinks a *dead worker's* orphaned segments on respawn
+(:meth:`ArenaReader.drop_peer`); the owner is gone, someone must. Both
+sides tolerate :class:`FileNotFoundError` races on unlink, and readers
+unregister attachments from the ``multiprocessing`` resource tracker so
+ownership stays single (on Python < 3.13 attaching registers too, which
+would otherwise double-book cleanup).
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Optional, Set
+
+from repro.errors import VmError
+
+
+class ShmUnavailable(VmError):
+    """POSIX shared memory cannot be used on this host; callers fall
+    back to the queue transport."""
+
+
+class ShmSegmentGone(VmError):
+    """A reference names a segment that no longer exists (its owner
+    reclaimed or crashed past recovery)."""
+
+
+@dataclass(frozen=True)
+class ShmRef:
+    """Fixed-size handle to one payload placed in an arena slab. This is
+    what crosses the ``mp.Queue`` instead of the payload itself."""
+
+    segment: str
+    offset: int
+    length: int
+    #: Content address of the payload (chunk digest for snapshot chunks,
+    #: empty for whole-envelope blobs — those are length-checked only;
+    #: chunk bodies are digest-verified in ``ChunkChannel.absorb``).
+    digest: str = ""
+    bits: int = 0
+
+
+def _untrack(name: str) -> None:
+    """Release a resource-tracker registration made on *attach* (Python
+    < 3.13 registers every ``SharedMemory.__init__``): the segment's
+    creator owns cleanup, an attaching reader must not double-book it."""
+    try:
+        resource_tracker.unregister("/" + name, "shared_memory")
+    except (KeyError, ValueError, FileNotFoundError):  # pragma: no cover
+        pass
+
+
+def _track(name: str) -> None:
+    """(Re-)register *name* with the resource tracker. Called right
+    before every unlink: under the ``fork`` start method all processes
+    share one tracker, so a reader's attach-time :func:`_untrack` may
+    already have dropped the creator's registration — and the tracker
+    prints a ``KeyError`` traceback when ``unlink()``'s implicit
+    unregister then misses. Registration is a set-add, so pairing every
+    unregister with a fresh register is idempotent and silent."""
+    try:
+        resource_tracker.register("/" + name, "shared_memory")
+    except (OSError, ValueError):  # pragma: no cover
+        pass
+
+
+_available: Optional[bool] = None
+
+
+def shm_available() -> bool:
+    """Probe (once) whether shared memory works on this host."""
+    global _available
+    if _available is None:
+        try:
+            seg = shared_memory.SharedMemory(create=True, size=16)
+            seg.close()
+            seg.unlink()
+            _available = True
+        except (OSError, ValueError, ImportError):
+            _available = False
+    return _available
+
+
+def unlink_stale(prefix: str) -> int:
+    """Best-effort sweep: unlink every shm segment whose name starts
+    with *prefix* (a run tag, or a run tag + dead worker incarnation).
+    This is the backstop for owners that died without cleanup —
+    ``os._exit`` kills skip ``close()``. POSIX shm segments surface as
+    files under ``/dev/shm`` on Linux; elsewhere this is a no-op and
+    cleanup relies on the ack/close protocol alone. Returns the number
+    of segments removed."""
+    base = "/dev/shm"
+    if not os.path.isdir(base):  # pragma: no cover — non-Linux host
+        return 0
+    removed = 0
+    for name in os.listdir(base):
+        if not name.startswith(prefix):
+            continue
+        try:
+            os.unlink(os.path.join(base, name))
+            _track(name)
+            _untrack(name)  # balanced pair: clears any stale tracking
+            removed += 1
+        except OSError:  # pragma: no cover — concurrent removal
+            pass
+    return removed
+
+
+@dataclass
+class ArenaStats:
+    """Writer-side accounting (per endpoint)."""
+
+    slabs_created: int = 0
+    slabs_reclaimed: int = 0
+    payloads_placed: int = 0
+    bytes_placed: int = 0
+    peers_forgotten: int = 0
+
+
+class _Slab:
+    """One shared-memory segment under bump allocation."""
+
+    def __init__(self, name: str, size: int, epoch: int):
+        self.shm = shared_memory.SharedMemory(name=name, create=True,
+                                              size=size)
+        self.name = name
+        self.size = size
+        self.used = 0
+        self.epoch = epoch
+        self.sealed = False
+        self.issued: Dict[object, int] = {}
+        self.acked: Dict[object, int] = {}
+
+    @property
+    def drained(self) -> bool:
+        """Every issued reference has been consumed (or cancelled)."""
+        return all(self.acked.get(peer, 0) >= n
+                   for peer, n in self.issued.items())
+
+
+class ChunkArena:
+    """Writer side: bump-allocates payloads into ref-counted slabs.
+
+    One arena per *sending* endpoint (the coordinator has one, each
+    worker incarnation has one). Slab reclamation is driven entirely by
+    the message flow: ``place`` counts a reference as issued to its
+    peer, :meth:`ack` credits consumptions reported back by that peer,
+    and a sealed slab whose references have all drained is unlinked.
+    ``epoch`` tags slabs with the forget-generation they were written
+    under, so accounting from before a peer respawn can never revive a
+    slab afterwards.
+    """
+
+    #: Default slab size. Most chunk bodies are far smaller; oversized
+    #: payloads get a dedicated slab of their exact length.
+    SLAB_BYTES = 1 << 18
+
+    def __init__(self, label: str, slab_bytes: int = SLAB_BYTES):
+        self.label = label
+        self.slab_bytes = slab_bytes
+        self.epoch = 0
+        self.stats = ArenaStats()
+        self._nonce = secrets.token_hex(4)
+        self._seq = 0
+        self._slabs: Dict[str, _Slab] = {}
+        self._current: Optional[_Slab] = None
+        self._closed = False
+
+    # -- allocation ---------------------------------------------------------
+
+    def _new_slab(self, size: int) -> _Slab:
+        self._seq += 1
+        name = f"rpr-{self.label}-{os.getpid():x}-{self._nonce}-{self._seq}"
+        try:
+            slab = _Slab(name, size, self.epoch)
+        except (OSError, ValueError) as exc:
+            raise ShmUnavailable(f"cannot create shm slab {name!r}: {exc}")
+        self._slabs[name] = slab
+        self.stats.slabs_created += 1
+        return slab
+
+    def _seal(self, slab: _Slab) -> None:
+        slab.sealed = True
+        self._maybe_reclaim(slab)
+
+    def place(self, payload: bytes, peer: object,
+              digest: str = "", bits: int = 0) -> ShmRef:
+        """Copy *payload* into the arena (the one copy) and return the
+        reference to send to *peer*."""
+        if self._closed:
+            raise ShmUnavailable(f"arena {self.label!r} is closed")
+        length = len(payload)
+        if length > self.slab_bytes:
+            slab = self._new_slab(length)  # dedicated slab
+        else:
+            slab = self._current
+            if slab is None or slab.used + length > slab.size:
+                if slab is not None:
+                    self._seal(slab)
+                slab = self._current = self._new_slab(self.slab_bytes)
+        offset = slab.used
+        slab.shm.buf[offset:offset + length] = payload
+        slab.used = offset + length
+        slab.issued[peer] = slab.issued.get(peer, 0) + 1
+        if slab is not self._current:
+            self._seal(slab)
+        self.stats.payloads_placed += 1
+        self.stats.bytes_placed += length
+        return ShmRef(segment=slab.name, offset=offset, length=length,
+                      digest=digest, bits=bits)
+
+    # -- reclamation --------------------------------------------------------
+
+    def _maybe_reclaim(self, slab: _Slab) -> None:
+        if not slab.sealed or not slab.drained:
+            return
+        if self._slabs.pop(slab.name, None) is None:
+            return
+        slab.shm.close()
+        _track(slab.name)
+        try:
+            slab.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover — unlink race
+            pass
+        self.stats.slabs_reclaimed += 1
+
+    def ack(self, peer: object, acks: Dict[str, int]) -> None:
+        """Credit consumptions reported by *peer* (piggybacked on a
+        message travelling the other way). Acks for unknown slabs or
+        for peers with no outstanding references (a forgotten epoch)
+        are ignored — stale accounting must never resurrect a slab."""
+        for name, count in acks.items():
+            slab = self._slabs.get(name)
+            if slab is None or peer not in slab.issued:
+                continue
+            slab.acked[peer] = slab.acked.get(peer, 0) + count
+            self._maybe_reclaim(slab)
+
+    def forget_peer(self, peer: object) -> None:
+        """Cancel every outstanding reference issued to *peer* (its
+        process died; nothing will ever ack them) and bump the epoch so
+        late acks from the dead incarnation stay inert."""
+        self.epoch += 1
+        self.stats.peers_forgotten += 1
+        for slab in list(self._slabs.values()):
+            if peer in slab.issued:
+                slab.issued.pop(peer, None)
+                slab.acked.pop(peer, None)
+                self._maybe_reclaim(slab)
+
+    def seal(self) -> None:
+        """Seal the open slab (reclamation then only awaits acks)."""
+        if self._current is not None:
+            self._seal(self._current)
+            self._current = None
+
+    @property
+    def live_slabs(self) -> int:
+        return len(self._slabs)
+
+    def close(self) -> None:
+        """Unlink every remaining slab. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._current = None
+        for slab in self._slabs.values():
+            slab.shm.close()
+            _track(slab.name)
+            try:
+                slab.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+        self._slabs.clear()
+
+
+class ArenaReader:
+    """Reader side: attach-on-demand segment cache + ack bookkeeping.
+
+    ``fetch`` returns the payload bytes (the receiving copy — out of
+    shared memory, into the consumer's heap) and records one pending ack
+    for the segment under the sending peer; :meth:`take_acks` drains the
+    pending acks for one peer so the caller can piggyback them on its
+    next message to that peer.
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._pending: Dict[object, Dict[str, int]] = {}
+        self._peer_segments: Dict[object, Set[str]] = {}
+        self.bytes_fetched = 0
+
+    def fetch(self, ref: ShmRef, peer: object) -> bytes:
+        seg = self._segments.get(ref.segment)
+        if seg is None:
+            try:
+                seg = shared_memory.SharedMemory(name=ref.segment)
+            except FileNotFoundError:
+                raise ShmSegmentGone(
+                    f"shm segment {ref.segment!r} referenced by peer "
+                    f"{peer!r} no longer exists")
+            _untrack(ref.segment)  # creator owns cleanup, not us
+            self._segments[ref.segment] = seg
+        if ref.offset + ref.length > seg.size:
+            raise ShmSegmentGone(
+                f"reference beyond segment {ref.segment!r}: "
+                f"{ref.offset}+{ref.length} > {seg.size}")
+        data = bytes(seg.buf[ref.offset:ref.offset + ref.length])
+        acks = self._pending.setdefault(peer, {})
+        acks[ref.segment] = acks.get(ref.segment, 0) + 1
+        self._peer_segments.setdefault(peer, set()).add(ref.segment)
+        self.bytes_fetched += len(data)
+        return data
+
+    def take_acks(self, peer: object) -> Dict[str, int]:
+        return self._pending.pop(peer, {})
+
+    def drop_peer(self, peer: object, unlink: bool = False) -> None:
+        """Forget a peer's segments (it died). With *unlink*, also
+        remove them from the system — the coordinator does this for a
+        killed worker's orphans; the dead owner cannot."""
+        self._pending.pop(peer, None)
+        for name in self._peer_segments.pop(peer, set()):
+            seg = self._segments.pop(name, None)
+            if seg is not None:
+                seg.close()
+            elif unlink:
+                try:
+                    seg = shared_memory.SharedMemory(name=name)
+                    _untrack(name)
+                except FileNotFoundError:
+                    continue
+            if unlink and seg is not None:
+                _track(name)
+                try:
+                    seg.unlink()
+                except FileNotFoundError:
+                    pass
+
+    def close(self) -> None:
+        """Detach every cached segment. Idempotent."""
+        for seg in self._segments.values():
+            try:
+                seg.close()
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+        self._segments.clear()
+        self._pending.clear()
+        self._peer_segments.clear()

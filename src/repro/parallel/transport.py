@@ -1,0 +1,297 @@
+"""Pluggable IPC transport: how bulk payloads travel between processes.
+
+Two implementations of one contract:
+
+* :class:`ShmTransport` — chunk bodies and oversized envelopes go into a
+  shared-memory :class:`~repro.parallel.shm.ChunkArena`; the queue
+  carries fixed-size references. Default when the host supports it.
+* :class:`QueueTransport` — everything rides the ``mp.Queue`` inline
+  (the pre-transport behaviour). Automatic fallback, and the baseline
+  the benchmarks compare against.
+
+The contract has two planes:
+
+* **chunk plane** (``place_chunks`` / ``resolve_chunks``): the
+  ``chunks`` dict of a :class:`SnapshotWire` — digest-addressed bodies
+  that ``ChunkChannel.absorb`` will verify against their content
+  address after resolution, so shm adds no new trust surface.
+* **blob plane** (``place_blob`` / ``fetch_blob``): whole packed
+  envelopes above a size floor, so batch messages with no snapshot
+  content (fuzz input/result batches) also skip the queue copy.
+
+Ack bookkeeping piggybacks on the reverse message flow: each side
+drains :meth:`take_acks` into its outgoing envelope and feeds the
+peer's acks to :meth:`absorb_acks`, which lets the sender's arena
+reclaim drained slabs. ``forget_peer`` is the respawn hook — it cancels
+a dead worker's outstanding references and unlinks its orphaned
+segments so a kill can neither leak nor wedge shared memory.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.parallel.shm import (ArenaReader, ChunkArena, ShmRef,
+                                ShmUnavailable, shm_available)
+
+#: Chunk bodies smaller than this stay inline in the queue message —
+#: a shm round-trip (place + ref + attach + fetch + ack) costs more
+#: than pickling a tiny dict.
+CHUNK_SHM_FLOOR = 512
+
+#: Packed envelopes smaller than this ride the queue directly.
+BLOB_SHM_FLOOR = 2048
+
+
+@dataclass
+class IpcStats:
+    """Per-endpoint IPC accounting, mergeable across processes."""
+
+    transport: str = "queue"
+    messages_out: int = 0
+    messages_in: int = 0
+    #: Bytes that crossed the mp.Queue (packed envelope sizes).
+    queue_bytes_out: int = 0
+    queue_bytes_in: int = 0
+    #: Bytes that moved through shared memory instead.
+    shm_bytes_out: int = 0
+    shm_bytes_in: int = 0
+    shm_chunks_out: int = 0
+    shm_blobs_out: int = 0
+    #: Wall time spent packing / unpacking envelopes, by side.
+    encode_s: float = 0.0
+    decode_s: float = 0.0
+    worker_encode_s: float = 0.0
+    worker_decode_s: float = 0.0
+
+    def merge(self, other: "IpcStats") -> None:
+        self.messages_out += other.messages_out
+        self.messages_in += other.messages_in
+        self.queue_bytes_out += other.queue_bytes_out
+        self.queue_bytes_in += other.queue_bytes_in
+        self.shm_bytes_out += other.shm_bytes_out
+        self.shm_bytes_in += other.shm_bytes_in
+        self.shm_chunks_out += other.shm_chunks_out
+        self.shm_blobs_out += other.shm_blobs_out
+        self.encode_s += other.encode_s
+        self.decode_s += other.decode_s
+        self.worker_encode_s += other.worker_encode_s
+        self.worker_decode_s += other.worker_decode_s
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "transport": self.transport,
+            "messages_out": self.messages_out,
+            "messages_in": self.messages_in,
+            "queue_bytes_out": self.queue_bytes_out,
+            "queue_bytes_in": self.queue_bytes_in,
+            "shm_bytes_out": self.shm_bytes_out,
+            "shm_bytes_in": self.shm_bytes_in,
+            "shm_chunks_out": self.shm_chunks_out,
+            "shm_blobs_out": self.shm_blobs_out,
+            "encode_s": round(self.encode_s, 6),
+            "decode_s": round(self.decode_s, 6),
+            "worker_encode_s": round(self.worker_encode_s, 6),
+            "worker_decode_s": round(self.worker_decode_s, 6),
+        }
+
+
+class Transport:
+    """Base contract; :class:`QueueTransport` is also the null object."""
+
+    kind = "queue"
+
+    def __init__(self, label: str = "ep"):
+        self.label = label
+        self.stats = IpcStats(transport=self.kind)
+
+    # -- chunk plane --------------------------------------------------------
+
+    def place_chunks(self, chunks: Dict[str, Tuple[dict, int]],
+                     peer: object) -> Tuple[str, object]:
+        """Stage a wire's chunk bodies for *peer*. Returns
+        ``("inline", chunks)`` or ``("shm", [(digest, ShmRef), ...])``."""
+        return ("inline", chunks)
+
+    def resolve_chunks(self, mode: str, payload: object,
+                       peer: object) -> Dict[str, Tuple[dict, int]]:
+        """Receiving side of :meth:`place_chunks`."""
+        if mode != "inline":
+            raise ShmUnavailable(
+                f"{type(self).__name__} cannot resolve {mode!r} chunks")
+        return payload  # type: ignore[return-value]
+
+    # -- blob plane ---------------------------------------------------------
+
+    def place_blob(self, blob: bytes, peer: object) -> object:
+        """Stage a packed envelope. Returns the object to enqueue:
+        the bytes themselves, or ``("__shm__", ShmRef)``."""
+        return blob
+
+    def fetch_blob(self, payload: object, peer: object) -> bytes:
+        if isinstance(payload, tuple) and payload and payload[0] == "__shm__":
+            raise ShmUnavailable(
+                f"{type(self).__name__} received a shm blob reference")
+        return payload  # type: ignore[return-value]
+
+    # -- ack plumbing -------------------------------------------------------
+
+    def take_acks(self, peer: object) -> Dict[str, int]:
+        """Drain pending consumption acks to ride on the next message
+        *to* peer."""
+        return {}
+
+    def absorb_acks(self, peer: object, acks: Dict[str, int]) -> None:
+        """Credit acks that arrived *from* peer."""
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def forget_peer(self, peer: object) -> None:
+        """The peer's process died (respawn/degrade): cancel its
+        outstanding references and clean up its orphaned segments."""
+
+    def describe(self) -> Dict[str, object]:
+        return {"kind": self.kind}
+
+    def close(self) -> None:
+        """Release every transport resource. Idempotent."""
+
+
+class QueueTransport(Transport):
+    """Everything inline over the ``mp.Queue`` — the fallback path."""
+
+    kind = "queue"
+
+
+class ShmTransport(Transport):
+    """Shared-memory payloads + queue-carried references."""
+
+    kind = "shm"
+
+    def __init__(self, label: str = "ep",
+                 chunk_floor: int = CHUNK_SHM_FLOOR,
+                 blob_floor: int = BLOB_SHM_FLOOR,
+                 slab_bytes: int = ChunkArena.SLAB_BYTES):
+        super().__init__(label)
+        self.chunk_floor = chunk_floor
+        self.blob_floor = blob_floor
+        self.arena = ChunkArena(label, slab_bytes=slab_bytes)
+        self.reader = ArenaReader()
+        self._closed = False
+
+    # -- chunk plane --------------------------------------------------------
+
+    def place_chunks(self, chunks, peer):
+        if not chunks:
+            return ("inline", chunks)
+        refs: List[Tuple[str, object]] = []
+        for digest, (body, bits) in chunks.items():
+            blob = pickle.dumps(body, protocol=pickle.HIGHEST_PROTOCOL)
+            if len(blob) < self.chunk_floor:
+                refs.append((digest, (blob, bits)))
+                continue
+            ref = self.arena.place(blob, peer, digest=digest, bits=bits)
+            self.stats.shm_bytes_out += len(blob)
+            self.stats.shm_chunks_out += 1
+            refs.append((digest, ref))
+        return ("shm", refs)
+
+    def resolve_chunks(self, mode, payload, peer):
+        if mode == "inline":
+            return payload
+        chunks: Dict[str, Tuple[dict, int]] = {}
+        for digest, entry in payload:
+            if isinstance(entry, ShmRef):
+                blob = self.reader.fetch(entry, peer)
+                self.stats.shm_bytes_in += len(blob)
+                chunks[digest] = (pickle.loads(blob), entry.bits)
+            else:
+                blob, bits = entry
+                chunks[digest] = (pickle.loads(blob), bits)
+        return chunks
+
+    # -- blob plane ---------------------------------------------------------
+
+    def place_blob(self, blob, peer):
+        if len(blob) < self.blob_floor:
+            return blob
+        ref = self.arena.place(bytes(blob), peer)
+        self.stats.shm_bytes_out += len(blob)
+        self.stats.shm_blobs_out += 1
+        return ("__shm__", ref)
+
+    def fetch_blob(self, payload, peer):
+        if isinstance(payload, tuple) and payload and payload[0] == "__shm__":
+            blob = self.reader.fetch(payload[1], peer)
+            self.stats.shm_bytes_in += len(blob)
+            return blob
+        return payload
+
+    # -- ack plumbing -------------------------------------------------------
+
+    def take_acks(self, peer):
+        return self.reader.take_acks(peer)
+
+    def absorb_acks(self, peer, acks):
+        if acks:
+            self.arena.ack(peer, acks)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def forget_peer(self, peer):
+        self.arena.forget_peer(peer)
+        # The dead peer's own arena segments are orphans now — unlink
+        # what we had attached (or were about to).
+        self.reader.drop_peer(peer, unlink=True)
+
+    def describe(self):
+        return {"kind": self.kind,
+                "live_slabs": self.arena.live_slabs,
+                "slabs_created": self.arena.stats.slabs_created,
+                "slabs_reclaimed": self.arena.stats.slabs_reclaimed}
+
+    def close(self):
+        if self._closed:
+            return
+        self._closed = True
+        self.arena.close()
+        self.reader.close()
+
+
+def make_transport(kind: str = "auto", label: str = "ep",
+                   **kwargs) -> Transport:
+    """Build a transport. ``auto`` probes the host and falls back to
+    the queue path; an explicit ``shm`` raises if unsupported."""
+    if kind == "auto":
+        kind = "shm" if shm_available() else "queue"
+    if kind == "queue":
+        return QueueTransport(label)
+    if kind == "shm":
+        if not shm_available():
+            raise ShmUnavailable(
+                "shared memory is unavailable on this host; "
+                "use --transport queue (or auto)")
+        return ShmTransport(label, **kwargs)
+    raise ValueError(f"unknown transport {kind!r} "
+                     "(expected auto, shm, or queue)")
+
+
+class _Timer:
+    """Context manager accumulating wall time into a stats attribute."""
+
+    def __init__(self, stats: IpcStats, attr: str):
+        self.stats = stats
+        self.attr = attr
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        setattr(self.stats, self.attr,
+                getattr(self.stats, self.attr)
+                + (time.perf_counter() - self._t0))
+        return False

@@ -10,12 +10,24 @@ delta snapshot store deduplicates on; shipping a state to a worker that
 already explored a sibling path typically moves reference-sized
 metadata, not state payloads (the cross-process analogue of
 ``TransferRecord.delta_bits``).
+
+Long campaigns see an unbounded stream of distinct chunk bodies, so the
+pool is LRU-bounded (``pool_cap``). Eviction interacts with the known-
+digest protocol — a peer that believes we hold a digest will send it by
+reference only — so evicted digests are buffered
+(:meth:`ChunkChannel.take_evictions`) and piggybacked on the next
+outgoing envelope; the peer answers by dropping them from its
+``known[us]`` set (:meth:`ChunkChannel.forget_remote`) and ships full
+payloads again. Digests backing states that are still parked in the
+coordinator's searcher are :meth:`pinned <ChunkChannel.pin>` and never
+evicted.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Set
+from typing import Dict, Iterable, List, Mapping, Optional, Set
 
 from repro.core.persistence import (SnapshotWire, snapshot_from_wire,
                                     snapshot_to_wire)
@@ -34,6 +46,8 @@ class WireStats:
     chunk_hits: int = 0
     #: Chunk payloads actually shipped.
     chunk_misses: int = 0
+    #: Pool entries dropped under the LRU cap.
+    chunk_evictions: int = 0
     #: Full-image bits of every snapshot sent (the naive transfer cost).
     logical_bits_sent: int = 0
     #: Bits actually carried as chunk payloads (the delta transfer cost).
@@ -41,9 +55,13 @@ class WireStats:
 
     @property
     def delta_ratio(self) -> float:
-        """Logical bits over transferred bits (≥ 1; higher = more dedup)."""
+        """Logical bits over transferred bits (≥ 1; higher = more
+        dedup). Always finite — when everything moved by reference the
+        ratio is reported against a one-bit floor so report/bench JSON
+        artifacts stay serializable."""
         if self.payload_bits_sent == 0:
-            return 1.0 if self.logical_bits_sent == 0 else float("inf")
+            return 1.0 if self.logical_bits_sent == 0 \
+                else float(self.logical_bits_sent)
         return self.logical_bits_sent / self.payload_bits_sent
 
     def merge(self, other: "WireStats") -> None:
@@ -51,6 +69,7 @@ class WireStats:
         self.snapshots_received += other.snapshots_received
         self.chunk_hits += other.chunk_hits
         self.chunk_misses += other.chunk_misses
+        self.chunk_evictions += other.chunk_evictions
         self.logical_bits_sent += other.logical_bits_sent
         self.payload_bits_sent += other.payload_bits_sent
 
@@ -59,20 +78,84 @@ class ChunkChannel:
     """One endpoint's view of snapshot traffic with its peers.
 
     ``pool`` holds every chunk body this endpoint has seen (sent *or*
-    received — a digest we sent may come back by reference only).
-    ``known[peer]`` is the digest set we believe that peer holds; it
-    grows symmetrically on send and receive, so both endpoints agree on
-    it without a handshake.
+    received — a digest we sent may come back by reference only), up to
+    ``pool_cap`` entries under LRU eviction. ``known[peer]`` is the
+    digest set we believe that peer holds; it grows symmetrically on
+    send and receive, so both endpoints agree on it without a handshake
+    — and shrinks when the peer reports evictions.
     """
 
-    def __init__(self) -> None:
-        self.pool: Dict[str, dict] = {}
+    #: Default pool bound. Each entry is one chunk body (an instance
+    #: state dict); campaigns that outgrow this re-ship cold chunks.
+    POOL_CAP = 4096
+
+    def __init__(self, pool_cap: int = POOL_CAP) -> None:
+        self.pool: "OrderedDict[str, dict]" = OrderedDict()
+        self.pool_cap = pool_cap
         self.chunk_bits: Dict[str, int] = {}
         self.known: Dict[object, Set[str]] = {}
         self.stats = WireStats()
+        self._pins: Dict[str, int] = {}
+        #: Per-peer eviction notices awaiting piggyback delivery: every
+        #: peer that might send an evicted digest by reference must
+        #: learn we no longer hold it.
+        self._evict_notices: Dict[object, Set[str]] = {}
 
     def _peer(self, peer: object) -> Set[str]:
         return self.known.setdefault(peer, set())
+
+    # -- pool bookkeeping ----------------------------------------------------
+
+    def _admit(self, digest: str, body: dict, bits: int) -> None:
+        if digest in self.pool:
+            self.pool.move_to_end(digest)
+            return
+        self.pool[digest] = body
+        self.chunk_bits[digest] = bits
+        for notices in self._evict_notices.values():
+            notices.discard(digest)
+        self._shrink()
+
+    def _shrink(self) -> None:
+        if len(self.pool) <= self.pool_cap:
+            return
+        for digest in list(self.pool):
+            if len(self.pool) <= self.pool_cap:
+                break
+            if self._pins.get(digest):
+                continue  # backs a live parked state; never evict
+            del self.pool[digest]
+            self.chunk_bits.pop(digest, None)
+            for peer in self.known:
+                self._evict_notices.setdefault(peer, set()).add(digest)
+            self.stats.chunk_evictions += 1
+
+    def pin(self, digests: Iterable[str]) -> None:
+        """Protect *digests* from eviction (refcounted) while a parked
+        state still references them."""
+        for digest in digests:
+            self._pins[digest] = self._pins.get(digest, 0) + 1
+
+    def unpin(self, digests: Iterable[str]) -> None:
+        for digest in digests:
+            count = self._pins.get(digest, 0) - 1
+            if count > 0:
+                self._pins[digest] = count
+            else:
+                self._pins.pop(digest, None)
+        self._shrink()
+
+    def take_evictions(self, peer: object) -> List[str]:
+        """Drain the evicted-digest notices owed to *peer* for the next
+        outgoing envelope's piggyback lane."""
+        notices = self._evict_notices.pop(peer, None)
+        return sorted(notices) if notices else []
+
+    def forget_remote(self, peer: object, digests: Iterable[str]) -> None:
+        """The peer evicted *digests* from its pool: stop sending them
+        by reference only."""
+        known = self._peer(peer)
+        known.difference_update(digests)
 
     # -- sending ------------------------------------------------------------
 
@@ -89,17 +172,33 @@ class ChunkChannel:
             known.add(digest)
             # Keep our own copy: the peer may later reference this
             # digest back at us without a payload.
-            if digest not in self.pool:
+            if digest in self.pool:
+                self.pool.move_to_end(digest)
+            else:
                 body, _ = wire.chunks.get(digest, (None, 0))
                 if body is None:
                     body = {k: v for k, v in snapshot.states[name].items()
                             if k != "cycle"}
-                self.pool[digest] = body
-                self.chunk_bits[digest] = bits
+                self._admit(digest, body, bits)
         self.stats.snapshots_sent += 1
         self.stats.logical_bits_sent += wire.logical_bits
         self.stats.payload_bits_sent += wire.payload_bits
         return wire
+
+    def _body_of(self, digest: str, wire: SnapshotWire) -> dict:
+        body = self.pool.get(digest)
+        if body is not None:
+            self.pool.move_to_end(digest)
+            return body
+        # Not pooled (LRU-evicted after this wire was absorbed): the
+        # wire itself may still carry the payload.
+        entry = wire.chunks.get(digest)
+        if entry is not None:
+            return entry[0]
+        raise SnapshotIntegrityError(
+            f"chunk {digest} needed for re-encode is neither pooled nor "
+            f"carried by the wire (evicted while still referenced — "
+            f"raise pool_cap or pin the state's digests)")
 
     def reencode(self, wire: SnapshotWire, peer: object) -> SnapshotWire:
         """Re-address a received wire to another peer (coordinator
@@ -112,7 +211,7 @@ class ChunkChannel:
                 self.stats.chunk_hits += 1
             else:
                 self.stats.chunk_misses += 1
-                chunks[digest] = (self.pool[digest],
+                chunks[digest] = (self._body_of(digest, wire),
                                   self.chunk_bits.get(digest, bits))
                 known.add(digest)
         out = SnapshotWire(refs=dict(wire.refs), chunks=chunks,
@@ -139,8 +238,7 @@ class ChunkChannel:
                 raise SnapshotIntegrityError(
                     f"chunk from peer {peer!r} fails verification: "
                     f"declared {digest}, body hashes to {actual}")
-            self.pool.setdefault(digest, body)
-            self.chunk_bits.setdefault(digest, bits)
+            self._admit(digest, body, bits)
             known.add(digest)
         for _name, (digest, _cycle, bits) in wire.refs.items():
             known.add(digest)

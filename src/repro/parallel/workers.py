@@ -23,6 +23,7 @@ from __future__ import annotations
 import os
 import pickle
 import struct
+import time
 import traceback
 from collections import OrderedDict
 from dataclasses import replace
@@ -31,7 +32,11 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 from repro.core.fuzzer import execute_input
 from repro.core.snapshot import SnapshotController
 from repro.core.store import chunk_digest
+from repro.parallel.envelope import (pack_fuzz_results, pack_lease_results,
+                                     stamp_encode_time, unpack_fuzz_batch,
+                                     unpack_lease_batch)
 from repro.parallel.recipe import SessionRecipe
+from repro.parallel.transport import Transport, make_transport
 from repro.parallel.wire import ChunkChannel
 from repro.resilience import FaultInjector
 from repro.targets.base import HwSnapshot
@@ -227,18 +232,28 @@ _COMPLETED_CACHE = 32
 
 
 def _worker_main(worker_id: int, recipe: SessionRecipe,
-                 jobs, results, incarnation: int = 0) -> None:
+                 jobs, results, incarnation: int = 0,
+                 transport_kind: str = "queue", run_tag: str = "") -> None:
     """Worker process entry point: build harnesses lazily, serve jobs
     until the STOP sentinel arrives. Any exception is reported to the
     coordinator as an ``("error", id, job_id, traceback)`` message
     rather than killing the process silently.
 
     Jobs arrive as ``(kind, job_id, payload)``; results leave as
-    ``(kind, worker_id, job_id, data)``. Completed envelopes are cached
-    by job id so a re-issued job (the coordinator missed our answer) is
-    answered from the cache instead of being re-executed — execution
-    mutates harness state (coverage baselines, chunk-channel bookkeeping),
-    so exactly-once execution is what keeps re-issues deterministic.
+    ``(kind, worker_id, job_id, data)``. The batch kinds
+    (``lease-batch`` / ``fuzz-batch``) carry packed envelopes — bytes
+    or shm references, per *transport_kind* — everything else stays
+    plain pickled objects. The worker owns one transport endpoint
+    (arena label ``{run_tag}-w{worker_id}i{incarnation}``): payload
+    refs it consumes turn into acks riding its result envelopes, and
+    its own arena is unlinked on STOP (a killed worker's segments are
+    swept by the coordinator under the run tag instead).
+
+    Completed envelopes are cached by job id so a re-issued job (the
+    coordinator missed our answer) is answered from the cache instead
+    of being re-executed — execution mutates harness state (coverage
+    baselines, chunk-channel bookkeeping), so exactly-once execution is
+    what keeps re-issues deterministic.
 
     When the recipe's config carries a :class:`FaultPlan`, this loop is
     also the pool-boundary fault site: scheduled/stochastic worker kills
@@ -252,11 +267,45 @@ def _worker_main(worker_id: int, recipe: SessionRecipe,
                 if plan is not None and not plan.is_empty else None)
     completed: "OrderedDict[int, tuple]" = OrderedDict()
     job_index = 0
+    transport: Transport = make_transport(
+        transport_kind, label=f"{run_tag}-w{worker_id}i{incarnation}")
 
     def harness(kind: str):
         if kind not in harnesses:
             harnesses[kind] = _HARNESS_TYPES[kind](recipe)
         return harnesses[kind]
+
+    def run_lease_batch(payload) -> Any:
+        blob = transport.fetch_blob(payload, COORD)
+        t0 = time.perf_counter()
+        acks, evictions, leases = unpack_lease_batch(blob, transport, COORD)
+        decode_s = time.perf_counter() - t0
+        transport.absorb_acks(COORD, acks)
+        engine = harness("engine")
+        engine.channel.forget_remote(COORD, evictions)
+        outcomes = [engine.run_lease(lease) for lease in leases]
+        t0 = time.perf_counter()
+        packed = bytearray(pack_lease_results(
+            outcomes, transport, COORD,
+            acks=transport.take_acks(COORD),
+            evictions=engine.channel.take_evictions(COORD),
+            encode_s=0.0, decode_s=decode_s))
+        stamp_encode_time(packed, time.perf_counter() - t0)
+        return transport.place_blob(bytes(packed), COORD)
+
+    def run_fuzz_batch(payload) -> Any:
+        blob = transport.fetch_blob(payload, COORD)
+        t0 = time.perf_counter()
+        acks, _evictions, items = unpack_fuzz_batch(blob)
+        decode_s = time.perf_counter() - t0
+        transport.absorb_acks(COORD, acks)
+        res = harness("fuzz").run_batch({"items": items})
+        t0 = time.perf_counter()
+        packed = bytearray(pack_fuzz_results(
+            res, acks=transport.take_acks(COORD),
+            encode_s=0.0, decode_s=decode_s))
+        stamp_encode_time(packed, time.perf_counter() - t0)
+        return transport.place_blob(bytes(packed), COORD)
 
     while True:
         job = jobs.get()
@@ -269,7 +318,7 @@ def _worker_main(worker_id: int, recipe: SessionRecipe,
                 # Re-issued job we already ran: resend, never re-execute.
                 results.put(cached)
                 continue
-            if kind in ("lease", "fuzz"):
+            if kind in ("lease", "fuzz", "lease-batch", "fuzz-batch"):
                 index = job_index
                 job_index += 1
                 if (injector is not None
@@ -282,9 +331,15 @@ def _worker_main(worker_id: int, recipe: SessionRecipe,
             elif kind == "lease":
                 envelope = ("lease", worker_id, job_id,
                             harness("engine").run_lease(payload))
+            elif kind == "lease-batch":
+                envelope = ("lease-batch", worker_id, job_id,
+                            run_lease_batch(payload))
             elif kind == "fuzz":
                 envelope = ("fuzz", worker_id, job_id,
                             harness("fuzz").run_batch(payload))
+            elif kind == "fuzz-batch":
+                envelope = ("fuzz-batch", worker_id, job_id,
+                            run_fuzz_batch(payload))
             elif kind == "boot-digests":
                 envelope = ("boot-digests", worker_id, job_id,
                             harness("fuzz").boot_digests())
@@ -303,3 +358,4 @@ def _worker_main(worker_id: int, recipe: SessionRecipe,
         except BaseException:
             results.put(("error", worker_id, job_id,
                          traceback.format_exc()))
+    transport.close()

@@ -1,0 +1,432 @@
+"""Tests for the zero-copy transport layer (repro.parallel.shm /
+transport / envelope) and its pool integration: arena lifecycle and
+reclamation, packed batch envelopes, queue fallback with identical
+verdicts, chunk-pool LRU bounds, and the no-leaked-segments invariant
+under fault injection."""
+
+import glob
+import os
+import pickle
+import signal
+
+import pytest
+
+from repro.core import HardSnapSession, SnapshotController, SnapshotFuzzer
+from repro.core.persistence import snapshot_to_wire
+from repro.firmware import TIMER_BASE, dispatcher, fuzz_packet_parser
+from repro.isa import assemble
+from repro.parallel import (ArenaReader, ChunkArena, ChunkChannel,
+                            ParallelAnalysisEngine, ParallelFuzzer,
+                            QueueTransport, SessionRecipe, ShmRef,
+                            ShmSegmentGone, ShmTransport, ShmUnavailable,
+                            WireStats, WorkerPool, make_transport,
+                            shm_available, unlink_stale)
+from repro.parallel.envelope import (pack_fuzz_batch, pack_fuzz_results,
+                                     pack_lease_batch, pack_lease_results,
+                                     stamp_encode_time, unpack_fuzz_batch,
+                                     unpack_fuzz_results, unpack_lease_batch,
+                                     unpack_lease_results)
+from repro.peripherals import catalog
+from repro.resilience import FaultPlan
+from repro.targets import FpgaTarget
+
+TIMER = [(catalog.TIMER, TIMER_BASE)]
+FIRMWARE = dispatcher(4, work_cycles=8)
+SEEDS = [bytes([1, 4, 0x41, 0x42, 0x43, 0x44]), bytes([2, 7])]
+
+needs_shm = pytest.mark.skipif(not shm_available(),
+                               reason="host has no POSIX shared memory")
+
+
+def _shm_segments(prefix: str = "rpr-"):
+    """Names of live shm segments with *prefix* (Linux: /dev/shm files)."""
+    if not os.path.isdir("/dev/shm"):
+        return []
+    return [os.path.basename(p)
+            for p in glob.glob(f"/dev/shm/{prefix}*")]
+
+
+def _fuzz_target():
+    target = FpgaTarget(scan_mode="functional")
+    target.add_peripheral(catalog.TIMER, TIMER_BASE)
+    target.reset()
+    return target
+
+
+def _timer_wire():
+    target = _fuzz_target()
+    target.step(5)
+    return snapshot_to_wire(SnapshotController(target).save())
+
+
+@needs_shm
+class TestChunkArena:
+    def test_place_fetch_roundtrip(self):
+        arena = ChunkArena("t-rt")
+        reader = ArenaReader()
+        try:
+            payload = os.urandom(1000)
+            ref = arena.place(payload, peer="w0", digest="d0", bits=8)
+            assert isinstance(ref, ShmRef)
+            assert ref.length == 1000 and ref.digest == "d0"
+            assert reader.fetch(ref, peer="c") == payload
+        finally:
+            reader.close()
+            arena.close()
+
+    def test_ack_reclaims_sealed_slab(self):
+        arena = ChunkArena("t-ack", slab_bytes=1024)
+        reader = ArenaReader()
+        try:
+            refs = [arena.place(os.urandom(600), "w0") for _ in range(3)]
+            # 600 > 1024//2: each place rolls the slab, sealing the
+            # previous one; the open slab never reclaims.
+            assert arena.live_slabs >= 2
+            for ref in refs:
+                reader.fetch(ref, "c")
+            arena.seal()
+            arena.ack("w0", reader.take_acks("c"))
+            assert arena.live_slabs == 0
+            assert arena.stats.slabs_reclaimed == arena.stats.slabs_created
+        finally:
+            reader.close()
+            arena.close()
+
+    def test_oversized_payload_gets_dedicated_slab(self):
+        arena = ChunkArena("t-big", slab_bytes=512)
+        reader = ArenaReader()
+        try:
+            big = os.urandom(4096)
+            ref = arena.place(big, "w0")
+            assert reader.fetch(ref, "c") == big
+            arena.ack("w0", reader.take_acks("c"))
+            assert ref.segment not in _shm_segments()  # reclaimed
+        finally:
+            reader.close()
+            arena.close()
+
+    def test_forget_peer_cancels_outstanding_refs(self):
+        arena = ChunkArena("t-fp", slab_bytes=256)
+        try:
+            arena.place(os.urandom(200), "w0")
+            arena.place(os.urandom(200), "w1")
+            arena.seal()
+            assert arena.live_slabs == 2  # both awaiting acks
+            arena.forget_peer("w0")  # w0 died: nothing will ack
+            assert arena.live_slabs == 1
+            arena.forget_peer("w1")
+            assert arena.live_slabs == 0
+        finally:
+            arena.close()
+
+    def test_stale_acks_after_forget_are_inert(self):
+        arena = ChunkArena("t-stale", slab_bytes=256)
+        reader = ArenaReader()
+        try:
+            ref = arena.place(os.urandom(200), "w0")
+            reader.fetch(ref, "c")
+            stale = reader.take_acks("c")
+            arena.forget_peer("w0")
+            arena.ack("w0", stale)  # must not raise or double-reclaim
+            arena.ack("w0", {"rpr-no-such-slab": 3})  # unknown: ignored
+        finally:
+            reader.close()
+            arena.close()
+
+    def test_close_unlinks_everything(self):
+        arena = ChunkArena("t-close")
+        arena.place(os.urandom(100), "w0")
+        names = set(arena._slabs)
+        assert names and all(n in _shm_segments() for n in names)
+        arena.close()
+        arena.close()  # idempotent
+        assert all(n not in _shm_segments() for n in names)
+
+    def test_fetch_unknown_segment_raises_gone(self):
+        reader = ArenaReader()
+        ref = ShmRef(segment="rpr-never-created", offset=0, length=4)
+        with pytest.raises(ShmSegmentGone):
+            reader.fetch(ref, "c")
+
+    def test_unlink_stale_sweeps_by_prefix(self):
+        arena = ChunkArena("t-sweep")
+        arena.place(os.urandom(100), "w0")
+        # Simulate a killed owner: drop the handle without unlinking.
+        for slab in arena._slabs.values():
+            slab.shm.close()
+        arena._slabs.clear()
+        arena._closed = True
+        assert _shm_segments("rpr-t-sweep-")
+        assert unlink_stale("rpr-t-sweep-") >= 1
+        assert not _shm_segments("rpr-t-sweep-")
+
+
+class TestEnvelope:
+    def _lease(self, wire):
+        state = pickle.dumps({"fake": "state"})
+        return {"budget": 7, "sym_base": 2_000_000,
+                "state": state, "wire": wire}
+
+    def test_lease_batch_roundtrip_queue(self):
+        t = QueueTransport()
+        wire = _timer_wire()
+        leases = [self._lease(wire),
+                  {"budget": 0, "sym_base": 1_000_000,
+                   "state": None, "wire": None}]
+        buf = pack_lease_batch(leases, t, "w0", acks={"seg-a": 2},
+                               evictions=["dead-digest"])
+        acks, evictions, back = unpack_lease_batch(buf, t, "c")
+        assert acks == {"seg-a": 2}
+        assert evictions == ["dead-digest"]
+        assert len(back) == 2
+        assert back[0]["budget"] == 7
+        assert back[0]["sym_base"] == 2_000_000
+        assert back[0]["state"] == leases[0]["state"]
+        assert back[0]["wire"].refs == wire.refs
+        assert back[0]["wire"].chunks == wire.chunks
+        assert back[0]["wire"].method == wire.method
+        assert back[1]["state"] is None and back[1]["wire"] is None
+
+    def test_lease_results_roundtrip_and_stamp(self):
+        t = QueueTransport()
+        wire = _timer_wire()
+        res = {"executed": 42, "paused": False,
+               "continuation": (b"contblob", wire),
+               "children": [(b"childblob", wire)],
+               "completed": None, "bugs": [], "coverage": [1, 2, 3],
+               "stats": {"saves": 1}, "modelled_dt": 0.5,
+               "wire_stats": WireStats(snapshots_sent=3),
+               "resilience": {}}
+        buf = bytearray(pack_lease_results(
+            [res], t, "c", acks={}, evictions=[], decode_s=0.25))
+        stamp_encode_time(buf, 1.5)
+        _acks, _ev, enc, dec, back = unpack_lease_results(buf, t, "w0")
+        assert enc == 1.5 and dec == 0.25
+        assert back[0]["executed"] == 42
+        assert back[0]["coverage"] == [1, 2, 3]
+        assert back[0]["wire_stats"].snapshots_sent == 3
+        blob, cwire = back[0]["continuation"]
+        assert blob == b"contblob" and cwire.refs == wire.refs
+        assert len(back[0]["children"]) == 1
+
+    def test_fuzz_batch_and_results_roundtrip(self):
+        items = [(0, b"\x01\x02"), (1, b""), (5, b"\xff" * 40)]
+        buf = pack_fuzz_batch(items, acks={"s": 1})
+        acks, _ev, back = unpack_fuzz_batch(buf)
+        assert acks == {"s": 1} and back == items
+
+        res = {"modelled_dt": 0.75, "resets": 3, "resilience": {},
+               "results": [(0, b"ab", b"edges", None, -1),
+                           (1, b"cd", b"", "mem-oob", 0x40)]}
+        buf2 = bytearray(pack_fuzz_results(res, acks={}, decode_s=0.1))
+        stamp_encode_time(buf2, 0.2)
+        _a, _e, enc, dec, rback = unpack_fuzz_results(buf2)
+        assert enc == 0.2 and dec == 0.1
+        assert rback["resets"] == 3
+        assert rback["results"] == res["results"]
+
+    @needs_shm
+    def test_wire_chunks_travel_through_shm(self):
+        sender = ShmTransport("t-env-s", chunk_floor=0)
+        receiver = ShmTransport("t-env-r")
+        try:
+            wire = _timer_wire()
+            assert wire.chunks  # payloads present
+            buf = pack_lease_batch([self._lease(wire)], sender, "w0",
+                                   acks={})
+            assert sender.stats.shm_chunks_out == len(wire.chunks)
+            _a, _e, leases = unpack_lease_batch(buf, receiver, "c")
+            assert leases[0]["wire"].chunks == wire.chunks
+            # The fetch was recorded: acks ride the next reverse message.
+            assert receiver.reader._pending.get("c")
+        finally:
+            sender.close()
+            receiver.close()
+
+
+class TestTransportSelection:
+    def test_auto_falls_back_to_queue(self, monkeypatch):
+        monkeypatch.setattr("repro.parallel.transport.shm_available",
+                            lambda: False)
+        assert make_transport("auto").kind == "queue"
+
+    def test_explicit_shm_raises_when_unavailable(self, monkeypatch):
+        monkeypatch.setattr("repro.parallel.transport.shm_available",
+                            lambda: False)
+        with pytest.raises(ShmUnavailable):
+            make_transport("shm")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_transport("carrier-pigeon")
+
+    @needs_shm
+    def test_small_payloads_stay_inline(self):
+        t = ShmTransport("t-floor")
+        try:
+            assert t.place_blob(b"tiny", "w0") == b"tiny"
+            mode, payload = t.place_chunks(
+                {"d": ({"nets": {"v": 1}}, 8)}, "w0")
+            assert mode == "shm"
+            digest, entry = payload[0]
+            assert digest == "d" and not isinstance(entry, ShmRef)
+            assert t.fetch_blob(b"tiny", "w0") == b"tiny"
+        finally:
+            t.close()
+
+
+class TestChunkChannelBounds:
+    """Satellite: LRU pool cap + JSON-safe delta_ratio."""
+
+    def test_delta_ratio_finite_when_reference_only(self):
+        stats = WireStats(logical_bits_sent=4096, payload_bits_sent=0)
+        assert stats.delta_ratio == 4096.0  # finite, JSON-safe
+        assert WireStats().delta_ratio == 1.0
+        import json
+        json.dumps(stats.delta_ratio)  # must not raise / produce inf
+
+    def test_pool_cap_evicts_lru_and_counts(self):
+        ch = ChunkChannel(pool_cap=2)
+        for i in range(4):
+            ch._admit(f"d{i}", {"nets": {"v": i}}, 8)
+        assert len(ch.pool) == 2
+        assert ch.stats.chunk_evictions == 2
+        assert "d0" not in ch.pool and "d3" in ch.pool
+
+    def test_pinned_digests_survive_eviction(self):
+        ch = ChunkChannel(pool_cap=2)
+        ch._admit("keep", {"nets": {"v": 0}}, 8)
+        ch.pin(["keep"])
+        for i in range(4):
+            ch._admit(f"d{i}", {"nets": {"v": i}}, 8)
+        assert "keep" in ch.pool
+        ch.unpin(["keep"])
+        ch._admit("d9", {"nets": {"v": 9}}, 8)
+        assert len(ch.pool) <= 2
+
+    def test_eviction_notices_reach_every_peer(self):
+        ch = ChunkChannel(pool_cap=1)
+        ch._peer("w0")
+        ch._peer("w1")
+        ch._admit("a", {"nets": {"v": 0}}, 8)
+        ch._admit("b", {"nets": {"v": 1}}, 8)  # evicts "a"
+        assert ch.take_evictions("w0") == ["a"]
+        assert ch.take_evictions("w1") == ["a"]
+        assert ch.take_evictions("w0") == []  # drained
+
+    def test_forget_remote_clears_known(self):
+        ch = ChunkChannel()
+        ch._peer("w0").update({"a", "b"})
+        ch.forget_remote("w0", ["a"])
+        assert ch.known["w0"] == {"b"}
+
+
+class TestPoolIntegration:
+    def _recipe(self, **config):
+        return SessionRecipe.create(FIRMWARE, TIMER, searcher="bfs",
+                                    **config)
+
+    def test_respawn_clears_channel_known(self):
+        """Satellite regression: a respawned worker starts with an empty
+        chunk pool, so the coordinator must forget what the dead
+        incarnation held — otherwise the fresh worker receives
+        reference-only wires it cannot resolve."""
+        channel = ChunkChannel()
+        channel._peer(0).add("stale-digest")
+        channel._peer(1).add("other-digest")
+        with WorkerPool(self._recipe(), workers=2,
+                        channel=channel) as pool:
+            pool.warm("engine")
+            os.kill(pool._procs[0].pid, signal.SIGKILL)
+            pool._procs[0].join(5)
+            pool.respawn(0)
+            assert 0 not in channel.known  # cleared
+            assert channel.known[1] == {"other-digest"}  # untouched
+
+    @pytest.mark.parametrize("transport", ["queue", "auto"])
+    def test_pool_stats_report_transport(self, transport):
+        with WorkerPool(self._recipe(), workers=1,
+                        transport=transport) as pool:
+            assert pool.stats.transport in ("queue", "shm")
+            if transport == "queue":
+                assert pool.stats.transport == "queue"
+            assert pool.stats.transport in pool.stats.summary()
+
+    @needs_shm
+    def test_pool_close_leaves_no_segments(self):
+        pool = WorkerPool(self._recipe(), workers=2, transport="shm")
+        tag = pool.run_tag
+        pool.warm("engine")
+        pool.submit(0, "lease", {"state": None, "wire": None,
+                                 "sym_base": 0, "budget": 0})
+        pool.next_result(timeout=120)
+        pool.close()
+        assert not _shm_segments(f"rpr-{tag}-")
+
+
+class TestVerdictIdentityAcrossTransports:
+    """The tentpole's correctness gate: queue and shm transports produce
+    byte-identical verdicts (and match serial)."""
+
+    @pytest.fixture(scope="class")
+    def engine_serial(self):
+        return HardSnapSession(FIRMWARE, TIMER,
+                               scan_mode="functional").run(
+            max_instructions=100_000).verdict_summary()
+
+    @pytest.mark.parametrize("transport", ["queue", "auto"])
+    def test_engine_verdicts(self, transport, engine_serial):
+        with ParallelAnalysisEngine(FIRMWARE, TIMER, workers=2,
+                                    transport=transport,
+                                    scan_mode="functional") as engine:
+            report = engine.run(max_instructions=100_000)
+            assert engine.pool.stats.transport == (
+                "queue" if transport == "queue"
+                else ("shm" if shm_available() else "queue"))
+        assert report.verdict_summary() == engine_serial
+
+    @pytest.mark.parametrize("transport", ["queue", "auto"])
+    def test_fuzzer_verdicts(self, transport):
+        serial = SnapshotFuzzer(
+            assemble(fuzz_packet_parser()), _fuzz_target(),
+            seeds=SEEDS, seed=3).run(
+            executions=48, batch_size=16).verdict_summary()
+        with ParallelFuzzer(fuzz_packet_parser(), TIMER,
+                            seeds=SEEDS, seed=3, workers=2,
+                            batch_size=16,
+                            transport=transport) as fuzzer:
+            report = fuzzer.run(executions=48)
+        assert report.verdict_summary() == serial
+
+
+@needs_shm
+class TestChaosLeavesNoSegments:
+    """Satellite: worker kills, result loss and duplication must not
+    leak (or wedge on) shared-memory segments — respawn unlinks the dead
+    incarnation's orphans, close sweeps the run tag."""
+
+    def test_engine_chaos_no_leaked_segments(self):
+        plan = FaultPlan.parse(
+            "seed=7,kill=1@0,result_loss=0.1,result_dup=0.1")
+        serial = HardSnapSession(FIRMWARE, TIMER,
+                                 scan_mode="functional").run(
+            max_instructions=100_000).verdict_summary()
+        with ParallelAnalysisEngine(FIRMWARE, TIMER, workers=2,
+                                    transport="shm",
+                                    scan_mode="functional",
+                                    fault_plan=plan) as engine:
+            report = engine.run(max_instructions=100_000)
+            tag = engine.pool.run_tag
+            assert engine.pool.stats.resilience.worker_respawns >= 1
+        assert report.verdict_summary() == serial
+        assert not _shm_segments(f"rpr-{tag}-")
+
+    def test_fuzzer_chaos_no_leaked_segments(self):
+        plan = FaultPlan.parse("seed=2,kill=0@0,result_dup=0.2")
+        with ParallelFuzzer(fuzz_packet_parser(), TIMER,
+                            seeds=SEEDS, seed=3, workers=2,
+                            batch_size=16, transport="shm",
+                            fault_plan=plan) as fuzzer:
+            fuzzer.run(executions=32)
+            tag = fuzzer.pool.run_tag
+        assert not _shm_segments(f"rpr-{tag}-")
