@@ -286,12 +286,21 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
             # swapped in an InlinePool since the loop started.)
             arrived = [self._await_result()]
             arrived.extend(self.pool.drain_results())
+            # Snapshot each completed batch's pins *before* dispatch():
+            # a worker has at most one batch in flight, so at arrival
+            # time _pinned[worker_id] holds exactly that batch's pins —
+            # re-dispatching the freed worker below would extend the
+            # same list with the *next* batch's pins, and unpinning
+            # those early would expose in-flight chunks to LRU eviction
+            # while the recovery ladder may still need them.
+            batch_pins = [self._pinned.pop(worker_id, [])
+                          for _kind, worker_id, _data in arrived]
             for _kind, worker_id, _data in arrived:
                 idle.append(worker_id)
                 batches_out -= 1
             if stop is None:
                 dispatch()
-            for _kind, worker_id, data in arrived:
+            for (_kind, worker_id, data), pins in zip(arrived, batch_pins):
                 for res in self._decode_batch(worker_id, data):
                     outstanding -= 1
                     executed += res["executed"]
@@ -323,7 +332,7 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
                     report.max_live_states = max(
                         report.max_live_states,
                         len(searcher) + outstanding)
-                self.channel.unpin(self._pinned.pop(worker_id, []))
+                self.channel.unpin(pins)
 
         report.stop_reason = stop or "exhausted"
         report.instructions = executed

@@ -117,19 +117,23 @@ class ParallelFuzzer(PoolRecoveryMixin):
             payload["items"],
             acks=self.pool.transport.take_acks(worker_id))
 
-    def _decode_shard(self, data) -> Dict[str, Any]:
+    def _decode_shard(self, worker_id: int, data) -> Dict[str, Any]:
         """One arrived shard → the structured result dict. Packed bytes
         come from real workers; the degraded InlinePool delivers the
-        structured form directly."""
+        structured form directly. The piggybacked shm acks are fed back
+        to the transport so the coordinator arena's slabs drain — fuzz
+        batches routinely clear the blob floor, so dropping acks would
+        leak a slab per batch for the whole campaign."""
         if isinstance(data, (bytes, bytearray, memoryview)):
             transport = self.pool.transport
             t0 = time.perf_counter()
-            _acks, _evictions, worker_enc, worker_dec, res = \
+            acks, _evictions, worker_enc, worker_dec, res = \
                 unpack_fuzz_results(data)
             stats = transport.stats
             stats.decode_s += time.perf_counter() - t0
             stats.worker_encode_s += worker_enc
             stats.worker_decode_s += worker_dec
+            transport.absorb_acks(worker_id, acks)
             return res
         return data
 
@@ -168,9 +172,9 @@ class ParallelFuzzer(PoolRecoveryMixin):
             while arrived < shards:
                 results = [self._await_result()]
                 results.extend(self.pool.drain_results())
-                for _, _, data in results:
+                for _, worker_id, data in results:
                     arrived += 1
-                    res = self._decode_shard(data)
+                    res = self._decode_shard(worker_id, data)
                     report.resets += res["resets"]
                     report.modelled_time_s += res["modelled_dt"]
                     report.resilience.merge(res["resilience"])

@@ -6,9 +6,11 @@ paid *per message*. Once the VM is fast (E12), that fixed cost dominates
 the parallel runtime (E9). This module keeps bulk payloads out of the
 queue entirely:
 
-* a **writer** appends payload bytes into epoch-tagged, ref-counted
-  **slabs** (``multiprocessing.shared_memory`` segments) via a bump
-  allocator — one copy, into memory the receiver can map directly,
+* a **writer** appends payload bytes into ref-counted **slabs**
+  (``multiprocessing.shared_memory`` segments) via a bump allocator —
+  one copy, into memory the receiver can map directly; references are
+  issued under per-peer epoch keys so a dead peer incarnation's late
+  acks stay inert after a respawn,
 * the queue then carries a fixed-size :class:`ShmRef` (segment name,
   offset, length, digest) instead of the payload,
 * a **reader** attaches segments on demand, slices the payload straight
@@ -36,7 +38,7 @@ import os
 import secrets
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
-from typing import Dict, Optional, Set
+from typing import Dict, Optional, Set, Tuple
 
 from repro.errors import VmError
 
@@ -144,24 +146,28 @@ class ArenaStats:
 
 
 class _Slab:
-    """One shared-memory segment under bump allocation."""
+    """One shared-memory segment under bump allocation.
 
-    def __init__(self, name: str, size: int, epoch: int):
+    Reference bookkeeping is keyed by ``(peer, epoch)`` — the peer's
+    forget-generation at :meth:`ChunkArena.place` time — so acks from a
+    dead incarnation can never be credited against references issued to
+    its successor."""
+
+    def __init__(self, name: str, size: int):
         self.shm = shared_memory.SharedMemory(name=name, create=True,
                                               size=size)
         self.name = name
         self.size = size
         self.used = 0
-        self.epoch = epoch
         self.sealed = False
-        self.issued: Dict[object, int] = {}
-        self.acked: Dict[object, int] = {}
+        self.issued: Dict[Tuple[object, int], int] = {}
+        self.acked: Dict[Tuple[object, int], int] = {}
 
     @property
     def drained(self) -> bool:
         """Every issued reference has been consumed (or cancelled)."""
-        return all(self.acked.get(peer, 0) >= n
-                   for peer, n in self.issued.items())
+        return all(self.acked.get(key, 0) >= n
+                   for key, n in self.issued.items())
 
 
 class ChunkArena:
@@ -172,9 +178,13 @@ class ChunkArena:
     the message flow: ``place`` counts a reference as issued to its
     peer, :meth:`ack` credits consumptions reported back by that peer,
     and a sealed slab whose references have all drained is unlinked.
-    ``epoch`` tags slabs with the forget-generation they were written
-    under, so accounting from before a peer respawn can never revive a
-    slab afterwards.
+
+    Every peer has a forget-generation **epoch**: references are issued
+    (and acks credited) under ``(peer, epoch)`` keys, and
+    :meth:`forget_peer` bumps the peer's epoch, cancels its old-epoch
+    keys and retires the open slab — so a late ack from a dead
+    incarnation finds no current-epoch issuance to credit and can never
+    reclaim a slab its successor still reads from.
     """
 
     #: Default slab size. Most chunk bodies are far smaller; oversized
@@ -184,7 +194,8 @@ class ChunkArena:
     def __init__(self, label: str, slab_bytes: int = SLAB_BYTES):
         self.label = label
         self.slab_bytes = slab_bytes
-        self.epoch = 0
+        #: Per-peer forget-generation; bumped by :meth:`forget_peer`.
+        self._epochs: Dict[object, int] = {}
         self.stats = ArenaStats()
         self._nonce = secrets.token_hex(4)
         self._seq = 0
@@ -194,11 +205,14 @@ class ChunkArena:
 
     # -- allocation ---------------------------------------------------------
 
+    def _key(self, peer: object) -> Tuple[object, int]:
+        return (peer, self._epochs.get(peer, 0))
+
     def _new_slab(self, size: int) -> _Slab:
         self._seq += 1
         name = f"rpr-{self.label}-{os.getpid():x}-{self._nonce}-{self._seq}"
         try:
-            slab = _Slab(name, size, self.epoch)
+            slab = _Slab(name, size)
         except (OSError, ValueError) as exc:
             raise ShmUnavailable(f"cannot create shm slab {name!r}: {exc}")
         self._slabs[name] = slab
@@ -227,7 +241,8 @@ class ChunkArena:
         offset = slab.used
         slab.shm.buf[offset:offset + length] = payload
         slab.used = offset + length
-        slab.issued[peer] = slab.issued.get(peer, 0) + 1
+        key = self._key(peer)
+        slab.issued[key] = slab.issued.get(key, 0) + 1
         if slab is not self._current:
             self._seal(slab)
         self.stats.payloads_placed += 1
@@ -252,26 +267,35 @@ class ChunkArena:
 
     def ack(self, peer: object, acks: Dict[str, int]) -> None:
         """Credit consumptions reported by *peer* (piggybacked on a
-        message travelling the other way). Acks for unknown slabs or
-        for peers with no outstanding references (a forgotten epoch)
-        are ignored — stale accounting must never resurrect a slab."""
+        message travelling the other way). Acks are credited under the
+        peer's *current* epoch: acks for unknown slabs, or from a
+        forgotten epoch (issuance keys removed by :meth:`forget_peer`),
+        are ignored — stale accounting must never reclaim a slab the
+        peer's successor still reads from."""
+        key = self._key(peer)
         for name, count in acks.items():
             slab = self._slabs.get(name)
-            if slab is None or peer not in slab.issued:
+            if slab is None or key not in slab.issued:
                 continue
-            slab.acked[peer] = slab.acked.get(peer, 0) + count
+            slab.acked[key] = slab.acked.get(key, 0) + count
             self._maybe_reclaim(slab)
 
     def forget_peer(self, peer: object) -> None:
         """Cancel every outstanding reference issued to *peer* (its
-        process died; nothing will ever ack them) and bump the epoch so
-        late acks from the dead incarnation stay inert."""
-        self.epoch += 1
+        process died; nothing will ever ack them) and bump the peer's
+        epoch so late acks from the dead incarnation stay inert. The
+        open slab is sealed too: re-placements for the respawned peer
+        must start a fresh slab, or a stale ack could name a slab that
+        carries live current-epoch references."""
+        self._epochs[peer] = self._epochs.get(peer, 0) + 1
         self.stats.peers_forgotten += 1
+        self.seal()
         for slab in list(self._slabs.values()):
-            if peer in slab.issued:
-                slab.issued.pop(peer, None)
-                slab.acked.pop(peer, None)
+            stale = [key for key in slab.issued if key[0] == peer]
+            for key in stale:
+                slab.issued.pop(key, None)
+                slab.acked.pop(key, None)
+            if stale:
                 self._maybe_reclaim(slab)
 
     def seal(self) -> None:

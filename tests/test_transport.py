@@ -133,6 +133,36 @@ class TestChunkArena:
             reader.close()
             arena.close()
 
+    def test_stale_acks_cannot_reclaim_reissued_refs(self):
+        """Epoch guard: after forget_peer (a respawn), re-placements
+        for the same peer start a fresh slab and are issued under a new
+        epoch — so the dead incarnation's late acks can neither drain
+        slabs other peers still hold nor credit the successor's
+        references out from under it."""
+        arena = ChunkArena("t-epoch", slab_bytes=1024)
+        dead = ArenaReader()
+        live = ArenaReader()
+        try:
+            ref0 = arena.place(os.urandom(100), "w0")
+            ref_w1 = arena.place(os.urandom(100), "w1")
+            assert ref_w1.segment == ref0.segment  # share one slab
+            dead.fetch(ref0, "c")
+            stale = dead.take_acks("c")  # w0 dies before sending these
+            arena.forget_peer("w0")      # respawn: cancel + epoch bump
+            ref1 = arena.place(os.urandom(100), "w0")  # re-issued payload
+            assert ref1.segment != ref0.segment  # fresh slab post-forget
+            arena.seal()
+            arena.ack("w0", stale)       # late delivery: must be inert
+            assert arena.live_slabs == 2  # nothing reclaimed early
+            assert len(live.fetch(ref1, "c")) == 100  # still readable
+            arena.ack("w0", live.take_acks("c"))
+            arena.ack("w1", {ref_w1.segment: 1})
+            assert arena.live_slabs == 0  # genuine acks still drain
+        finally:
+            dead.close()
+            live.close()
+            arena.close()
+
     def test_close_unlinks_everything(self):
         arena = ChunkArena("t-close")
         arena.place(os.urandom(100), "w0")
@@ -362,6 +392,22 @@ class TestPoolIntegration:
         pool.next_result(timeout=120)
         pool.close()
         assert not _shm_segments(f"rpr-{tag}-")
+
+    @needs_shm
+    def test_fuzzer_acks_drain_coordinator_arena(self):
+        """Regression: the fuzzer must absorb the shm acks piggybacked
+        on result envelopes — dropping them leaves every fuzz-batch
+        blob slab issued-but-never-acked, so /dev/shm usage grows with
+        each batch for the whole campaign."""
+        big_seeds = [os.urandom(3000), os.urandom(3000)]
+        with ParallelFuzzer(fuzz_packet_parser(), TIMER, seeds=big_seeds,
+                            seed=3, workers=2, batch_size=8,
+                            transport="shm") as fuzzer:
+            fuzzer.run(executions=32)
+            arena = fuzzer.pool.transport.arena
+            assert arena.stats.payloads_placed > 0  # blobs took shm
+            arena.seal()
+            assert arena.live_slabs == 0  # every placed blob was acked
 
 
 class TestVerdictIdentityAcrossTransports:
