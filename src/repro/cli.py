@@ -169,6 +169,7 @@ def cmd_run(args) -> int:
         with ParallelAnalysisEngine(
                 firmware, _parse_peripherals(args.peripheral),
                 workers=args.workers, transport=args.transport,
+                delta_state=not args.no_delta_state,
                 target=args.target, searcher=args.searcher,
                 concretization=args.concretization, scan_mode="functional",
                 snapshot_flatten_threshold=args.flatten_threshold,
@@ -336,6 +337,10 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["auto", "shm", "queue"],
                    help="parallel IPC transport: shared-memory slabs "
                         "(shm), plain queues (queue), or probe (auto)")
+    p.add_argument("--no-delta-state", action="store_true",
+                   help="ship full state pickles instead of dirty-page "
+                        "+ constraint-suffix deltas (measurement "
+                        "baseline)")
     p.add_argument("--no-opt", action="store_true",
                    help="skip the netlist optimizer (repro.opt) for "
                         "hosted designs")

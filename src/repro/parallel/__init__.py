@@ -13,6 +13,10 @@ path. This package is that runtime:
   (:class:`~repro.core.persistence.SnapshotWire`): a peer only receives
   the chunks it doesn't already hold — the cross-process analogue of
   :class:`~repro.targets.orchestrator.TransferRecord`'s ``delta_bits``,
+* the *software* half of a state travels the same way: the
+  :class:`StateWire` codec (:mod:`repro.parallel.statewire`) ships
+  dirty memory pages + constraint suffixes against per-peer
+  registries instead of full pickles,
 * :class:`ParallelAnalysisEngine` — the coordinator runs the searcher
   and leases pending states to workers; merged reports reproduce the
   serial engine's ``verdict_summary()`` byte-identically,
@@ -33,6 +37,7 @@ from repro.parallel.fuzzer import ParallelFuzzer
 from repro.parallel.pool import (InlinePool, PoolStats, PoolTimeout,
                                  WorkerDeath, WorkerError, WorkerPool)
 from repro.parallel.recipe import SessionRecipe, TargetRecipe
+from repro.parallel.statewire import StateWire, StateWireStats
 from repro.parallel.shm import (ArenaReader, ArenaStats, ChunkArena, ShmRef,
                                 ShmSegmentGone, ShmUnavailable,
                                 shm_available, unlink_stale)
@@ -44,6 +49,7 @@ __all__ = [
     "ParallelAnalysisEngine", "ParallelFuzzer", "WorkerPool", "InlinePool",
     "PoolStats", "WorkerError", "WorkerDeath", "PoolTimeout",
     "SessionRecipe", "TargetRecipe", "ChunkChannel", "WireStats",
+    "StateWire", "StateWireStats",
     "ChunkArena", "ArenaReader", "ArenaStats", "ShmRef",
     "ShmUnavailable", "ShmSegmentGone", "shm_available", "unlink_stale",
     "Transport", "QueueTransport", "ShmTransport", "make_transport",

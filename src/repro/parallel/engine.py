@@ -13,13 +13,22 @@ property ``tests/test_parallel.py`` pins down.
 
 Leases travel in **coalesced batches** (up to ``lease_batch`` per
 envelope, struct-packed — see :mod:`repro.parallel.envelope`) and the
-main loop is **double-buffered**: every already-delivered result is
+main loop is a **pipelined merge**: every already-delivered result is
 drained without blocking, freed workers are re-dispatched from parked
-states *first*, and only then does the coordinator pay the decode cost
-of the drained envelopes — so workers never idle on the coordinator's
-unpacking. Per-lease ``sym_base`` assignment, lineage-keyed merging and
-the final identity renumbering are unchanged, which is why batching and
+states *first*, and the decode of the drained envelopes is interleaved
+with further dispatch — after each envelope's states are adopted into
+the searcher, any worker that went idle meanwhile is fed immediately,
+so batch *i+1* executes while the coordinator is still merging batch
+*i*. Per-lease ``sym_base`` assignment, lineage-keyed merging and the
+final identity renumbering are unchanged, which is why batching and
 pipelining cannot perturb verdicts.
+
+Software state crosses the process boundary through the
+:class:`~repro.parallel.statewire.StateWire` delta codec: leases park
+*live* states coordinator-side and are delta-encoded at pack time
+(dirty pages the peer lacks + the constraint suffix beyond a shared
+ancestor), so a recovery re-pack after a respawn re-encodes as a full
+pickle against the worker's cold registry (``force_full``).
 
 Verdict parity holds for ``irq_poll_interval=1`` (the default): larger
 intervals phase the IRQ poll against the *global* instruction stream in
@@ -33,8 +42,6 @@ from collections import deque
 from typing import (Any, Deque, Dict, List, Optional, Sequence, Set,
                     Tuple, Union)
 
-import pickle
-
 from repro.core.config import SessionConfig
 from repro.core.engine import AnalysisReport
 from repro.isa.assembler import Program
@@ -42,6 +49,7 @@ from repro.parallel.envelope import pack_lease_batch, unpack_lease_results
 from repro.parallel.pool import WorkerPool
 from repro.parallel.recipe import SessionRecipe
 from repro.parallel.recovery import PoolRecoveryMixin
+from repro.parallel.statewire import StateWire
 from repro.parallel.wire import ChunkChannel
 from repro.parallel.workers import SYM_BASE_STRIDE
 from repro.resilience import RetryPolicy
@@ -70,10 +78,13 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
                  lease_budget: int = 0,
                  transport: str = "auto",
                  lease_batch: int = 4,
+                 delta_state: bool = True,
                  **overrides):
         self.recipe = SessionRecipe.create(firmware, peripherals,
                                            config=config,
-                                           transport=transport, **overrides)
+                                           transport=transport,
+                                           delta_state=delta_state,
+                                           **overrides)
         self.config = self.recipe.config
         self.workers = workers
         #: Instructions per lease; 0 = run each lease to fork/completion.
@@ -81,12 +92,14 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
         #: Max leases coalesced into one job envelope.
         self.lease_batch = max(1, lease_batch)
         self.channel = ChunkChannel()
+        self.statewire = StateWire(delta=self.recipe.delta_state)
         self.retry_policy = self.config.retry_policy or RetryPolicy()
         self._coverage: Set[int] = set()
         self._pool: Optional[WorkerPool] = None
         self._lease_seq = 0
         self._degraded = False
         self._worker_wire: Dict[object, object] = {}
+        self._worker_statewire: Dict[object, object] = {}
         #: Digests pinned on behalf of each worker's in-flight batch
         #: (they back wires the recovery ladder may need to re-encode).
         self._pinned: Dict[int, List[str]] = {}
@@ -141,10 +154,13 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
         this worker, chunk evictions it must learn about) taken at pack
         time so a re-pack ships fresh bookkeeping."""
         transport = self.pool.transport
+        peer = self._peer(worker_id)
         return pack_lease_batch(
             payload["leases"], transport, worker_id,
             acks=transport.take_acks(worker_id),
-            evictions=self.channel.take_evictions(self._peer(worker_id)))
+            evictions=self.channel.take_evictions(peer),
+            state_evictions=self.statewire.take_evictions(peer),
+            statewire=self.statewire)
 
     def _dispatch_batch(self, worker_id: int,
                         states: Sequence[Optional[ExecState]],
@@ -168,8 +184,11 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
                 pinned.extend(_wire_digests(wire))
                 self.channel.unpin(_wire_digests(state._wire))
                 del state._wire
-                lease["state"] = pickle.dumps(
-                    state, protocol=pickle.HIGHEST_PROTOCOL)
+                # The lease parks the *live* state; the statewire delta
+                # encode happens at pack time (pack_lease_batch), so a
+                # recovery re-pack re-encodes against the new peer's
+                # registries instead of replaying stale bytes.
+                lease["state"] = state
                 lease["wire"] = wire
             leases.append(lease)
         self.pool.submit(worker_id, "lease-batch", {"leases": leases},
@@ -179,13 +198,16 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
         self.pool.stats.states_shipped += sum(
             1 for lease in leases if lease["state"] is not None)
 
-    def _adopt(self, blob: bytes, wire, worker_id: int) -> ExecState:
-        """Unpickle a shipped state and remember which chunks back its
-        snapshot (the snapshot itself stays as references until the
-        state is leased out again). The backing chunks are pinned
-        against LRU eviction for as long as the state is parked."""
-        self.channel.absorb(wire, self._peer(worker_id))
-        state: ExecState = pickle.loads(blob)
+    def _adopt(self, shipped, worker_id: int) -> ExecState:
+        """Decode a shipped ``(kind, record, page bodies, wire)`` state
+        and remember which chunks back its snapshot (the snapshot
+        itself stays as references until the state is leased out
+        again). The backing chunks are pinned against LRU eviction for
+        as long as the state is parked."""
+        kind, record, bodies, wire = shipped
+        peer = self._peer(worker_id)
+        self.channel.absorb(wire, peer)
+        state = self.statewire.decode_state(kind, record, bodies, peer)
         state._wire = wire
         self.channel.pin(_wire_digests(wire))
         return state
@@ -197,14 +219,16 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
         if isinstance(data, (bytes, bytearray, memoryview)):
             transport = self.pool.transport
             t0 = time.perf_counter()
-            acks, evictions, worker_enc, worker_dec, results = \
-                unpack_lease_results(data, transport, worker_id)
+            acks, evictions, state_evictions, worker_enc, worker_dec, \
+                results = unpack_lease_results(data, transport, worker_id)
             stats = transport.stats
             stats.decode_s += time.perf_counter() - t0
             stats.worker_encode_s += worker_enc
             stats.worker_decode_s += worker_dec
             transport.absorb_acks(worker_id, acks)
-            self.channel.forget_remote(self._peer(worker_id), evictions)
+            peer = self._peer(worker_id)
+            self.channel.forget_remote(peer, evictions)
+            self.statewire.forget_remote(peer, state_evictions)
             return results
         return data["results"]
 
@@ -212,6 +236,7 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
 
     def _forget_peer(self, worker_id: object) -> None:
         self.channel.known.pop(worker_id, None)
+        self.statewire.forget_peer(worker_id)
 
     def _readdress(self, payload, peer: object) -> None:
         if not isinstance(payload, dict):
@@ -221,6 +246,12 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
         for lease in payload.get("leases", ()):
             if lease.get("wire") is not None:
                 lease["wire"] = self.channel.reencode(lease["wire"], peer)
+            if lease.get("state") is not None:
+                # The replacement worker's base/page registries are
+                # cold: the re-pack must ship a self-contained full
+                # pickle, never a delta against history the old worker
+                # took down with it.
+                lease["force_full"] = True
 
     # -- main loop ----------------------------------------------------------
 
@@ -301,6 +332,10 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
             if stop is None:
                 dispatch()
             for (_kind, worker_id, data), pins in zip(arrived, batch_pins):
+                # Pipelined merge: decode one envelope, fold its states
+                # into the searcher, then (below) immediately feed any
+                # idle worker before decoding the next envelope — batch
+                # i+1 executes while batch i+2..n are still merging.
                 for res in self._decode_batch(worker_id, data):
                     outstanding -= 1
                     executed += res["executed"]
@@ -314,6 +349,9 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
                     bugs.extend(res["bugs"])
                     self._worker_wire[self._peer(worker_id)] = \
                         res["wire_stats"]
+                    if res.get("state_wire") is not None:
+                        self._worker_statewire[self._peer(worker_id)] = \
+                            res["state_wire"]
                     if res["completed"] is not None:
                         report.paths.append(res["completed"])
                     # Serial parity: forks count before the
@@ -323,16 +361,18 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
                     if res["continuation"] is not None:
                         incoming.append(res["continuation"])
                     incoming.extend(res["children"])
-                    for blob, wire in incoming:
-                        state = self._adopt(blob, wire, worker_id)
+                    for shipped in incoming:
+                        state = self._adopt(shipped, worker_id)
                         if len(searcher) + outstanding < max_states:
                             searcher.add(state)
                         else:
-                            self.channel.unpin(_wire_digests(wire))
+                            self.channel.unpin(_wire_digests(shipped[3]))
                     report.max_live_states = max(
                         report.max_live_states,
                         len(searcher) + outstanding)
                 self.channel.unpin(pins)
+                if stop is None:
+                    dispatch()
 
         report.stop_reason = stop or "exhausted"
         report.instructions = executed
@@ -355,6 +395,11 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
         for wire_stats in self._worker_wire.values():
             pool.stats.wire.merge(wire_stats)
         self._worker_wire.clear()
+        pool.stats.state_wire.merge(self.statewire.stats)
+        self.statewire.stats = type(self.statewire.stats)()
+        for sw_stats in self._worker_statewire.values():
+            pool.stats.state_wire.merge(sw_stats)
+        self._worker_statewire.clear()
         # Pool-boundary recovery (respawns/reissues/duplicates/degraded)
         # joins the link-layer events the workers reported per lease.
         report.resilience.merge(pool.stats.resilience.delta(resilience0))

@@ -13,7 +13,15 @@ Every envelope also carries the transport's piggyback lane:
   :class:`~repro.parallel.shm.ArenaReader` owes the sender's arena,
 * **evictions** — chunk digests this endpoint dropped from its
   :class:`~repro.parallel.wire.ChunkChannel` pool under the LRU cap, so
-  the peer stops sending reference-only wires for them.
+  the peer stops sending reference-only wires for them,
+* **state evictions** — page digests dropped from the
+  :class:`~repro.parallel.statewire.StateWire` page pool, same
+  contract at the software-state layer.
+
+Software states travel as :mod:`~repro.parallel.statewire` records —
+a u8 kind (full pickle or delta), the packed record, and for deltas
+the missing page bodies staged through the same transport chunk plane
+as snapshot chunks (so large pages ride shared memory).
 
 Snapshot wires are packed field-by-field (refs table, method, bits) with
 their chunk plane delegated to the :class:`Transport` — inline pickled
@@ -109,7 +117,8 @@ def _put_obj(out: List[bytes], obj: Any) -> None:
 # -- piggyback lane (acks + evictions) --------------------------------------
 
 def _put_piggyback(out: List[bytes], acks: Dict[str, int],
-                   evictions: Sequence[str]) -> None:
+                   evictions: Sequence[str],
+                   state_evictions: Sequence[str] = ()) -> None:
     out.append(_U32.pack(len(acks)))
     for segment, count in acks.items():
         _put_text(out, segment)
@@ -117,12 +126,17 @@ def _put_piggyback(out: List[bytes], acks: Dict[str, int],
     out.append(_U32.pack(len(evictions)))
     for digest in evictions:
         _put_text(out, digest)
+    out.append(_U32.pack(len(state_evictions)))
+    for digest in state_evictions:
+        _put_text(out, digest)
 
 
-def _read_piggyback(cur: _Cursor) -> Tuple[Dict[str, int], List[str]]:
+def _read_piggyback(cur: _Cursor) -> Tuple[Dict[str, int], List[str],
+                                           List[str]]:
     acks = {cur.text(): cur.u32() for _ in range(cur.u32())}
     evictions = [cur.text() for _ in range(cur.u32())]
-    return acks, evictions
+    state_evictions = [cur.text() for _ in range(cur.u32())]
+    return acks, evictions, state_evictions
 
 
 # -- snapshot wires ----------------------------------------------------------
@@ -160,28 +174,67 @@ def _read_wire(cur: _Cursor, transport, peer: object) -> SnapshotWire:
     return SnapshotWire(refs=refs, chunks=chunks, method=method, bits=bits)
 
 
-def _put_shipped(out: List[bytes], shipped: Tuple[bytes, SnapshotWire],
+def _put_state_record(out: List[bytes], kind: int, record: bytes,
+                      bodies: Dict[str, bytes], transport,
+                      peer: object) -> None:
+    """One software-state record: u8 kind, record blob, and (delta
+    kind only) the page-body chunk plane staged through *transport* —
+    inline on the queue path, shared-memory references on the shm
+    path, exactly like hardware snapshot chunks."""
+    out.append(_U8.pack(kind))
+    _put_blob(out, record)
+    if kind == 2:  # statewire.KIND_DELTA
+        mode, payload = transport.place_chunks(
+            {digest: (body, len(body) * 8)
+             for digest, body in bodies.items()}, peer)
+        _put_text(out, mode)
+        _put_obj(out, payload)
+
+
+def _read_state_record(cur: _Cursor, transport, peer: object
+                       ) -> Tuple[int, bytes, Dict[str, bytes]]:
+    kind = cur.u8()
+    record = cur.blob()
+    bodies: Dict[str, bytes] = {}
+    if kind == 2:
+        mode = cur.text()
+        payload = cur.obj()
+        resolved = transport.resolve_chunks(mode, payload, peer)
+        bodies = {digest: body for digest, (body, _bits)
+                  in resolved.items()}
+    return kind, record, bodies
+
+
+def _put_shipped(out: List[bytes],
+                 shipped: Tuple[int, bytes, Dict[str, bytes], SnapshotWire],
                  transport, peer: object) -> None:
-    blob, wire = shipped
-    _put_blob(out, blob)
+    kind, record, bodies, wire = shipped
+    _put_state_record(out, kind, record, bodies, transport, peer)
     _put_wire(out, wire, transport, peer)
 
 
-def _read_shipped(cur: _Cursor, transport,
-                  peer: object) -> Tuple[bytes, SnapshotWire]:
-    return cur.blob(), _read_wire(cur, transport, peer)
+def _read_shipped(cur: _Cursor, transport, peer: object
+                  ) -> Tuple[int, bytes, Dict[str, bytes], SnapshotWire]:
+    kind, record, bodies = _read_state_record(cur, transport, peer)
+    return kind, record, bodies, _read_wire(cur, transport, peer)
 
 
 # -- lease batches (coordinator -> worker) -----------------------------------
 
 def pack_lease_batch(leases: Sequence[Dict[str, Any]], transport,
                      peer: object, acks: Dict[str, int],
-                     evictions: Sequence[str] = ()) -> bytes:
-    """Each lease: ``{budget, sym_base, state: bytes|None,
+                     evictions: Sequence[str] = (),
+                     state_evictions: Sequence[str] = (),
+                     statewire=None) -> bytes:
+    """Each lease: ``{budget, sym_base, state: ExecState|bytes|None,
     wire: SnapshotWire|None}`` (the structured form the recovery ladder
-    re-addresses)."""
+    re-addresses). Live states are encoded *here* — at pack time —
+    through *statewire*, so a re-pack after a respawn re-encodes
+    against the fresh peer context (``force_full`` marks leases the
+    recovery ladder re-addressed to a cold registry). Raw ``bytes``
+    states (pre-pickled, or no statewire) ship as full records."""
     out: List[bytes] = []
-    _put_piggyback(out, acks, evictions)
+    _put_piggyback(out, acks, evictions, state_evictions)
     out.append(_U32.pack(len(leases)))
     for lease in leases:
         out.append(_U64.pack(lease["budget"]))
@@ -189,30 +242,44 @@ def pack_lease_batch(leases: Sequence[Dict[str, Any]], transport,
         state = lease.get("state")
         if state is None:
             out.append(_U8.pack(0))
+            continue
+        if isinstance(state, (bytes, bytearray, memoryview)):
+            kind, record, bodies = 1, bytes(state), {}
+        elif statewire is not None:
+            kind, record, bodies = statewire.encode_state(
+                state, peer, force_full=lease.get("force_full", False))
         else:
-            out.append(_U8.pack(1))
-            _put_blob(out, state)
-            _put_wire(out, lease["wire"], transport, peer)
+            kind, record, bodies = 1, pickle.dumps(
+                state, protocol=_PICKLE), {}
+        _put_state_record(out, kind, record, bodies, transport, peer)
+        _put_wire(out, lease["wire"], transport, peer)
     return b"".join(out)
 
 
 def unpack_lease_batch(buf, transport, peer: object
-                       ) -> Tuple[Dict[str, int], List[str],
+                       ) -> Tuple[Dict[str, int], List[str], List[str],
                                   List[Dict[str, Any]]]:
     cur = _Cursor(buf)
-    acks, evictions = _read_piggyback(cur)
+    acks, evictions, state_evictions = _read_piggyback(cur)
     leases = []
     for _ in range(cur.u32()):
         lease: Dict[str, Any] = {"budget": cur.u64(),
                                  "sym_base": cur.u64()}
-        if cur.u8():
-            lease["state"] = cur.blob()
+        kind = cur.u8()
+        if kind:
+            cur.pos -= 1
+            kind, record, bodies = _read_state_record(cur, transport, peer)
+            lease["state"] = record
+            lease["state_kind"] = kind
+            lease["state_chunks"] = bodies
             lease["wire"] = _read_wire(cur, transport, peer)
         else:
             lease["state"] = None
+            lease["state_kind"] = 0
+            lease["state_chunks"] = {}
             lease["wire"] = None
         leases.append(lease)
-    return acks, evictions, leases
+    return acks, evictions, state_evictions, leases
 
 
 # -- lease results (worker -> coordinator) -----------------------------------
@@ -220,11 +287,13 @@ def unpack_lease_batch(buf, transport, peer: object
 def pack_lease_results(results: Sequence[Dict[str, Any]], transport,
                        peer: object, acks: Dict[str, int],
                        evictions: Sequence[str] = (),
+                       state_evictions: Sequence[str] = (),
                        encode_s: float = 0.0,
                        decode_s: float = 0.0) -> bytes:
     """Each result is one ``EngineWorker.run_lease`` dict; shipped
-    states (continuation + children) are packed as (state blob, wire)
-    pairs, everything else rides as one pickled meta blob.
+    states (continuation + children) are packed as
+    (kind, record, page bodies, wire) tuples, everything else rides as
+    one pickled meta blob.
 
     The two timing floats sit at offset 0 so the sender can
     :func:`stamp_encode_time` *after* packing (the pack time is only
@@ -232,7 +301,7 @@ def pack_lease_results(results: Sequence[Dict[str, Any]], transport,
     out: List[bytes] = []
     out.append(_F64.pack(encode_s))
     out.append(_F64.pack(decode_s))
-    _put_piggyback(out, acks, evictions)
+    _put_piggyback(out, acks, evictions, state_evictions)
     out.append(_U32.pack(len(results)))
     for res in results:
         meta = {k: v for k, v in res.items()
@@ -252,12 +321,12 @@ def pack_lease_results(results: Sequence[Dict[str, Any]], transport,
 
 
 def unpack_lease_results(buf, transport, peer: object
-                         ) -> Tuple[Dict[str, int], List[str],
+                         ) -> Tuple[Dict[str, int], List[str], List[str],
                                     float, float, List[Dict[str, Any]]]:
     cur = _Cursor(buf)
     encode_s = cur.f64()
     decode_s = cur.f64()
-    acks, evictions = _read_piggyback(cur)
+    acks, evictions, state_evictions = _read_piggyback(cur)
     results = []
     for _ in range(cur.u32()):
         res = cur.obj()
@@ -266,7 +335,7 @@ def unpack_lease_results(buf, transport, peer: object
         res["children"] = [_read_shipped(cur, transport, peer)
                            for _ in range(cur.u32())]
         results.append(res)
-    return acks, evictions, encode_s, decode_s, results
+    return acks, evictions, state_evictions, encode_s, decode_s, results
 
 
 # -- fuzz batches (coordinator -> worker) ------------------------------------
@@ -286,7 +355,7 @@ def pack_fuzz_batch(items: Sequence[Tuple[int, bytes]],
 def unpack_fuzz_batch(buf) -> Tuple[Dict[str, int], List[str],
                                     List[Tuple[int, bytes]]]:
     cur = _Cursor(buf)
-    acks, evictions = _read_piggyback(cur)
+    acks, evictions, _state_evictions = _read_piggyback(cur)
     items = [(cur.u32(), cur.blob()) for _ in range(cur.u32())]
     return acks, evictions, items
 
@@ -326,7 +395,7 @@ def unpack_fuzz_results(buf) -> Tuple[Dict[str, int], List[str],
     cur = _Cursor(buf)
     encode_s = cur.f64()
     decode_s = cur.f64()
-    acks, evictions = _read_piggyback(cur)
+    acks, evictions, _state_evictions = _read_piggyback(cur)
     res: Dict[str, Any] = {"modelled_dt": cur.f64(),
                            "resets": cur.u32(),
                            "resilience": cur.obj()}

@@ -48,6 +48,7 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 from repro.errors import VmError
 from repro.parallel.recipe import SessionRecipe
 from repro.parallel.shm import ShmSegmentGone, unlink_stale
+from repro.parallel.statewire import StateWireStats
 from repro.parallel.transport import IpcStats, Transport, make_transport
 from repro.parallel.wire import ChunkChannel, WireStats
 from repro.parallel.workers import _HARNESS_TYPES, STOP, _worker_main
@@ -113,6 +114,9 @@ class PoolStats:
     batches: int = 0
     states_shipped: int = 0
     wire: WireStats = field(default_factory=WireStats)
+    #: Software-state delta-wire accounting (StateWire codec) — full
+    #: vs delta bytes, pages shipped/referenced, constraint suffixes.
+    state_wire: StateWireStats = field(default_factory=StateWireStats)
     host_time_s: float = 0.0
     #: Which transport moved the bulk bytes ("shm" or "queue").
     transport: str = "queue"
@@ -136,6 +140,18 @@ class PoolStats:
                 f"logical={self.wire.logical_bits_sent}b "
                 f"sent={self.wire.payload_bits_sent}b "
                 f"(delta x{self.wire.delta_ratio:.1f})")
+        if self.state_wire.states_sent:
+            sw = self.state_wire
+            lines.append(
+                f"[pool] state-wire full={sw.full_states} "
+                f"delta={sw.delta_states} "
+                f"bytes full={sw.state_bytes_full}B "
+                f"delta={sw.state_bytes_delta}B "
+                f"pages shipped={sw.pages_shipped}/"
+                f"ref={sw.pages_referenced} "
+                f"constraints {sw.constraints_suffix}/"
+                f"{sw.constraints_total} suffix "
+                f"(delta x{sw.delta_ratio:.1f})")
         if self.ipc.messages_out or self.ipc.messages_in:
             lines.append(
                 f"[pool] ipc queue={self.ipc.queue_bytes_out}B out/"

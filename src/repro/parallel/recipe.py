@@ -97,6 +97,11 @@ class SessionRecipe:
     #: the host supports it, else queue), "shm", or "queue". Rides the
     #: recipe so coordinator and workers resolve the same choice.
     transport: str = "auto"
+    #: Ship software state as dirty-page + constraint-suffix deltas
+    #: (:mod:`repro.parallel.statewire`). ``False`` forces full pickles
+    #: on every lease — the measurement baseline and the degraded
+    #: in-process fallback, where no wire format is involved at all.
+    delta_state: bool = True
 
     @classmethod
     def create(cls, firmware: Union[str, Program],
@@ -104,6 +109,7 @@ class SessionRecipe:
                config: Optional[SessionConfig] = None,
                max_steps_per_exec: int = 20_000,
                transport: str = "auto",
+               delta_state: bool = True,
                **overrides) -> "SessionRecipe":
         """Build a recipe from the same arguments
         :class:`~repro.core.hardsnap.HardSnapSession` takes."""
@@ -134,7 +140,7 @@ class SessionRecipe:
             peripherals=tuple(bindings))
         return cls(program=program, target=target, config=config,
                    max_steps_per_exec=max_steps_per_exec,
-                   transport=transport)
+                   transport=transport, delta_state=delta_state)
 
     def build_session(self):
         """Construct a full HardSnapSession from this recipe (worker

@@ -29,6 +29,7 @@ to keep chunk-channel bookkeeping consistent across respawns.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, Iterable, Optional, Tuple
 
 from repro.parallel.pool import (InlinePool, PoolTimeout, WorkerDeath,
@@ -110,8 +111,13 @@ class PoolRecoveryMixin:
         stats.resilience.degraded = True
         pending = pool.take_in_flight()
         pool.close()
-        inline = InlinePool(self.recipe.with_config(fault_plan=None),
-                            stats=stats)
+        # delta_state off: the in-process harness exchanges live state
+        # objects and full pickles — there is no per-peer registry to
+        # keep in lock-step once the wire is gone.
+        inline = InlinePool(
+            replace(self.recipe.with_config(fault_plan=None),
+                    delta_state=False),
+            stats=stats)
         self._pool = inline
         self._degraded = True
         for _job_id, info in pending:

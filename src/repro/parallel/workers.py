@@ -21,7 +21,6 @@ and import-light so it survives ``spawn`` start methods.
 from __future__ import annotations
 
 import os
-import pickle
 import struct
 import time
 import traceback
@@ -36,6 +35,7 @@ from repro.parallel.envelope import (pack_fuzz_results, pack_lease_results,
                                      stamp_encode_time, unpack_fuzz_batch,
                                      unpack_lease_batch)
 from repro.parallel.recipe import SessionRecipe
+from repro.parallel.statewire import KIND_FULL, StateWire
 from repro.parallel.transport import Transport, make_transport
 from repro.parallel.wire import ChunkChannel
 from repro.resilience import FaultInjector
@@ -84,6 +84,8 @@ class EngineWorker:
         self.session = recipe.build_session()
         self.engine = self.session.engine
         self.channel = ChunkChannel()
+        self.statewire = StateWire(
+            delta=getattr(recipe, "delta_state", True))
         self.bits_of = {name: inst.state_bits
                         for name, inst in
                         self.session.target.instances.items()}
@@ -91,8 +93,11 @@ class EngineWorker:
 
     # -- state (de)materialisation ------------------------------------------
 
-    def _ship_state(self, state: ExecState) -> Tuple[bytes, Any]:
-        """(pickled state sans snapshot, wire for its snapshot)."""
+    def _ship_state(self, state: ExecState
+                    ) -> Tuple[int, bytes, Dict[str, bytes], Any]:
+        """(state-record kind, record, page bodies, wire for its
+        snapshot) — the software half delta-encoded against the
+        coordinator's registries, the hardware half as a chunk wire."""
         snapshot = state.hw_snapshot
         if snapshot is None:
             # Active states always carry a snapshot by the time they
@@ -103,10 +108,10 @@ class EngineWorker:
         wire = self.channel.encode(snapshot, COORD, bits_of=self.bits_of)
         state.hw_snapshot = None
         try:
-            blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+            kind, record, bodies = self.statewire.encode_state(state, COORD)
         finally:
             state.hw_snapshot = snapshot
-        return blob, wire
+        return kind, record, bodies, wire
 
     def _materialise(self, payload: Dict[str, Any]) -> ExecState:
         if payload["state"] is None:
@@ -114,7 +119,15 @@ class EngineWorker:
             self.engine.strategy.on_start(None)  # controller.reset()
             state = self.session.make_initial_state()
             return state
-        state: ExecState = pickle.loads(payload["state"])
+        if isinstance(payload["state"], ExecState):
+            # Degraded InlinePool path: the structured payload carries
+            # the live object — no wire format was ever involved.
+            state = payload["state"]
+        else:
+            kind = payload.get("state_kind", KIND_FULL)
+            state = self.statewire.decode_state(
+                kind, payload["state"], payload.get("state_chunks") or {},
+                COORD)
         state.hw_snapshot = self.channel.decode(payload["wire"], COORD)
         return state
 
@@ -170,6 +183,7 @@ class EngineWorker:
             },
             "modelled_dt": timer.total_s - modelled0,
             "wire_stats": self.channel.stats,
+            "state_wire": self.statewire.stats,
             "resilience":
                 self.session.target.resilience.delta(resilience0),
         }
@@ -278,17 +292,20 @@ def _worker_main(worker_id: int, recipe: SessionRecipe,
     def run_lease_batch(payload) -> Any:
         blob = transport.fetch_blob(payload, COORD)
         t0 = time.perf_counter()
-        acks, evictions, leases = unpack_lease_batch(blob, transport, COORD)
+        acks, evictions, state_evictions, leases = \
+            unpack_lease_batch(blob, transport, COORD)
         decode_s = time.perf_counter() - t0
         transport.absorb_acks(COORD, acks)
         engine = harness("engine")
         engine.channel.forget_remote(COORD, evictions)
+        engine.statewire.forget_remote(COORD, state_evictions)
         outcomes = [engine.run_lease(lease) for lease in leases]
         t0 = time.perf_counter()
         packed = bytearray(pack_lease_results(
             outcomes, transport, COORD,
             acks=transport.take_acks(COORD),
             evictions=engine.channel.take_evictions(COORD),
+            state_evictions=engine.statewire.take_evictions(COORD),
             encode_s=0.0, decode_s=decode_s))
         stamp_encode_time(packed, time.perf_counter() - t0)
         return transport.place_blob(bytes(packed), COORD)

@@ -53,6 +53,32 @@ class SymbolicMemory:
         self._owned = set()  # parent must also COW from now on
         return child
 
+    # -- pickling ----------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # Canonical form: pages in sorted page order and no ``_owned``
+        # set. ``_owned`` is a process-local COW hint — an unpickled
+        # memory must copy on first write anyway (its pages may be
+        # shared with a decoder-side page pool), and dropping it makes
+        # ``pickle.dumps`` a pure function of memory *content*, which
+        # the delta state wire (repro.parallel.statewire) relies on for
+        # byte-identical full-pickle/delta round-trips.
+        return {
+            "size": self.size,
+            "pages": dict(sorted(self._pages.items())),
+            "image_digest": self.image_digest,
+            "code_limit": self.code_limit,
+            "code_clean": self.code_clean,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.size = state["size"]
+        self._pages = state["pages"]
+        self._owned = set()
+        self.image_digest = state["image_digest"]
+        self.code_limit = state["code_limit"]
+        self.code_clean = state["code_clean"]
+
     # -- byte access ----------------------------------------------------------
 
     def _page_for_read(self, page_no: int) -> Optional[List[Value]]:

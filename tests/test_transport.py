@@ -204,14 +204,17 @@ class TestEnvelope:
                   {"budget": 0, "sym_base": 1_000_000,
                    "state": None, "wire": None}]
         buf = pack_lease_batch(leases, t, "w0", acks={"seg-a": 2},
-                               evictions=["dead-digest"])
-        acks, evictions, back = unpack_lease_batch(buf, t, "c")
+                               evictions=["dead-digest"],
+                               state_evictions=["page-digest"])
+        acks, evictions, state_ev, back = unpack_lease_batch(buf, t, "c")
         assert acks == {"seg-a": 2}
         assert evictions == ["dead-digest"]
+        assert state_ev == ["page-digest"]
         assert len(back) == 2
         assert back[0]["budget"] == 7
         assert back[0]["sym_base"] == 2_000_000
         assert back[0]["state"] == leases[0]["state"]
+        assert back[0]["state_kind"] == 1  # pre-pickled bytes = KIND_FULL
         assert back[0]["wire"].refs == wire.refs
         assert back[0]["wire"].chunks == wire.chunks
         assert back[0]["wire"].method == wire.method
@@ -221,8 +224,8 @@ class TestEnvelope:
         t = QueueTransport()
         wire = _timer_wire()
         res = {"executed": 42, "paused": False,
-               "continuation": (b"contblob", wire),
-               "children": [(b"childblob", wire)],
+               "continuation": (1, b"contblob", {}, wire),
+               "children": [(1, b"childblob", {}, wire)],
                "completed": None, "bugs": [], "coverage": [1, 2, 3],
                "stats": {"saves": 1}, "modelled_dt": 0.5,
                "wire_stats": WireStats(snapshots_sent=3),
@@ -230,13 +233,15 @@ class TestEnvelope:
         buf = bytearray(pack_lease_results(
             [res], t, "c", acks={}, evictions=[], decode_s=0.25))
         stamp_encode_time(buf, 1.5)
-        _acks, _ev, enc, dec, back = unpack_lease_results(buf, t, "w0")
+        _acks, _ev, _sev, enc, dec, back = unpack_lease_results(
+            buf, t, "w0")
         assert enc == 1.5 and dec == 0.25
         assert back[0]["executed"] == 42
         assert back[0]["coverage"] == [1, 2, 3]
         assert back[0]["wire_stats"].snapshots_sent == 3
-        blob, cwire = back[0]["continuation"]
-        assert blob == b"contblob" and cwire.refs == wire.refs
+        kind, blob, bodies, cwire = back[0]["continuation"]
+        assert kind == 1 and blob == b"contblob" and bodies == {}
+        assert cwire.refs == wire.refs
         assert len(back[0]["children"]) == 1
 
     def test_fuzz_batch_and_results_roundtrip(self):
@@ -265,7 +270,7 @@ class TestEnvelope:
             buf = pack_lease_batch([self._lease(wire)], sender, "w0",
                                    acks={})
             assert sender.stats.shm_chunks_out == len(wire.chunks)
-            _a, _e, leases = unpack_lease_batch(buf, receiver, "c")
+            _a, _e, _sev, leases = unpack_lease_batch(buf, receiver, "c")
             assert leases[0]["wire"].chunks == wire.chunks
             # The fetch was recorded: acks ride the next reverse message.
             assert receiver.reader._pending.get("c")
