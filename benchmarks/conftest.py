@@ -16,6 +16,7 @@ import pathlib
 
 import pytest
 
+from repro.core.persistence import atomic_write_json, atomic_write_text
 from repro.firmware import TIMER_BASE
 from repro.peripherals import catalog
 from repro.targets import FpgaTarget, SimulatorTarget
@@ -31,7 +32,14 @@ def emit(experiment: str, text: str) -> None:
     print()
     print(text)
     OUT_DIR.mkdir(exist_ok=True)
-    (OUT_DIR / f"{experiment}.txt").write_text(text + "\n")
+    atomic_write_text(OUT_DIR / f"{experiment}.txt", text + "\n")
+
+
+def emit_json(name: str, payload: dict) -> None:
+    """Persist a BENCH_*.json machine artifact atomically — CI gates
+    read these back, so a crashed run must never leave a torn file."""
+    OUT_DIR.mkdir(exist_ok=True)
+    atomic_write_json(OUT_DIR / name, payload, indent=2, sort_keys=True)
 
 
 def fpga_with(spec, scan_mode="functional", **kw) -> FpgaTarget:

@@ -17,11 +17,10 @@ TIMER) and proves the optimizer changes *nothing observable*:
   ``benchmarks/out/BENCH_opt.json`` and CI fails if it did not run.
 """
 
-import json
 import random
 import time
 
-from benchmarks.conftest import OUT_DIR, emit
+from benchmarks.conftest import emit, emit_json
 from repro.analysis import format_table
 from repro.core import SnapshotFuzzer
 from repro.firmware import TIMER_BASE, fuzz_packet_parser
@@ -112,8 +111,7 @@ def test_opt_throughput(benchmark):
               f"({MEASURE_CYCLES} measured cycles, "
               f"{EXECUTIONS} fuzz executions)"))
 
-    OUT_DIR.mkdir(exist_ok=True)
-    (OUT_DIR / "BENCH_opt.json").write_text(json.dumps({
+    emit_json("BENCH_opt.json", {
         "experiment": "opt_throughput",
         "workload": "scan-instrumented TIMER (E9 hardware)",
         "measure_cycles": MEASURE_CYCLES,
@@ -129,7 +127,7 @@ def test_opt_throughput(benchmark):
             "verdict_identical": verdict_identical,
         },
         "differential_gate": {"ran": True, "passed": gate_ok},
-    }, indent=1) + "\n")
+    })
 
     assert gate_ok, "differential spot check failed: snapshots diverged"
     assert verdict_identical, "fuzzing verdicts diverged under opt"

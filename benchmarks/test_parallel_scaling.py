@@ -40,11 +40,10 @@ must beat serial (> 1.0x) at 2 workers.
 Emits ``benchmarks/out/BENCH_parallel.json`` with the scaling table.
 """
 
-import json
 import os
 import time
 
-from benchmarks.conftest import OUT_DIR, emit
+from benchmarks.conftest import emit, emit_json
 from repro.analysis import format_table
 from repro.core import HardSnapSession, SnapshotFuzzer
 from repro.firmware import TIMER_BASE, dispatcher, fuzz_packet_parser
@@ -262,8 +261,7 @@ def test_parallel_scaling(benchmark):
             f"properties still asserted")
         print(gate["note"])
 
-    OUT_DIR.mkdir(exist_ok=True)
-    (OUT_DIR / "BENCH_parallel.json").write_text(json.dumps({
+    emit_json("BENCH_parallel.json", {
         "experiment": "parallel_scaling",
         "host_cores": cores,
         "effective_cores": effective_cores,
@@ -298,7 +296,7 @@ def test_parallel_scaling(benchmark):
         },
         "state_wire_gate": wire_gate,
         "shm_lane": shm_lane,
-    }, indent=1) + "\n")
+    })
 
     # Identity holds unconditionally, per transport and worker count.
     for (transport, workers), (report, _, identical, _ipc) in \

@@ -17,10 +17,9 @@ Verdict identity against the baseline is asserted *unconditionally* at
 every rung.  Emits ``benchmarks/out/BENCH_resilience.json``.
 """
 
-import json
 import time
 
-from benchmarks.conftest import OUT_DIR, emit
+from benchmarks.conftest import emit, emit_json
 from repro.analysis import format_table
 from repro.core import SnapshotFuzzer
 from repro.firmware import TIMER_BASE, fuzz_packet_parser
@@ -97,14 +96,13 @@ def test_resilience_overhead():
         title=f"E10: resilience overhead, {EXECUTIONS} executions "
               f"(batch {BATCH}, best of {QUIET_ROUNDS} for quiet configs)"))
 
-    OUT_DIR.mkdir(exist_ok=True)
-    (OUT_DIR / "BENCH_resilience.json").write_text(json.dumps({
+    emit_json("BENCH_resilience.json", {
         "experiment": "resilience_overhead",
         "executions": EXECUTIONS,
         "batch_size": BATCH,
         "nominal_overhead_budget": NOMINAL_OVERHEAD,
         "configs": record,
-    }, indent=1) + "\n")
+    })
 
     # Recovery is transparent: every rung reproduces the baseline verdict.
     for name, entry in record.items():

@@ -20,11 +20,10 @@ predecoded fetch vs forced byte-accurate fetch. All tiers must agree on
 the halt code — verdict identity is recorded in ``BENCH_vm.json``.
 """
 
-import json
 import os
 import time
 
-from benchmarks.conftest import OUT_DIR, emit
+from benchmarks.conftest import emit, emit_json
 from repro.analysis import format_table
 from repro.isa import Cpu, assemble
 from repro.vm import SymbolicExecutor
@@ -130,8 +129,7 @@ def test_vm_throughput(benchmark):
         title=f"E12: VM dispatch tiers on the concrete checksum loop "
               f"({LOOP_COUNT} iterations)"))
 
-    OUT_DIR.mkdir(exist_ok=True)
-    (OUT_DIR / "BENCH_vm.json").write_text(json.dumps({
+    emit_json("BENCH_vm.json", {
         "experiment": "vm_throughput",
         "workload": f"concrete checksum loop, {LOOP_COUNT} iterations",
         "host_cores": os.cpu_count(),
@@ -149,7 +147,7 @@ def test_vm_throughput(benchmark):
         },
         "min_speedup": MIN_SPEEDUP,
         "verdict_identical": verdict_identical,
-    }, indent=1) + "\n")
+    })
 
     assert verdict_identical, "dispatch tiers diverged on the workload"
     assert batch_speedup >= MIN_SPEEDUP, (

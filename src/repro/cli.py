@@ -7,9 +7,18 @@
     python -m repro.cli lint --catalog
     python -m repro.cli run firmware.s --peripheral timer@0x40000000 ...
     python -m repro.cli fuzz firmware.s --peripheral timer@0x40000000 -n 500
+    python -m repro.cli resume campaign.journal/
+    python -m repro.cli replay campaign.journal/
     python -m repro.cli disasm firmware.s
     python -m repro.cli corpus
     python -m repro.cli table1
+
+``run``/``fuzz`` accept ``--journal DIR`` to event-source the campaign
+(crash-safe: ``resume`` continues an interrupted journal to a verdict
+byte-identical to an uninterrupted run; ``replay`` deterministically
+re-executes a sealed one and checks the recorded verdict). All campaign
+commands install graceful SIGINT/SIGTERM handling: the first signal
+checkpoints and drains, the second forces pool teardown.
 """
 
 from __future__ import annotations
@@ -21,6 +30,9 @@ from typing import List, Tuple
 
 from repro.analysis import format_table
 from repro.core import HardSnapSession, SnapshotFuzzer
+from repro.core.journal import Journal
+from repro.core.persistence import atomic_write_json
+from repro.core.shutdown import graceful_shutdown
 from repro.errors import InstrumentationError
 from repro.hdl import elaborate
 from repro.instrument import (emit_verilog, insert_scan_chain, machine_report,
@@ -94,8 +106,7 @@ def cmd_instrument(args) -> int:
           f"{row.added_muxes} scan muxes added", file=sys.stderr)
     if args.report:
         payload = machine_report(design, result=result, clock=args.clock)
-        with open(args.report, "w") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
+        atomic_write_json(args.report, payload, indent=2, sort_keys=True)
         print(f"machine-readable report written to {args.report}",
               file=sys.stderr)
     return 0
@@ -157,19 +168,55 @@ def _print_opt_report(target) -> None:
             print(line)
 
 
+def _print_run_report(report, pool_stats=None, session=None) -> int:
+    print(report.summary())
+    for path in report.halted_paths:
+        print(f"  path {path.state_id}: halt {path.halt_code} "
+              f"steps {path.steps} test case {path.test_case}")
+    for bug in report.bugs:
+        print(f"  BUG {bug.summary()}")
+    if pool_stats is not None:
+        print(pool_stats.summary())
+    elif session is not None and report.snapshot_saves:
+        print(session.engine.controller.stats_table())
+    if report.resilience.any:
+        print(report.resilience.summary())
+    if report.stop_reason == "interrupted":
+        return 130  # the campaign wound down on a shutdown signal
+    return 1 if report.bugs else 0
+
+
+def _print_fuzz_report(report, pool_stats=None) -> int:
+    print(report.summary())
+    for crash in report.crashes[:10]:
+        print(f"  crash @{crash.execution}: {crash.reason}")
+        print(f"    input: {crash.input_bytes.hex()}")
+    if pool_stats is not None:
+        print(pool_stats.summary())
+    if report.resilience.any:
+        print(report.resilience.summary())
+    if report.stop_reason == "interrupted":
+        return 130  # the campaign wound down on a shutdown signal
+    return 1 if report.crashes else 0
+
+
 def cmd_run(args) -> int:
     firmware = open(args.firmware).read()
-    pool_stats = None
     resilience = _resilience_overrides(args)
-    if args.workers > 1:
+    # A journaled campaign runs through the parallel coordinator even at
+    # --workers 1 (the journal's checkpoint format is the coordinator's;
+    # verdicts are worker-count-independent, so this changes nothing).
+    if args.workers > 1 or args.journal:
         from repro.parallel import ParallelAnalysisEngine
         if args.strategy != "hardsnap":
-            raise SystemExit("run: --workers requires --strategy hardsnap "
-                             "(snapshots make states portable)")
-        with ParallelAnalysisEngine(
+            raise SystemExit("run: --workers/--journal require --strategy "
+                             "hardsnap (snapshots make states portable)")
+        with graceful_shutdown(), ParallelAnalysisEngine(
                 firmware, _parse_peripherals(args.peripheral),
                 workers=args.workers, transport=args.transport,
                 delta_state=not args.no_delta_state,
+                journal=args.journal,
+                checkpoint_every=args.checkpoint_every,
                 target=args.target, searcher=args.searcher,
                 concretization=args.concretization, scan_mode="functional",
                 snapshot_flatten_threshold=args.flatten_threshold,
@@ -178,7 +225,8 @@ def cmd_run(args) -> int:
             report = engine.run(max_instructions=args.max_instructions,
                                 stop_after_bugs=args.stop_after_bugs)
             pool_stats = engine.pool_stats
-    else:
+        return _print_run_report(report, pool_stats=pool_stats)
+    with graceful_shutdown():
         session = HardSnapSession(
             firmware, _parse_peripherals(args.peripheral),
             target=args.target, strategy=args.strategy,
@@ -190,40 +238,32 @@ def cmd_run(args) -> int:
             **resilience)
         report = session.run(max_instructions=args.max_instructions,
                              stop_after_bugs=args.stop_after_bugs)
-        _print_opt_report(session.target)
-    print(report.summary())
-    for path in report.halted_paths:
-        print(f"  path {path.state_id}: halt {path.halt_code} "
-              f"steps {path.steps} test case {path.test_case}")
-    for bug in report.bugs:
-        print(f"  BUG {bug.summary()}")
-    if pool_stats is not None:
-        print(pool_stats.summary())
-    elif report.snapshot_saves:
-        print(session.engine.controller.stats_table())
-    if report.resilience.any:
-        print(report.resilience.summary())
-    return 1 if report.bugs else 0
+    _print_opt_report(session.target)
+    return _print_run_report(report, session=session)
 
 
 def cmd_fuzz(args) -> int:
     seeds = [bytes.fromhex(s) for s in args.seed] or None
-    pool_stats = None
     resilience = _resilience_overrides(args)
-    if args.workers > 1:
+    if args.workers > 1 or args.journal:
         from repro.parallel import ParallelFuzzer
         if args.reset != "snapshot":
-            raise SystemExit("fuzz: --workers requires --reset snapshot")
+            raise SystemExit("fuzz: --workers/--journal require "
+                             "--reset snapshot")
         firmware = open(args.firmware).read()
-        with ParallelFuzzer(firmware, _parse_peripherals(args.peripheral),
-                            seeds=seeds, workers=args.workers,
-                            transport=args.transport,
-                            batch_size=args.batch_size,
-                            seed=args.rng_seed, opt=not args.no_opt,
-                            **resilience) as fuzzer:
+        with graceful_shutdown(), ParallelFuzzer(
+                firmware, _parse_peripherals(args.peripheral),
+                seeds=seeds, workers=args.workers,
+                transport=args.transport,
+                batch_size=args.batch_size,
+                journal=args.journal,
+                checkpoint_every=args.checkpoint_every,
+                seed=args.rng_seed, opt=not args.no_opt,
+                **resilience) as fuzzer:
             report = fuzzer.run(executions=args.executions)
             pool_stats = fuzzer.pool_stats
-    else:
+        return _print_fuzz_report(report, pool_stats=pool_stats)
+    with graceful_shutdown():
         program = assemble(open(args.firmware).read())
         target = FpgaTarget(scan_mode="functional", opt=not args.no_opt)
         for spec, base in _parse_peripherals(args.peripheral):
@@ -236,15 +276,84 @@ def cmd_fuzz(args) -> int:
                                 reset=args.reset, seed=args.rng_seed)
         report = fuzzer.run(executions=args.executions,
                             batch_size=args.batch_size)
-    print(report.summary())
-    for crash in report.crashes[:10]:
-        print(f"  crash @{crash.execution}: {crash.reason}")
-        print(f"    input: {crash.input_bytes.hex()}")
-    if pool_stats is not None:
-        print(pool_stats.summary())
-    if report.resilience.any:
-        print(report.resilience.summary())
-    return 1 if report.crashes else 0
+    return _print_fuzz_report(report)
+
+
+def cmd_resume(args) -> int:
+    """Continue an interrupted journaled campaign to its verdict."""
+    mode = Journal.campaign_mode(args.journal)
+    with graceful_shutdown():
+        if mode == "dse":
+            from repro.parallel import ParallelAnalysisEngine
+            with ParallelAnalysisEngine.resume(
+                    args.journal, workers=args.workers) as engine:
+                report = engine.resume_run()
+                pool_stats = engine.pool_stats
+            return _print_run_report(report, pool_stats=pool_stats)
+        from repro.parallel import ParallelFuzzer
+        with ParallelFuzzer.resume(args.journal,
+                                   workers=args.workers) as fuzzer:
+            report = fuzzer.resume_run()
+            pool_stats = fuzzer.pool_stats
+        return _print_fuzz_report(report, pool_stats=pool_stats)
+
+
+def cmd_replay(args) -> int:
+    """Deterministically re-execute a journaled campaign from its
+    recorded recipe (journaling off) and check the verdict against the
+    sealed one; fuzz crashes are additionally re-executed concretely on
+    a fresh target (the :func:`repro.core.persistence.replay_crash`
+    discipline applied to journal history)."""
+    journal = Journal.open(args.journal, readonly=True)
+    opened = journal.first("campaign-opened")
+    if opened is None:
+        raise SystemExit(f"replay: {args.journal} records no campaign")
+    setup = journal.get_blob(opened["blob"])
+    sealed = journal.last("campaign-sealed")
+    with graceful_shutdown():
+        if opened["mode"] == "dse":
+            from repro.parallel import ParallelAnalysisEngine
+            with ParallelAnalysisEngine(
+                    recipe=setup["recipe"],
+                    workers=args.workers or setup["workers"],
+                    lease_budget=setup["lease_budget"],
+                    lease_batch=setup["lease_batch"]) as engine:
+                report = engine.run(**setup["run_kwargs"])
+                pool_stats = engine.pool_stats
+            status = _print_run_report(report, pool_stats=pool_stats)
+        else:
+            from repro.core.fuzzer import execute_input
+            from repro.parallel import ParallelFuzzer
+            with ParallelFuzzer(
+                    recipe=setup["recipe"], seeds=setup["seeds"],
+                    seed=setup["seed"], batch_size=setup["batch_size"],
+                    workers=args.workers or setup["workers"]) as fuzzer:
+                report = fuzzer.run(executions=setup["executions"])
+                pool_stats = fuzzer.pool_stats
+            status = _print_fuzz_report(report, pool_stats=pool_stats)
+            for crash in report.crashes:
+                target = setup["recipe"].target.build()
+                _exit, _edges, reason, pc = execute_input(
+                    setup["recipe"].program, target, crash.input_bytes,
+                    max_steps=setup["recipe"].max_steps_per_exec)
+                ok = reason is not None
+                print(f"  replayed crash @{crash.execution}: "
+                      f"{'reproduced' if ok else 'NOT reproduced'} "
+                      f"({reason or 'no crash'} @0x{pc:x})")
+                if not ok:
+                    status = 1
+    verdict = report.verdict_summary()
+    if sealed is None:
+        print("replay: journal is unsealed (campaign never completed); "
+              "no recorded verdict to compare")
+        return status
+    if verdict == sealed["verdict"]:
+        print("replay: verdict matches the sealed campaign verdict")
+        return status
+    print("replay: VERDICT MISMATCH against the sealed campaign:\n"
+          f"  sealed:   {sealed['verdict']}\n"
+          f"  replayed: {verdict}")
+    return 1
 
 
 def cmd_disasm(args) -> int:
@@ -353,6 +462,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "stepper)")
     p.add_argument("--lane-steps", type=int, default=1,
                    help="instructions granted to each lane per pass")
+    p.add_argument("--journal", metavar="DIR",
+                   help="event-source the campaign into DIR (crash-safe; "
+                        "continue later with 'repro resume DIR')")
+    p.add_argument("--checkpoint-every", type=int, default=8,
+                   help="journaled runs: envelopes merged between "
+                        "periodic checkpoints")
     _add_resilience_args(p)
     p.set_defaults(func=cmd_run)
 
@@ -378,8 +493,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch-size", type=int, default=32,
                    help="mutation scheduling granularity; a parallel run "
                         "reproduces a serial run with the same batch size")
+    p.add_argument("--journal", metavar="DIR",
+                   help="event-source the campaign into DIR (crash-safe; "
+                        "continue later with 'repro resume DIR')")
+    p.add_argument("--checkpoint-every", type=int, default=8,
+                   help="journaled runs: batches merged between "
+                        "periodic checkpoints")
     _add_resilience_args(p)
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "resume", help="continue an interrupted journaled campaign")
+    p.add_argument("journal", help="journal directory from --journal")
+    p.add_argument("--workers", type=int, default=None,
+                   help="override the recorded worker count (verdicts "
+                        "are worker-count-independent)")
+    p.set_defaults(func=cmd_resume)
+
+    p = sub.add_parser(
+        "replay", help="re-execute a journaled campaign deterministically "
+                       "and check the sealed verdict")
+    p.add_argument("journal", help="journal directory from --journal")
+    p.add_argument("--workers", type=int, default=None,
+                   help="override the recorded worker count")
+    p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser("disasm", help="assemble + disassemble firmware")
     p.add_argument("firmware")
@@ -395,7 +532,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        # Second shutdown signal: pools are already reaped by the
+        # handler; exit with the conventional SIGINT status.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.shutdown import shutdown_requested
 from repro.core.snapshot import SnapshotController
 from repro.core.store import DEFAULT_FLATTEN_THRESHOLD, SnapshotStore
 from repro.resilience import ResilienceStats
@@ -417,6 +418,9 @@ class AnalysisEngine:
         self._since_poll = 0
         self._lane_previous = None
         while len(self.searcher):
+            if shutdown_requested():
+                report.stop_reason = "interrupted"
+                break
             if executed >= max_instructions:
                 report.stop_reason = "instruction-budget"
                 break

@@ -32,6 +32,7 @@ import random
 from dataclasses import dataclass, field
 from typing import FrozenSet, List, Optional, Set, Tuple
 
+from repro.core.shutdown import shutdown_requested
 from repro.core.snapshot import SnapshotController
 from repro.errors import FirmwarePanic, VmError
 from repro.resilience import ResilienceStats
@@ -68,6 +69,10 @@ class FuzzReport:
     #: Recovery events over the run (kept out of
     #: :meth:`verdict_summary` — recovery cost is schedule-dependent).
     resilience: ResilienceStats = field(default_factory=ResilienceStats)
+    #: "completed" | "interrupted" — why the loop ended. Excluded from
+    #: :meth:`verdict_summary`: an interrupted-then-resumed campaign
+    #: must still match the uninterrupted verdict byte for byte.
+    stop_reason: str = "completed"
 
     @property
     def execs_per_modelled_second(self) -> float:
@@ -178,6 +183,19 @@ class CorpusScheduler:
         return [mutate_bytes(self.rng, self.rng.choice(self.corpus))
                 for _ in range(count)]
 
+    def state_dict(self) -> dict:
+        """The scheduler's complete resumable state (picklable). A
+        scheduler restored from this dict generates byte-identical
+        future batches — the anchor of journal checkpoint/resume."""
+        return {"rng": self.rng.getstate(),
+                "corpus": list(self.corpus),
+                "edges": set(self.edges)}
+
+    def restore_state(self, state: dict) -> None:
+        self.rng.setstate(state["rng"])
+        self.corpus = list(state["corpus"])
+        self.edges = set(state["edges"])
+
     def merge(self, report: FuzzReport, data: bytes,
               edges: Set[Tuple[int, int]], crash: Optional[str],
               pc: int, index: int) -> None:
@@ -279,6 +297,9 @@ class SnapshotFuzzer:
                        if getattr(self.target, "resilience", None) else None)
         done = 0
         while done < executions:
+            if shutdown_requested():
+                report.stop_reason = "interrupted"
+                break
             batch = self.scheduler.next_batch(
                 min(max(1, batch_size), executions - done))
             for data in batch:

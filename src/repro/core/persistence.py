@@ -24,6 +24,7 @@ root-cause analysis *after* the run. This module provides both:
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Set, Tuple, Union
@@ -38,6 +39,27 @@ from repro.targets.base import HardwareTarget, HwSnapshot
 
 PathLike = Union[str, pathlib.Path]
 _FORMAT_VERSION = 1
+
+
+def atomic_write_text(path: PathLike, text: str) -> None:
+    """Write *text* so a crash can never leave a torn or empty file:
+    the bytes land in a temp file in the same directory and are moved
+    into place with ``os.replace`` (atomic on POSIX — readers see the
+    old contents or the new, never a prefix)."""
+    target = pathlib.Path(path)
+    tmp = target.with_name(f".{target.name}.tmp.{os.getpid()}")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, target)
+    finally:
+        if tmp.exists():
+            tmp.unlink(missing_ok=True)
+
+
+def atomic_write_json(path: PathLike, payload, **json_kwargs) -> None:
+    """JSON counterpart of :func:`atomic_write_text` (reports, BENCH_*
+    artifacts — anything a gate or a human later reads back)."""
+    atomic_write_text(path, json.dumps(payload, **json_kwargs) + "\n")
 
 
 def snapshot_to_dict(snapshot: HwSnapshot) -> dict:
@@ -79,8 +101,8 @@ def snapshot_from_dict(data: dict) -> HwSnapshot:
 
 def save_snapshot(snapshot: HwSnapshot, path: PathLike) -> None:
     """Write a hardware snapshot as JSON."""
-    pathlib.Path(path).write_text(
-        json.dumps(snapshot_to_dict(snapshot), indent=1, sort_keys=True))
+    atomic_write_text(path, json.dumps(snapshot_to_dict(snapshot),
+                                       indent=1, sort_keys=True))
 
 
 def load_snapshot(path: PathLike) -> HwSnapshot:
@@ -186,7 +208,7 @@ def export_crash_pack(report: AnalysisReport, directory: PathLike,
         "findings": len(report.bugs),
         "paths": len(report.paths),
     }
-    (root / "manifest.json").write_text(json.dumps(manifest, indent=1))
+    atomic_write_text(root / "manifest.json", json.dumps(manifest, indent=1))
     for i, bug in enumerate(report.bugs):
         bug_dir = root / f"finding_{i:03d}"
         bug_dir.mkdir(exist_ok=True)
@@ -196,7 +218,7 @@ def export_crash_pack(report: AnalysisReport, directory: PathLike,
             if program is not None and pc in program.words:
                 entry["asm"] = disassemble_word(program.words[pc], pc)
             backtrace.append(entry)
-        (bug_dir / "report.json").write_text(json.dumps({
+        atomic_write_text(bug_dir / "report.json", json.dumps({
             "kind": bug.kind,
             "pc": bug.pc,
             "detail": bug.detail,

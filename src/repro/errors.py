@@ -141,3 +141,25 @@ class ConcretizationError(VmError):
 
 class FirmwarePanic(VmError):
     """Raised when executed firmware reaches an irrecoverable fault."""
+
+
+class JournalError(ReproError):
+    """Raised for campaign-journal failures (missing journal, unknown
+    event kinds, resume of an incompatible campaign)."""
+
+
+class JournalCorruptError(JournalError):
+    """A journal record or blob failed its checksum.
+
+    ``offset`` is the byte offset of the corrupt record in
+    ``events.log`` (``None`` for blob corruption, where ``digest`` names
+    the blob instead). Raised only for *interior* damage — a torn tail
+    (the file ends mid-record) is recovered by truncation, never
+    silently: see :meth:`repro.core.journal.Journal.open`.
+    """
+
+    def __init__(self, message: str, offset: int | None = None,
+                 digest: str | None = None):
+        self.offset = offset
+        self.digest = digest
+        super().__init__(message)

@@ -44,6 +44,11 @@ from typing import (Any, Deque, Dict, List, Optional, Sequence, Set,
 
 from repro.core.config import SessionConfig
 from repro.core.engine import AnalysisReport
+from repro.core.journal import (DEFAULT_FSYNC_EVERY, Journal, PathLike,
+                                config_fingerprint)
+from repro.core.persistence import SnapshotWire
+from repro.core.shutdown import shutdown_requested
+from repro.errors import JournalCorruptError, JournalError, VmError
 from repro.isa.assembler import Program
 from repro.parallel.envelope import pack_lease_batch, unpack_lease_results
 from repro.parallel.pool import WorkerPool
@@ -71,7 +76,7 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
     states portable across processes).
     """
 
-    def __init__(self, firmware: Union[str, Program],
+    def __init__(self, firmware: Optional[Union[str, Program]] = None,
                  peripherals: Sequence[Tuple[object, int]] = (),
                  config: Optional[SessionConfig] = None,
                  workers: int = 2,
@@ -79,12 +84,21 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
                  transport: str = "auto",
                  lease_batch: int = 4,
                  delta_state: bool = True,
+                 journal: Optional[PathLike] = None,
+                 journal_fsync_every: int = DEFAULT_FSYNC_EVERY,
+                 checkpoint_every: int = 8,
+                 recipe: Optional[SessionRecipe] = None,
                  **overrides):
-        self.recipe = SessionRecipe.create(firmware, peripherals,
-                                           config=config,
-                                           transport=transport,
-                                           delta_state=delta_state,
-                                           **overrides)
+        if recipe is not None:
+            self.recipe = recipe
+        elif firmware is not None:
+            self.recipe = SessionRecipe.create(firmware, peripherals,
+                                               config=config,
+                                               transport=transport,
+                                               delta_state=delta_state,
+                                               **overrides)
+        else:
+            raise VmError("pass firmware or a prebuilt recipe")
         self.config = self.recipe.config
         self.workers = workers
         #: Instructions per lease; 0 = run each lease to fork/completion.
@@ -96,6 +110,7 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
         self.retry_policy = self.config.retry_policy or RetryPolicy()
         self._coverage: Set[int] = set()
         self._pool: Optional[WorkerPool] = None
+        self._last_stats = None
         self._lease_seq = 0
         self._degraded = False
         self._worker_wire: Dict[object, object] = {}
@@ -103,6 +118,15 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
         #: Digests pinned on behalf of each worker's in-flight batch
         #: (they back wires the recovery ladder may need to re-encode).
         self._pinned: Dict[int, List[str]] = {}
+        self._journal_path = journal
+        self._journal_fsync = journal_fsync_every
+        #: Envelopes merged between periodic checkpoints.
+        self.checkpoint_every = max(1, checkpoint_every)
+        self._journal: Optional[Journal] = None
+        #: Checkpoint state restored by :meth:`resume`, consumed by the
+        #: next :meth:`run`.
+        self._resume_state: Optional[Dict[str, Any]] = None
+        self._resume_run_kwargs: Optional[Dict[str, Any]] = None
 
     # -- pool lifecycle -----------------------------------------------------
 
@@ -115,15 +139,24 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
 
     @property
     def pool_stats(self):
-        return self.pool.stats
+        """Stats of the live pool, or the last closed pool's — reading
+        stats must never spawn workers (a post-``close`` read that
+        resurrected the pool would leak processes past the campaign)."""
+        if self._pool is not None:
+            return self._pool.stats
+        return self._last_stats
 
     def warm(self) -> None:
         self.pool.warm("engine")
 
     def close(self) -> None:
         if self._pool is not None:
+            self._last_stats = self._pool.stats
             self._pool.close()
             self._pool = None
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
 
     def __enter__(self) -> "ParallelAnalysisEngine":
         return self
@@ -193,6 +226,11 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
             leases.append(lease)
         self.pool.submit(worker_id, "lease-batch", {"leases": leases},
                          pack=self._pack_leases)
+        if self._journal is not None:
+            self._journal.append(
+                "lease-issued", worker=worker_id, leases=len(leases),
+                budget=budget, seq=self._lease_seq,
+                root=any(lease["state"] is None for lease in leases))
         self.pool.stats.leases += len(leases)
         self.pool.stats.batches += 1
         self.pool.stats.states_shipped += sum(
@@ -253,6 +291,181 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
                 # took down with it.
                 lease["force_full"] = True
 
+    # -- journal lifecycle ---------------------------------------------------
+
+    @classmethod
+    def resume(cls, journal_dir: PathLike,
+               workers: Optional[int] = None) -> "ParallelAnalysisEngine":
+        """Reopen an interrupted (or completed) journaled DSE campaign.
+
+        Restores the frontier (parked *and* in-flight states, with their
+        snapshot chunks), coverage, merged paths and bugs from the last
+        loadable checkpoint; :meth:`resume_run` then continues the
+        campaign under the recorded budgets. A corrupt checkpoint blob
+        falls back to the previous checkpoint — recorded in the journal
+        as ``checkpoint-skipped``, never silently. Worker count may
+        differ from the original run: verdicts are
+        worker-count-independent.
+        """
+        journal = Journal.open(journal_dir)
+        opened = journal.first("campaign-opened")
+        if opened is None:
+            raise JournalError(
+                f"journal {journal_dir} records no campaign-opened event")
+        if opened.get("mode") != "dse":
+            raise JournalError(
+                f"journal {journal_dir} holds a {opened.get('mode')!r} "
+                f"campaign, not a DSE one")
+        setup = journal.get_blob(opened["blob"])
+        engine = cls(recipe=setup["recipe"],
+                     workers=workers or setup["workers"],
+                     lease_budget=setup["lease_budget"],
+                     lease_batch=setup["lease_batch"])
+        engine._journal = journal
+        engine._resume_run_kwargs = dict(setup["run_kwargs"])
+        for checkpoint in reversed(journal.events("checkpoint")):
+            digest = checkpoint["blob"]
+            try:
+                engine._resume_state = journal.get_blob(digest)
+            except JournalCorruptError:
+                journal.append("checkpoint-skipped", blob=digest,
+                               seq_skipped=checkpoint["seq"])
+                continue
+            break
+        return engine
+
+    def resume_run(self) -> AnalysisReport:
+        """Continue the resumed campaign under its recorded budgets."""
+        if self._resume_run_kwargs is None:
+            raise JournalError("resume_run() requires resume()")
+        return self.run(**self._resume_run_kwargs)
+
+    def _open_journal(self, run_kwargs: Dict[str, Any]) -> Optional[Journal]:
+        if self._journal is not None:
+            return self._journal
+        if self._journal_path is None:
+            return None
+        journal = Journal.create(self._journal_path,
+                                 fsync_every=self._journal_fsync)
+        blob = journal.put_blob(
+            {"recipe": self.recipe, "workers": self.workers,
+             "lease_budget": self.lease_budget,
+             "lease_batch": self.lease_batch,
+             "run_kwargs": dict(run_kwargs)},
+            fsync=True)
+        journal.append("campaign-opened", mode="dse", blob=blob,
+                       workers=self.workers,
+                       config=config_fingerprint(self.config),
+                       **run_kwargs)
+        journal.commit()
+        self._journal = journal
+        return journal
+
+    def _write_checkpoint(self, journal: Journal, report: AnalysisReport,
+                          searcher, executed: int,
+                          stats_sums: Dict[str, int], chain_depth: int,
+                          bugs: List[Tuple[object, Tuple[int, ...]]]
+                          ) -> None:
+        """Seal the campaign's complete resumable state.
+
+        The frontier (parked states) and every in-flight lease's state
+        travel as ``(pickled ExecState, refs-only wire)`` pairs plus one
+        shared ``digest → (body, bits)`` chunk map resolved from the
+        coordinator's channel — every referenced chunk is pinned for
+        exactly as long as its state is parked or leased, so the bodies
+        are guaranteed resolvable at checkpoint time.
+        """
+        entries: List[Tuple[ExecState, SnapshotWire]] = []
+        chunks: Dict[str, Tuple[dict, int]] = {}
+        root_pending = False
+
+        def add_state(state: ExecState, wire: SnapshotWire) -> None:
+            for _name, (digest, _cycle, bits) in wire.refs.items():
+                if digest not in chunks:
+                    chunks[digest] = (
+                        self.channel._body_of(digest, wire),
+                        self.channel.chunk_bits.get(digest, bits))
+            entries.append((state, SnapshotWire(
+                refs=dict(wire.refs), chunks={},
+                method=wire.method, bits=wire.bits)))
+
+        # Frontier states carry their wire as an attribute; strip it for
+        # pickling (the wire rides separately) and restore after.
+        stripped: List[Tuple[ExecState, SnapshotWire]] = []
+        for state in list(searcher.states):
+            wire = state._wire
+            del state._wire
+            stripped.append((state, wire))
+            add_state(state, wire)
+        for _kind, payload in self.pool.in_flight_payloads():
+            if not isinstance(payload, dict):
+                continue
+            for lease in payload.get("leases", ()):
+                if lease.get("state") is None:
+                    root_pending = True  # the boot lease never returned
+                else:
+                    add_state(lease["state"], lease["wire"])
+        try:
+            blob = journal.put_blob(
+                {"executed": executed,
+                 "lease_seq": self._lease_seq,
+                 "coverage": sorted(self._coverage),
+                 "paths": list(report.paths),
+                 "forks": report.forks,
+                 "max_live_states": report.max_live_states,
+                 "modelled_time_s": report.modelled_time_s,
+                 "resilience": report.resilience.as_dict(),
+                 "stats_sums": dict(stats_sums),
+                 "chain_depth": chain_depth,
+                 "bugs": list(bugs),
+                 "root_pending": root_pending,
+                 "states": entries,
+                 "chunks": chunks},
+                fsync=True)
+        finally:
+            for state, wire in stripped:
+                state._wire = wire
+        journal.append("snapshot-sealed", states=len(entries),
+                       chunks=len(chunks),
+                       bits=sum(bits for _body, bits in chunks.values()))
+        journal.append("checkpoint", executed=executed,
+                       states=len(entries), blob=blob)
+        journal.commit()
+
+    def _restore_checkpoint(self, state: Dict[str, Any],
+                            report: AnalysisReport, searcher
+                            ) -> Tuple[int, Dict[str, int], int,
+                                       List[Tuple[object, Tuple[int, ...]]],
+                                       bool]:
+        """Rebuild coordinator state from a checkpoint blob; returns the
+        ``(executed, stats_sums, chain_depth, bugs, root_pending)``
+        loop-local state :meth:`run` continues from."""
+        self._lease_seq = state["lease_seq"]
+        self._coverage.clear()
+        self._coverage.update(state["coverage"])
+        report.paths = list(state["paths"])
+        report.forks = state["forks"]
+        report.max_live_states = state["max_live_states"]
+        report.modelled_time_s = state["modelled_time_s"]
+        report.resilience.merge(state["resilience"])
+        chunks = state["chunks"]
+        for parked, wire in state["states"]:
+            carry = SnapshotWire(
+                refs=dict(wire.refs),
+                chunks={digest: chunks[digest]
+                        for _n, (digest, _c, _b) in wire.refs.items()},
+                method=wire.method, bits=wire.bits)
+            # The journal acts as the sending peer: absorb verifies every
+            # chunk body against its content address on the way in.
+            self.channel.absorb(carry, "journal")
+            parked._wire = SnapshotWire(refs=dict(wire.refs), chunks={},
+                                        method=wire.method, bits=wire.bits)
+            self.channel.pin(_wire_digests(parked._wire))
+            searcher.add(parked)
+        return (state["executed"], dict(state["stats_sums"]),
+                state["chain_depth"], list(state["bugs"]),
+                state["root_pending"])
+
     # -- main loop ----------------------------------------------------------
 
     def run(self, max_instructions: int = 1_000_000,
@@ -260,6 +473,10 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
             stop_after_bugs: int = 0) -> AnalysisReport:
         """Run the leased Algorithm 1 to completion or budget."""
         report = AnalysisReport(strategy="hardsnap")
+        journal = self._open_journal(
+            {"max_instructions": max_instructions,
+             "max_states": max_states,
+             "stop_after_bugs": stop_after_bugs})
         start = time.perf_counter()
         searcher = self._make_searcher()
         pool = self.pool  # starts the workers
@@ -274,6 +491,13 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
         outstanding = 0  # leases awaiting results
         batches_out = 0  # envelopes awaiting results
         stop: Optional[str] = None
+        merged_envelopes = 0  # since the last periodic checkpoint
+        root_pending = True
+        if self._resume_state is not None:
+            state, self._resume_state = self._resume_state, None
+            (executed, stats_sums, chain_depth, bugs,
+             root_pending) = self._restore_checkpoint(state, report,
+                                                      searcher)
 
         def lease_budget_now() -> int:
             if self.lease_budget:
@@ -294,14 +518,22 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
                 outstanding += take
                 batches_out += 1
 
-        # Root lease: worker 0 builds the initial state itself.
-        self._dispatch_batch(idle.popleft(), [None], lease_budget_now())
-        outstanding += 1
-        batches_out += 1
+        # Root lease: worker 0 builds the initial state itself. A resumed
+        # campaign only re-issues it when the checkpoint recorded the
+        # boot lease as still un-returned.
+        if root_pending:
+            self._dispatch_batch(idle.popleft(), [None], lease_budget_now())
+            outstanding += 1
+            batches_out += 1
 
         while True:
             if stop is None:
-                if executed >= max_instructions and \
+                if shutdown_requested():
+                    # Cooperative shutdown: stop dispatching, drain every
+                    # outstanding envelope (merged below as usual), then
+                    # fall out with a checkpoint-current journal.
+                    stop = "interrupted"
+                elif executed >= max_instructions and \
                         (len(searcher) or outstanding):
                     stop = "instruction-budget"
                 elif stop_after_bugs and len(bugs) >= stop_after_bugs:
@@ -336,7 +568,11 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
                 # into the searcher, then (below) immediately feed any
                 # idle worker before decoding the next envelope — batch
                 # i+1 executes while batch i+2..n are still merging.
-                for res in self._decode_batch(worker_id, data):
+                results = self._decode_batch(worker_id, data)
+                if journal is not None:
+                    journal.append("envelope-merged", worker=worker_id,
+                                   leases=len(results))
+                for res in results:
                     outstanding -= 1
                     executed += res["executed"]
                     self._coverage.update(res["coverage"])
@@ -347,6 +583,11 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
                     chain_depth = max(chain_depth,
                                       res["stats"]["chain_depth"])
                     bugs.extend(res["bugs"])
+                    if journal is not None:
+                        for bug, lineage in res["bugs"]:
+                            journal.append("bug-found", bug=bug.kind,
+                                           pc=bug.pc,
+                                           lineage=list(lineage))
                     self._worker_wire[self._peer(worker_id)] = \
                         res["wire_stats"]
                     if res.get("state_wire") is not None:
@@ -361,8 +602,12 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
                     if res["continuation"] is not None:
                         incoming.append(res["continuation"])
                     incoming.extend(res["children"])
-                    for shipped in incoming:
+                    for i, shipped in enumerate(incoming):
                         state = self._adopt(shipped, worker_id)
+                        if journal is not None and (
+                                res["continuation"] is None or i > 0):
+                            journal.append("state-forked",
+                                           lineage=list(state.lineage))
                         if len(searcher) + outstanding < max_states:
                             searcher.add(state)
                         else:
@@ -371,8 +616,15 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
                         report.max_live_states,
                         len(searcher) + outstanding)
                 self.channel.unpin(pins)
+                merged_envelopes += 1
                 if stop is None:
                     dispatch()
+            if journal is not None and \
+                    merged_envelopes >= self.checkpoint_every:
+                self._write_checkpoint(journal, report, searcher,
+                                       executed, stats_sums,
+                                       chain_depth, bugs)
+                merged_envelopes = 0
 
         report.stop_reason = stop or "exhausted"
         report.instructions = executed
@@ -403,6 +655,18 @@ class ParallelAnalysisEngine(PoolRecoveryMixin):
         # Pool-boundary recovery (respawns/reissues/duplicates/degraded)
         # joins the link-layer events the workers reported per lease.
         report.resilience.merge(pool.stats.resilience.delta(resilience0))
+        if journal is not None:
+            # Final checkpoint: a budget-stopped campaign's frontier is
+            # resumable; an exhausted one restores to an empty frontier
+            # and re-derives the identical report.
+            self._write_checkpoint(journal, report, searcher, executed,
+                                   stats_sums, chain_depth, bugs)
+            if report.stop_reason == "interrupted":
+                journal.append("campaign-interrupted", executed=executed)
+            elif not journal.sealed:
+                journal.append("campaign-sealed", executed=executed,
+                               verdict=report.verdict_summary())
+            journal.commit()
         return report
 
     @staticmethod

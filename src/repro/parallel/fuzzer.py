@@ -30,7 +30,10 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import SessionConfig
 from repro.core.fuzzer import CorpusScheduler, FuzzReport
-from repro.errors import VmError
+from repro.core.journal import (DEFAULT_FSYNC_EVERY, Journal, PathLike,
+                                config_fingerprint)
+from repro.core.shutdown import shutdown_requested
+from repro.errors import JournalCorruptError, JournalError, VmError
 from repro.isa.assembler import Program
 from repro.parallel.envelope import pack_fuzz_batch, unpack_fuzz_results
 from repro.parallel.pool import WorkerPool
@@ -43,9 +46,19 @@ from repro.resilience import RetryPolicy
 class ParallelFuzzer(PoolRecoveryMixin):
     """N-worker counterpart of :class:`~repro.core.fuzzer.SnapshotFuzzer`
     (snapshot reset mode only — rebooting per input is exactly what the
-    snapshot runtime exists to avoid)."""
+    snapshot runtime exists to avoid).
 
-    def __init__(self, firmware: Union[str, Program],
+    With ``journal=<dir>`` the campaign is event-sourced: the run's
+    setup, every completed shard (result blob included), every crash and
+    a periodic checkpoint (every ``checkpoint_every`` batches) land in
+    an append-only log
+    (:mod:`repro.core.journal`). :meth:`resume` reopens such a journal
+    after a coordinator crash and continues — re-applying recorded
+    post-checkpoint shards instead of re-executing them — to a verdict
+    byte-identical to the uninterrupted run.
+    """
+
+    def __init__(self, firmware: Optional[Union[str, Program]] = None,
                  peripherals: Sequence[Tuple[object, int]] = (),
                  seeds: Optional[List[bytes]] = None,
                  workers: int = 2,
@@ -54,13 +67,22 @@ class ParallelFuzzer(PoolRecoveryMixin):
                  max_steps_per_exec: int = 20_000,
                  config: Optional[SessionConfig] = None,
                  transport: str = "auto",
+                 journal: Optional[PathLike] = None,
+                 journal_fsync_every: int = DEFAULT_FSYNC_EVERY,
+                 checkpoint_every: int = 8,
+                 recipe: Optional[SessionRecipe] = None,
                  **overrides):
         if batch_size < 1:
             raise VmError(f"batch_size must be >= 1, got {batch_size}")
-        self.recipe = SessionRecipe.create(
-            firmware, peripherals, config=config,
-            max_steps_per_exec=max_steps_per_exec, transport=transport,
-            **overrides)
+        if recipe is not None:
+            self.recipe = recipe
+        elif firmware is not None:
+            self.recipe = SessionRecipe.create(
+                firmware, peripherals, config=config,
+                max_steps_per_exec=max_steps_per_exec, transport=transport,
+                **overrides)
+        else:
+            raise VmError("pass firmware or a prebuilt recipe")
         self.workers = workers
         self.batch_size = batch_size
         self.scheduler = CorpusScheduler(seeds, seed)
@@ -68,6 +90,23 @@ class ParallelFuzzer(PoolRecoveryMixin):
         self.retry_policy = self.config.retry_policy or RetryPolicy()
         self._degraded = False
         self._pool: Optional[WorkerPool] = None
+        self._last_stats = None
+        self._seeds = None if seeds is None else [bytes(s) for s in seeds]
+        self._seed = seed
+        self._journal_path = journal
+        self._journal_fsync = journal_fsync_every
+        #: Checkpoint cadence in batches. Between checkpoints the
+        #: recorded ``fuzz-shard-completed`` blobs carry the campaign:
+        #: resume replays them batch-by-batch, so a sparser cadence
+        #: trades resume work for per-batch fsync cost, never safety.
+        self.checkpoint_every = max(1, checkpoint_every)
+        self._journal: Optional[Journal] = None
+        #: Checkpoint state restored by :meth:`resume`, consumed by the
+        #: next :meth:`run`.
+        self._resume_state: Optional[Dict[str, Any]] = None
+        #: ``fuzz-shard-completed`` events after the restored checkpoint.
+        self._suffix: List[Dict[str, Any]] = []
+        self._resume_executions: Optional[int] = None
 
     # -- pool lifecycle -----------------------------------------------------
 
@@ -79,15 +118,24 @@ class ParallelFuzzer(PoolRecoveryMixin):
 
     @property
     def pool_stats(self):
-        return self.pool.stats
+        """Stats of the live pool, or the last closed pool's — reading
+        stats must never spawn workers (a post-``close`` read that
+        resurrected the pool would leak processes past the campaign)."""
+        if self._pool is not None:
+            return self._pool.stats
+        return self._last_stats
 
     def warm(self) -> None:
         self.pool.warm("fuzz")
 
     def close(self) -> None:
         if self._pool is not None:
+            self._last_stats = self._pool.stats
             self._pool.close()
             self._pool = None
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
 
     def __enter__(self) -> "ParallelFuzzer":
         return self
@@ -105,6 +153,94 @@ class ParallelFuzzer(PoolRecoveryMixin):
             _, worker_id, digests = pool.next_result(timeout=120)
             out[worker_id] = digests
         return out
+
+    # -- journal lifecycle ---------------------------------------------------
+
+    @classmethod
+    def resume(cls, journal_dir: PathLike,
+               workers: Optional[int] = None) -> "ParallelFuzzer":
+        """Reopen an interrupted (or completed) journaled campaign.
+
+        Restores the scheduler and report from the last loadable
+        checkpoint; ``fuzz-shard-completed`` events recorded after it
+        are re-applied by :meth:`resume_run` instead of re-executed.
+        A corrupt checkpoint blob falls back to the previous checkpoint
+        — recorded in the journal as ``checkpoint-skipped``, never
+        silently. Worker count may differ from the original run:
+        verdicts are worker-count-independent.
+        """
+        journal = Journal.open(journal_dir)
+        opened = journal.first("campaign-opened")
+        if opened is None:
+            raise JournalError(
+                f"journal {journal_dir} records no campaign-opened event")
+        if opened.get("mode") != "fuzz":
+            raise JournalError(
+                f"journal {journal_dir} holds a {opened.get('mode')!r} "
+                f"campaign, not a fuzzing one")
+        setup = journal.get_blob(opened["blob"])
+        fuzzer = cls(recipe=setup["recipe"], seeds=setup["seeds"],
+                     seed=setup["seed"], batch_size=setup["batch_size"],
+                     workers=workers or setup["workers"])
+        fuzzer._journal = journal
+        fuzzer._resume_executions = setup["executions"]
+        after = 0
+        for checkpoint in reversed(journal.events("checkpoint")):
+            digest = checkpoint["blob"]
+            try:
+                fuzzer._resume_state = journal.get_blob(digest)
+            except JournalCorruptError:
+                journal.append("checkpoint-skipped", blob=digest,
+                               seq_skipped=checkpoint["seq"])
+                continue
+            after = checkpoint["seq"]
+            break
+        fuzzer._suffix = journal.events("fuzz-shard-completed",
+                                        after_seq=after)
+        return fuzzer
+
+    def resume_run(self) -> FuzzReport:
+        """Continue the resumed campaign to its recorded budget."""
+        if self._resume_executions is None:
+            raise JournalError("resume_run() requires resume()")
+        return self.run(executions=self._resume_executions)
+
+    def _open_journal(self, executions: int) -> Optional[Journal]:
+        if self._journal is not None:
+            return self._journal
+        if self._journal_path is None:
+            return None
+        journal = Journal.create(self._journal_path,
+                                 fsync_every=self._journal_fsync)
+        blob = journal.put_blob(
+            {"recipe": self.recipe, "seeds": self._seeds,
+             "seed": self._seed, "batch_size": self.batch_size,
+             "workers": self.workers, "executions": executions},
+            fsync=True)
+        journal.append("campaign-opened", mode="fuzz", blob=blob,
+                       workers=self.workers, batch_size=self.batch_size,
+                       executions=executions,
+                       config=config_fingerprint(self.config))
+        journal.commit()
+        self._journal = journal
+        return journal
+
+    def _checkpoint(self, journal: Optional[Journal],
+                    report: FuzzReport, done: int) -> None:
+        """Seal the campaign's resumable state at a batch boundary."""
+        if journal is None:
+            return
+        blob = journal.put_blob(
+            {"done": done,
+             "scheduler": self.scheduler.state_dict(),
+             "report": {"executions": report.executions,
+                        "crashes": list(report.crashes),
+                        "resets": report.resets,
+                        "modelled_time_s": report.modelled_time_s,
+                        "resilience": report.resilience.as_dict()}},
+            fsync=True)
+        journal.append("checkpoint", done=done, blob=blob)
+        journal.commit()
 
     # -- main loop ----------------------------------------------------------
 
@@ -148,49 +284,137 @@ class ParallelFuzzer(PoolRecoveryMixin):
         are still executing.
         """
         report = FuzzReport()
+        journal = self._open_journal(executions)
         pool = self.pool
         resilience0 = pool.stats.resilience.as_dict()
         start = time.perf_counter()
         done = 0
+        dirty = 0  # batches since the last checkpoint
+        if self._resume_state is not None:
+            state, self._resume_state = self._resume_state, None
+            done = state["done"]
+            self.scheduler.restore_state(state["scheduler"])
+            saved = state["report"]
+            report.executions = saved["executions"]
+            report.crashes = list(saved["crashes"])
+            report.resets = saved["resets"]
+            report.modelled_time_s = saved["modelled_time_s"]
+            report.resilience.merge(saved["resilience"])
         while done < executions:
+            if shutdown_requested():
+                report.stop_reason = "interrupted"
+                break
             batch = self.scheduler.next_batch(
                 min(max(1, self.batch_size), executions - done))
-            indexed = list(enumerate(batch))
-            per = -(-len(indexed) // self.workers)  # ceil
-            shards = 0
-            for worker_id in range(self.workers):
-                items = indexed[worker_id * per:(worker_id + 1) * per]
-                if not items:
-                    continue
-                self.pool.submit(worker_id, "fuzz-batch",
-                                 {"items": items}, pack=self._pack_items)
-                shards += 1
-            pool.stats.batches += 1
-            merged: Dict[int, Tuple[bytes, bytes, Optional[str], int]] = {}
-            next_i = 0
-            arrived = 0
-            while arrived < shards:
-                results = [self._await_result()]
-                results.extend(self.pool.drain_results())
-                for _, worker_id, data in results:
-                    arrived += 1
-                    res = self._decode_shard(worker_id, data)
-                    report.resets += res["resets"]
-                    report.modelled_time_s += res["modelled_dt"]
-                    report.resilience.merge(res["resilience"])
-                    for index, data_, edges, crash, pc in res["results"]:
-                        merged[index] = (data_, edges, crash, pc)
-                # Streaming merge: consume the longest in-order prefix
-                # available so far (scheduler order == input order).
-                while next_i in merged:
-                    data_, edges, crash, pc = merged.pop(next_i)
-                    self.scheduler.merge(report, data_,
-                                         unpack_edges(edges), crash, pc,
-                                         done + next_i)
-                    next_i += 1
+            if not self._replay_batch(journal, report, batch, done):
+                self._execute_batch(journal, report, batch, done)
             done += len(batch)
+            dirty += 1
+            if dirty >= self.checkpoint_every:
+                self._checkpoint(journal, report, done)
+                dirty = 0
+        if dirty:
+            self._checkpoint(journal, report, done)
         self.scheduler.finalize(report)
         report.host_time_s = time.perf_counter() - start
         pool.stats.host_time_s += report.host_time_s
         report.resilience.merge(pool.stats.resilience.delta(resilience0))
+        if journal is not None:
+            if report.stop_reason == "interrupted":
+                journal.append("campaign-interrupted", done=done)
+            elif not journal.sealed:
+                journal.append("campaign-sealed", executions=done,
+                               verdict=report.verdict_summary())
+            journal.commit()
         return report
+
+    def _replay_batch(self, journal: Optional[Journal],
+                      report: FuzzReport, batch: List[bytes],
+                      done: int) -> bool:
+        """Re-apply a batch from recorded post-checkpoint shard blobs.
+
+        Returns ``True`` only when the recorded shards cover the whole
+        batch, every blob verifies, and every recorded input matches the
+        regenerated schedule (the restored RNG makes them identical by
+        construction) — anything less falls back to re-execution, which
+        is sound because shard execution is deterministic. No report
+        state is touched until the whole batch has verified.
+        """
+        if journal is None or not self._suffix:
+            return False
+        shards = [e for e in self._suffix if e.get("base") == done]
+        if not shards:
+            return False
+        results = []
+        for event in shards:
+            digest = event["blob"]
+            if digest not in journal.blobs:
+                return False
+            try:
+                results.append(journal.get_blob(digest))
+            except JournalCorruptError:
+                return False
+        merged: Dict[int, Tuple[bytes, bytes, Optional[str], int]] = {}
+        for res in results:
+            for index, data_, edges, crash, pc in res["results"]:
+                merged[index] = (data_, edges, crash, pc)
+        if sorted(merged) != list(range(len(batch))):
+            return False
+        if any(merged[i][0] != batch[i] for i in range(len(batch))):
+            return False
+        for res in results:
+            report.resets += res["resets"]
+            report.modelled_time_s += res["modelled_dt"]
+            report.resilience.merge(res["resilience"])
+        for i in range(len(batch)):
+            data_, edges, crash, pc = merged[i]
+            self.scheduler.merge(report, data_, unpack_edges(edges),
+                                 crash, pc, done + i)
+        return True
+
+    def _execute_batch(self, journal: Optional[Journal],
+                       report: FuzzReport, batch: List[bytes],
+                       done: int) -> None:
+        pool = self.pool
+        indexed = list(enumerate(batch))
+        per = -(-len(indexed) // self.workers)  # ceil
+        shards = 0
+        for worker_id in range(self.workers):
+            items = indexed[worker_id * per:(worker_id + 1) * per]
+            if not items:
+                continue
+            self.pool.submit(worker_id, "fuzz-batch",
+                             {"items": items}, pack=self._pack_items)
+            shards += 1
+        pool.stats.batches += 1
+        merged: Dict[int, Tuple[bytes, bytes, Optional[str], int]] = {}
+        next_i = 0
+        arrived = 0
+        while arrived < shards:
+            results = [self._await_result()]
+            results.extend(self.pool.drain_results())
+            for _, worker_id, data in results:
+                arrived += 1
+                res = self._decode_shard(worker_id, data)
+                if journal is not None:
+                    journal.append(
+                        "fuzz-shard-completed", worker=worker_id,
+                        base=done, count=len(res["results"]),
+                        blob=journal.put_blob(res))
+                report.resets += res["resets"]
+                report.modelled_time_s += res["modelled_dt"]
+                report.resilience.merge(res["resilience"])
+                for index, data_, edges, crash, pc in res["results"]:
+                    merged[index] = (data_, edges, crash, pc)
+            # Streaming merge: consume the longest in-order prefix
+            # available so far (scheduler order == input order).
+            while next_i in merged:
+                data_, edges, crash, pc = merged.pop(next_i)
+                if crash is not None and journal is not None:
+                    journal.append("bug-found", bug="fuzz-crash",
+                                   index=done + next_i, reason=crash,
+                                   pc=pc)
+                self.scheduler.merge(report, data_,
+                                     unpack_edges(edges), crash, pc,
+                                     done + next_i)
+                next_i += 1

@@ -37,10 +37,12 @@ jobs in flight, so:
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing as mp
 import queue as queue_mod
 import secrets
 import time
+import weakref
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
@@ -58,6 +60,31 @@ from repro.resilience import ResilienceStats
 #: queue, possibly shm references); everything else stays a plain
 #: pickled object for compatibility and control traffic.
 _BATCH_KINDS = ("lease-batch", "fuzz-batch")
+
+#: Every live WorkerPool, so signal handlers and interpreter exit can
+#: run the escalating close (child reaping + shm unlink) even when the
+#: owning coordinator never got the chance — the leak path SIGTERM used
+#: to take. Weak references: a pool that was garbage collected after
+#: close() needs no sweeping.
+_LIVE_POOLS: "weakref.WeakSet[WorkerPool]" = weakref.WeakSet()
+
+
+def close_all_pools(timeout: float = 2.0) -> int:
+    """Escalatingly close every live pool (idempotent); returns how
+    many were still open. Called by the shutdown signal path and
+    registered atexit as a last-resort shm sweep."""
+    closed = 0
+    for pool in list(_LIVE_POOLS):
+        if not pool._closed:
+            closed += 1
+        try:
+            pool.close(timeout=timeout)
+        except Exception:
+            pass  # last-resort cleanup must never mask the exit path
+    return closed
+
+
+atexit.register(close_all_pools)
 
 
 class WorkerError(VmError):
@@ -204,8 +231,9 @@ class WorkerPool:
         self._incarnations = [0] * workers
         self._job_seq = 0
         self._in_flight: Dict[int, InFlightJob] = {}
-        self._procs = [self._spawn(i) for i in range(workers)]
         self._closed = False
+        self._procs = [self._spawn(i) for i in range(workers)]
+        _LIVE_POOLS.add(self)
 
     def _spawn(self, worker_id: int) -> mp.Process:
         proc = self._ctx.Process(
@@ -352,6 +380,15 @@ class WorkerPool:
     def in_flight_jobs(self) -> List[int]:
         return sorted(self._in_flight)
 
+    def in_flight_payloads(self) -> List[Tuple[str, Any]]:
+        """Every unanswered job's ``(kind, structured payload)`` in
+        submission order — the journal checkpoint's view of work that
+        must be re-issued after a coordinator crash (payloads hold the
+        parked live states, exactly what the recovery ladder re-packs).
+        """
+        return [(info.kind, info.payload)
+                for _job_id, info in sorted(self._in_flight.items())]
+
     def take_in_flight(self) -> List[Tuple[int, InFlightJob]]:
         """Remove and return every in-flight job (the degrade path hands
         them to an :class:`InlinePool`)."""
@@ -435,6 +472,7 @@ class WorkerPool:
         if self._closed:
             return
         self._closed = True
+        _LIVE_POOLS.discard(self)
         for queue in self._jobs:
             try:
                 queue.put_nowait(STOP)
@@ -494,7 +532,11 @@ class InlinePool:
         self.stats = stats if stats is not None else PoolStats(workers=1)
         self.stats.resilience.degraded = True
         self._harnesses: Dict[str, Any] = {}
-        self._pending: Deque[Tuple[str, int, Any]] = deque()
+        # Entries are (kind, worker_id, result, payload): the payload
+        # rides along until its result is consumed, so a journal
+        # checkpoint taken while results sit here still sees the leases
+        # (in_flight_payloads) — parity with the real pool.
+        self._pending: Deque[Tuple[str, int, Any, Any]] = deque()
 
     def _harness(self, kind: str):
         if kind not in self._harnesses:
@@ -508,29 +550,31 @@ class InlinePool:
         on the next :meth:`next_result`."""
         if kind == "warm":
             self._harness(payload["kind"])
-            self._pending.append(("warmed", worker_id, None))
+            self._pending.append(("warmed", worker_id, None, None))
         elif kind == "lease":
             self._pending.append(
-                ("lease", worker_id, self._harness("engine").run_lease(payload)))
+                ("lease", worker_id,
+                 self._harness("engine").run_lease(payload), payload))
         elif kind == "lease-batch":
             engine = self._harness("engine")
             self._pending.append(
                 ("lease-batch", worker_id,
                  {"results": [engine.run_lease(lease)
                               for lease in payload["leases"]],
-                  "encode_s": 0.0, "decode_s": 0.0}))
+                  "encode_s": 0.0, "decode_s": 0.0}, payload))
         elif kind == "fuzz":
             self._pending.append(
-                ("fuzz", worker_id, self._harness("fuzz").run_batch(payload)))
+                ("fuzz", worker_id,
+                 self._harness("fuzz").run_batch(payload), payload))
         elif kind == "fuzz-batch":
             res = self._harness("fuzz").run_batch(
                 {"items": payload["items"]})
             res["encode_s"] = res["decode_s"] = 0.0
-            self._pending.append(("fuzz-batch", worker_id, res))
+            self._pending.append(("fuzz-batch", worker_id, res, payload))
         elif kind == "boot-digests":
             self._pending.append(
                 ("boot-digests", worker_id,
-                 self._harness("fuzz").boot_digests()))
+                 self._harness("fuzz").boot_digests(), None))
         else:
             raise VmError(f"unknown job kind {kind!r}")
         return 0
@@ -540,12 +584,19 @@ class InlinePool:
         if not self._pending:
             raise VmError("degraded pool has no pending results "
                           "(submit executes synchronously)")
-        return self._pending.popleft()
+        kind, worker_id, data, _payload = self._pending.popleft()
+        return kind, worker_id, data
 
     def drain_results(self) -> List[Tuple[str, int, Any]]:
-        drained = list(self._pending)
+        drained = [(kind, worker_id, data)
+                   for kind, worker_id, data, _payload in self._pending]
         self._pending.clear()
         return drained
+
+    def in_flight_payloads(self) -> List[Tuple[str, Any]]:
+        return [(kind, payload)
+                for kind, _worker_id, _data, payload in self._pending
+                if payload is not None]
 
     def broadcast(self, kind: str, payload: Any) -> List[int]:
         return [self.submit(i, kind, payload) for i in range(self.workers)]

@@ -21,6 +21,8 @@ and import-light so it survives ``spawn`` start methods.
 from __future__ import annotations
 
 import os
+import queue
+import signal
 import struct
 import time
 import traceback
@@ -244,6 +246,10 @@ _HARNESS_TYPES = {"engine": EngineWorker, "fuzz": FuzzWorker}
 #: so a shallow cache suffices to answer every duplicate delivery.
 _COMPLETED_CACHE = 32
 
+#: Idle-loop cadence for the orphan check: how often a job-starved
+#: worker confirms its coordinator is still alive (ppid unchanged).
+_ORPHAN_POLL_S = 2.0
+
 
 def _worker_main(worker_id: int, recipe: SessionRecipe,
                  jobs, results, incarnation: int = 0,
@@ -275,6 +281,16 @@ def _worker_main(worker_id: int, recipe: SessionRecipe,
     result messages (computed and cached, never sent — the coordinator's
     deadline recovers via re-issue) and duplicated deliveries.
     """
+    # Shed the coordinator's inherited signal dispositions. Its
+    # cooperative shutdown handler (graceful_shutdown) only sets a
+    # coordinator-side flag; carried across fork it would make this
+    # process *ignore* SIGTERM — wedging pool-close escalation and
+    # multiprocessing's atexit join. Shutdown reaches workers as the
+    # STOP sentinel (or terminate/kill), never as a signal to
+    # interpret: ignore Ctrl-C's process-group SIGINT so the
+    # coordinator can drain gracefully, die on SIGTERM.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
     harnesses: Dict[str, Any] = {}
     plan = getattr(recipe.config, "fault_plan", None)
     injector = (FaultInjector(plan, scope="pool")
@@ -324,8 +340,18 @@ def _worker_main(worker_id: int, recipe: SessionRecipe,
         stamp_encode_time(packed, time.perf_counter() - t0)
         return transport.place_blob(bytes(packed), COORD)
 
+    parent_pid = os.getppid()
     while True:
-        job = jobs.get()
+        try:
+            job = jobs.get(timeout=_ORPHAN_POLL_S)
+        except queue.Empty:
+            # No STOP will ever come from a dead coordinator (SIGKILL
+            # skips every cleanup path): a reparented worker unlinks
+            # its arena and exits instead of orphaning forever with
+            # the coordinator's pipes held open.
+            if os.getppid() != parent_pid:
+                break
+            continue
         if job == STOP:
             break
         kind, job_id, payload = job
